@@ -1,0 +1,64 @@
+// Ablation: STR vs Hilbert bulk loading (paper section 2.2.1 states the two
+// "perform similarly and outperform TGS as well as the PR-Tree" on
+// real-world data). Runs the synchronous R-tree traversal join with both
+// loaders on the three synthetic distributions plus the neuroscience MBRs,
+// and reports comparisons / time / memory so the claim can be checked here.
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size_a = Scaled(40'000);
+  const size_t size_b = 3 * size_a;
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 1'600'000);
+  constexpr float kEpsilon = 5.0f;
+
+  const Distribution distributions[] = {Distribution::kUniform,
+                                        Distribution::kGaussian,
+                                        Distribution::kClustered};
+  for (const Distribution distribution : distributions) {
+    for (const std::string algorithm : {"rtree", "rtree-hilbert", "rtree-tgs", "rtree-guttman", "rtree-rstar"}) {
+      const std::string bench_name = std::string("ablation_bulkload/") +
+                                     DistributionName(distribution) + "/" +
+                                     algorithm;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [=](benchmark::State& state) {
+            const Dataset& a = CachedDataset(distribution, size_a, 11, opt);
+            const Dataset& b = CachedDataset(distribution, size_b, 12, opt);
+            RunDistanceJoin(state, algorithm, a, b, kEpsilon);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+
+  for (const std::string algorithm : {"rtree", "rtree-hilbert", "rtree-tgs", "rtree-guttman", "rtree-rstar"}) {
+    const std::string bench_name = "ablation_bulkload/neuro/" + algorithm;
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [=](benchmark::State& state) {
+          const NeuroDatasets& data =
+              CachedNeuroDatasets(static_cast<int>(Scaled(60)), 21);
+          RunDistanceJoin(state, algorithm, data.axons, data.dendrites,
+                          kEpsilon);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: join order (paper section 5.2.3, DESIGN.md section 3, point 6).
+// TOUCH can build its tree on either input; the paper argues for the smaller
+// dataset (sparser index, cheaper build, better filtering). This bench joins
+// asymmetric inputs (|B| = 5|A|) with the tree forced onto each side and
+// with the automatic policy, which should match the better of the two.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size_a = Scaled(20'000);
+  const size_t size_b = 5 * size_a;
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 1'600'000);
+  const std::vector<std::pair<TouchOptions::JoinOrder, std::string>> orders = {
+      {TouchOptions::JoinOrder::kAuto, "auto_smaller_first"},
+      {TouchOptions::JoinOrder::kBuildOnA, "build_on_small_A"},
+      {TouchOptions::JoinOrder::kBuildOnB, "build_on_large_B"},
+  };
+  const Distribution distributions[] = {Distribution::kUniform,
+                                        Distribution::kClustered};
+  constexpr float kEpsilon = 5.0f;
+  for (const Distribution distribution : distributions) {
+    for (const auto& [order, label] : orders) {
+      const std::string bench_name = std::string("ablation_join_order/") +
+                                     DistributionName(distribution) + "/" +
+                                     label;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [=](benchmark::State& state) {
+            const Dataset& a = CachedDataset(distribution, size_a, 13, opt);
+            const Dataset& b = CachedDataset(distribution, size_b, 14, opt);
+            AlgorithmConfig config;
+            config.touch.join_order = order;
+            RunDistanceJoin(state, "touch", a, b, kEpsilon, config);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

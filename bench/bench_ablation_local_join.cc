@@ -1,0 +1,56 @@
+// Ablation: TOUCH's local-join strategy (DESIGN.md section 3, point 4).
+// Algorithm 4 of the paper joins each inner node against its descendant
+// leaves through a space-oriented grid; this bench swaps that grid for a
+// plane sweep and a nested loop to quantify what the grid actually buys, on
+// a uniform and a clustered workload.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size_a = Scaled(40'000);
+  const size_t size_b = 3 * size_a;
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 1'600'000);
+  const std::vector<std::pair<LocalJoinStrategy, std::string>> strategies = {
+      {LocalJoinStrategy::kGrid, "grid"},
+      {LocalJoinStrategy::kPlaneSweep, "plane_sweep"},
+      {LocalJoinStrategy::kNestedLoop, "nested_loop"},
+  };
+  const Distribution distributions[] = {Distribution::kUniform,
+                                        Distribution::kClustered};
+  constexpr float kEpsilon = 5.0f;
+  for (const Distribution distribution : distributions) {
+    for (const auto& [strategy, label] : strategies) {
+      const std::string bench_name = std::string("ablation_local_join/") +
+                                     DistributionName(distribution) + "/" +
+                                     label;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [=](benchmark::State& state) {
+            const Dataset& a = CachedDataset(distribution, size_a, 11, opt);
+            const Dataset& b = CachedDataset(distribution, size_b, 12, opt);
+            AlgorithmConfig config;
+            config.touch.local_join = strategy;
+            RunDistanceJoin(state, "touch", a, b, kEpsilon, config);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

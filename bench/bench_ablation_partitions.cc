@@ -1,0 +1,47 @@
+// Ablation: the number of STR partitions (leaf buckets) of dataset A (paper
+// section 5.2.1, DESIGN.md section 3). The paper fixes 1024 partitions; this
+// bench sweeps 64..16384 to expose the trade-off: few partitions -> big
+// leaves -> the local join degenerates towards a block nested loop; very
+// many partitions -> taller tree and more assignment descent per B object.
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size_a = Scaled(40'000);
+  const size_t size_b = 3 * size_a;
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 1'600'000);
+  constexpr float kEpsilon = 5.0f;
+  for (size_t partitions = 64; partitions <= 16384; partitions *= 4) {
+    const std::string bench_name =
+        "ablation_partitions/uniform/p=" + std::to_string(partitions);
+    benchmark::RegisterBenchmark(
+        bench_name.c_str(),
+        [=](benchmark::State& state) {
+          const Dataset& a =
+              CachedDataset(Distribution::kUniform, size_a, 15, opt);
+          const Dataset& b =
+              CachedDataset(Distribution::kUniform, size_b, 16, opt);
+          AlgorithmConfig config;
+          config.touch.partitions = partitions;
+          RunDistanceJoin(state, "touch", a, b, kEpsilon, config);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,129 @@
+#ifndef TOUCH_BENCH_BENCH_COMMON_H_
+#define TOUCH_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "core/factory.h"
+#include "datagen/distributions.h"
+#include "datagen/neuro.h"
+#include "join/algorithm.h"
+
+namespace touch::bench {
+
+/// Global size multiplier for all benchmark workloads, from the environment
+/// variable TOUCH_BENCH_SCALE (default 1.0). The default workloads are scaled
+/// down from the paper's BlueGene-era sizes so every binary finishes on one
+/// laptop core in seconds; set TOUCH_BENCH_SCALE=4 (etc.) to approach the
+/// paper's cardinalities.
+inline double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("TOUCH_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double parsed = std::atof(env);
+    return parsed > 0 ? parsed : 1.0;
+  }();
+  return scale;
+}
+
+inline size_t Scaled(size_t base) {
+  return static_cast<size_t>(std::llround(static_cast<double>(base) *
+                                          BenchScale()));
+}
+
+/// The paper runs its large experiments with 1.6M-9.6M objects in a 1000^3
+/// space. When we shrink cardinalities we shrink the space by the cube root
+/// of the same factor, so that object density — which determines selectivity
+/// and therefore the relative behaviour of the algorithms — matches the
+/// paper's setting point for point.
+inline SyntheticOptions DensityMatchedOptions(size_t actual_a,
+                                              size_t paper_a) {
+  SyntheticOptions opt;
+  const double ratio =
+      static_cast<double>(actual_a) / static_cast<double>(paper_a);
+  const double shrink = std::cbrt(ratio);
+  opt.space = static_cast<float>(1000.0 * shrink);
+  opt.gaussian_mean = opt.space / 2;
+  opt.gaussian_sigma = opt.space / 4;
+  opt.cluster_sigma = static_cast<float>(220.0 * shrink);
+  return opt;
+}
+
+/// Dataset cache: benchmark registration re-runs workloads with the same
+/// inputs many times; generating multi-100K-object datasets once per distinct
+/// key keeps the harness fast.
+inline const Dataset& CachedDataset(Distribution distribution, size_t count,
+                                    uint64_t seed,
+                                    const SyntheticOptions& opt) {
+  using Key = std::tuple<int, size_t, uint64_t, float, int, float>;
+  static std::map<Key, Dataset>* cache = new std::map<Key, Dataset>();
+  const Key key{static_cast<int>(distribution), count,        seed,
+                opt.space,                      opt.clusters, opt.cluster_sigma};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    it = cache->emplace(key, GenerateSynthetic(distribution, count, seed, opt))
+             .first;
+  }
+  return it->second;
+}
+
+/// Runs one distance join and reports the paper's metrics as benchmark
+/// counters: object comparisons, result count, selectivity, filtered probe
+/// objects and the memory footprint in MB.
+inline void RunDistanceJoin(benchmark::State& state,
+                            const std::string& algorithm_name,
+                            const Dataset& a, const Dataset& b, float epsilon,
+                            const AlgorithmConfig& config = {}) {
+  const std::unique_ptr<SpatialJoinAlgorithm> algorithm =
+      MakeAlgorithm(algorithm_name, config);
+  if (algorithm == nullptr) {
+    state.SkipWithError("unknown algorithm");
+    return;
+  }
+  JoinStats last;
+  for (auto _ : state) {
+    CountingCollector out;
+    last = DistanceJoin(*algorithm, a, b, epsilon, out);
+  }
+  state.counters["comparisons"] = static_cast<double>(last.comparisons);
+  state.counters["results"] = static_cast<double>(last.results);
+  state.counters["selectivity_e6"] =
+      last.Selectivity(a.size(), b.size()) * 1e6;
+  state.counters["filtered"] = static_cast<double>(last.filtered);
+  state.counters["memMB"] =
+      static_cast<double>(last.memory_bytes) / (1024.0 * 1024.0);
+}
+
+/// Neuroscience model cache (axon/dendrite MBR datasets), sized so the
+/// default run has the paper's ~1:2 axon:dendrite ratio.
+struct NeuroDatasets {
+  Dataset axons;
+  Dataset dendrites;
+};
+
+inline const NeuroDatasets& CachedNeuroDatasets(int neurons, uint64_t seed) {
+  static std::map<std::pair<int, uint64_t>, NeuroDatasets>* cache =
+      new std::map<std::pair<int, uint64_t>, NeuroDatasets>();
+  const std::pair<int, uint64_t> key{neurons, seed};
+  auto it = cache->find(key);
+  if (it == cache->end()) {
+    NeuroOptions opt;
+    opt.neurons = neurons;
+    const NeuroModel model = GenerateNeuroscience(opt, seed);
+    NeuroDatasets data;
+    data.axons = CylinderMbrs(model.axons);
+    data.dendrites = CylinderMbrs(model.dendrites);
+    it = cache->emplace(key, std::move(data)).first;
+  }
+  return it->second;
+}
+
+}  // namespace touch::bench
+
+#endif  // TOUCH_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,52 @@
+// Extension: the related-work joins the paper describes but does not plot —
+// seeded tree (2.2.2), octree double-index traversal (2.2.1) and NBPS
+// (2.2.3) — run on the Figure 9 workload (large uniform, growing B, eps=5)
+// next to the paper's own lineup, so their standing relative to TOUCH and
+// PBSM is measurable under identical conditions.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size_a = Scaled(80'000);
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 1'600'000);
+  constexpr float kEpsilon = 5.0f;
+
+  const std::vector<std::string> algorithms = {
+      "touch", "pbsm-100", "seeded", "octree", "nbps", "rplus", "rtree"};
+  for (const size_t multiplier : {1, 2, 4}) {
+    const size_t size_b = multiplier * size_a;
+    for (const std::string& algorithm : algorithms) {
+      const std::string bench_name = "extension_baselines/uniform/B:" +
+                                     std::to_string(multiplier) + "x/" +
+                                     algorithm;
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [=](benchmark::State& state) {
+            const Dataset& a =
+                CachedDataset(Distribution::kUniform, size_a, 51, opt);
+            const Dataset& b =
+                CachedDataset(Distribution::kUniform, size_b, 52, opt);
+            RunDistanceJoin(state, algorithm, a, b, kEpsilon);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

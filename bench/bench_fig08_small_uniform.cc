@@ -1,0 +1,65 @@
+// Reproduces Figure 8: *small* uniform datasets with all eight algorithms,
+// including the quadratic nested loop and the plane sweep, epsilon = 10.
+// Expected shape (log axes in the paper): NL slowest by orders of magnitude,
+// PS next; TOUCH and PBSM-fine drastically ahead; execution time tracks the
+// comparison count across the board.
+//
+// Paper workload: A = 10K, B = 160K..640K. Default here: A = 2.5K,
+// B = 40K..160K (quarter scale), density-matched space.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size_a = Scaled(2'500);
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 10'000);
+  const int pbsm_fine = std::max(1, static_cast<int>(opt.space / 2.0f));
+  const int pbsm_coarse = std::max(1, static_cast<int>(opt.space / 10.0f));
+  const std::vector<std::pair<std::string, std::string>> algorithms = {
+      {"nl", "NL"},
+      {"ps", "PS"},
+      {"pbsm-" + std::to_string(pbsm_fine), "PBSM-500eq"},
+      {"pbsm-" + std::to_string(pbsm_coarse), "PBSM-100eq"},
+      {"s3", "S3"},
+      {"inl", "IndexedNL"},
+      {"rtree", "RTree"},
+      {"touch", "TOUCH"},
+  };
+  constexpr float kEpsilon = 10.0f;
+  const size_t base_b = Scaled(40'000);
+  for (int step = 1; step <= 4; ++step) {
+    const size_t size_b = base_b * static_cast<size_t>(step);
+    for (const auto& [name, label] : algorithms) {
+      const std::string bench_name = "fig08_small_uniform/" + label +
+                                     "/B=" + std::to_string(size_b / 1000) +
+                                     "K";
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [=](benchmark::State& state) {
+            const Dataset& a =
+                CachedDataset(Distribution::kUniform, size_a, 81, opt);
+            const Dataset& b =
+                CachedDataset(Distribution::kUniform, size_b, 82, opt);
+            RunDistanceJoin(state, name, a, b, kEpsilon);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Figure 9: large *uniform* datasets, growing B, epsilon = 5 —
+// (a) comparisons, (b) execution time, (c) memory. Expected shape: TOUCH
+// fastest / fewest comparisons; PBSM-fine next but with a memory footprint
+// orders of magnitude above everyone; S3 at its best (uniform data suits
+// space-oriented partitioning); RTree faster than INL at similar comparisons.
+
+#include "bench_large_figure.h"
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterLargeFigure("fig09_uniform",
+                                    touch::Distribution::kUniform);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

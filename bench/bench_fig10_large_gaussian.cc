@@ -1,0 +1,15 @@
+// Reproduces Figure 10: large *Gaussian* datasets, growing B, epsilon = 5.
+// Gaussian data has the highest selectivity of the three synthetic
+// distributions (Table 1), so every algorithm does more comparisons and takes
+// longer than in Figure 9; the ranking stays TOUCH < PBSM-fine < the rest.
+
+#include "bench_large_figure.h"
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterLargeFigure("fig10_gaussian",
+                                    touch::Distribution::kGaussian);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

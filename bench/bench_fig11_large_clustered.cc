@@ -1,0 +1,16 @@
+// Reproduces Figure 11: large *clustered* datasets, growing B, epsilon = 5.
+// The paper's key observation here: space-oriented S3 degrades badly on
+// clustered data (it falls behind even the indexed nested loop), while
+// TOUCH's data-oriented partitioning barely does more comparisons than on
+// uniform data thanks to filtering.
+
+#include "bench_large_figure.h"
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterLargeFigure("fig11_clustered",
+                                    touch::Distribution::kClustered);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

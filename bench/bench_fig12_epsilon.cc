@@ -1,0 +1,62 @@
+// Reproduces Figure 12: the impact of doubling the distance threshold
+// epsilon (5 -> 10) on execution time, for every algorithm on every
+// synthetic distribution with |A| = |B|. Expected shape: most algorithms
+// roughly double their time; both PBSM configurations grow super-linearly
+// because a larger epsilon replicates more objects into more cells.
+//
+// Paper workload: 1.6M x 1.6M. Default here: 50K x 50K, density-matched.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size = Scaled(50'000);
+  const SyntheticOptions opt = DensityMatchedOptions(size, 1'600'000);
+  const int pbsm_fine = std::max(1, static_cast<int>(opt.space / 2.0f));
+  const int pbsm_coarse = std::max(1, static_cast<int>(opt.space / 10.0f));
+  const std::vector<std::pair<std::string, std::string>> algorithms = {
+      {"touch", "TOUCH"},
+      {"pbsm-" + std::to_string(pbsm_fine), "PBSM-500eq"},
+      {"pbsm-" + std::to_string(pbsm_coarse), "PBSM-100eq"},
+      {"s3", "S3"},
+      {"rtree", "RTree"},
+      {"inl", "IndexedNL"},
+  };
+  const Distribution distributions[] = {Distribution::kUniform,
+                                        Distribution::kGaussian,
+                                        Distribution::kClustered};
+  for (const Distribution distribution : distributions) {
+    for (const auto& [name, label] : algorithms) {
+      for (const float epsilon : {5.0f, 10.0f}) {
+        const std::string bench_name =
+            std::string("fig12_epsilon/") + DistributionName(distribution) +
+            "/" + label + "/eps=" + std::to_string(static_cast<int>(epsilon));
+        benchmark::RegisterBenchmark(
+            bench_name.c_str(),
+            [=](benchmark::State& state) {
+              const Dataset& a = CachedDataset(distribution, size, 61, opt);
+              const Dataset& b = CachedDataset(distribution, size, 62, opt);
+              RunDistanceJoin(state, name, a, b, epsilon);
+            })
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(1);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

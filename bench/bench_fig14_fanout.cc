@@ -1,0 +1,56 @@
+// Reproduces Figure 14: the impact of TOUCH's fanout parameter on (a) the
+// number of objects filtered and (b) the number of comparisons, per
+// distribution. Expected shape: filtering shrinks slowly as fanout grows
+// (none on uniform data); comparisons grow markedly — the paper measures
+// ~1.5x more comparisons at fanout 20 than at fanout 2, because a flatter
+// tree concentrates B objects on fewer levels.
+//
+// Paper workload: A = 1.6M, B = 9.6M, eps = 5, fanout 2..20.
+// Default here: A = 30K, B = 90K, density-matched.
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterAll() {
+  const size_t size_a = Scaled(30'000);
+  const size_t size_b = 3 * size_a;
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 1'600'000);
+  const Distribution distributions[] = {Distribution::kUniform,
+                                        Distribution::kGaussian,
+                                        Distribution::kClustered};
+  constexpr float kEpsilon = 5.0f;
+  for (const Distribution distribution : distributions) {
+    for (int fanout = 2; fanout <= 20; fanout += 2) {
+      const std::string bench_name =
+          std::string("fig14_fanout/") + DistributionName(distribution) +
+          "/fanout=" + std::to_string(fanout);
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [=](benchmark::State& state) {
+            const Dataset& a = CachedDataset(distribution, size_a, 41, opt);
+            const Dataset& b = CachedDataset(distribution, size_b, 42, opt);
+            AlgorithmConfig config;
+            config.touch.fanout = static_cast<size_t>(fanout);
+            config.touch.join_order = TouchOptions::JoinOrder::kBuildOnA;
+            RunDistanceJoin(state, "touch", a, b, kEpsilon, config);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

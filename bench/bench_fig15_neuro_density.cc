@@ -1,0 +1,73 @@
+// Reproduces Figure 15: execution time on increasingly dense neuroscience
+// data, emulated (as in the paper) by joining random subsets of 20%..100% of
+// the axon and dendrite cylinder sets, eps = 5. Expected shape (log axis in
+// the paper): TOUCH ahead of PBSM-fine by ~an order of magnitude at full
+// density and ahead of S3/RTree/INL by far more; the gap *widens* with
+// density — the paper's scalability claim.
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/rng.h"
+
+namespace touch::bench {
+namespace {
+
+// Deterministic random subset: shuffle ids once, take a prefix.
+Dataset RandomSubset(const Dataset& data, double fraction, uint64_t seed) {
+  std::vector<uint32_t> ids(data.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  Rng rng(seed);
+  for (size_t i = ids.size(); i > 1; --i) {
+    std::swap(ids[i - 1], ids[rng.UniformInt(i)]);
+  }
+  const size_t keep =
+      static_cast<size_t>(fraction * static_cast<double>(data.size()));
+  Dataset subset;
+  subset.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) subset.push_back(data[ids[i]]);
+  return subset;
+}
+
+void RegisterAll() {
+  const int neurons = static_cast<int>(Scaled(300));
+  // PBSM grids sized for the ~300-unit tissue volume: cell edges ~1.5 and
+  // ~7.5 units (the tissue objects are ~3-unit cylinders).
+  const std::vector<std::pair<std::string, std::string>> algorithms = {
+      {"pbsm-200", "PBSM-500eq"}, {"pbsm-40", "PBSM-100eq"}, {"s3", "S3"},
+      {"inl", "IndexedNL"},       {"rtree", "RTree"},        {"touch", "TOUCH"},
+  };
+  constexpr float kEpsilon = 5.0f;
+  for (int percent = 20; percent <= 100; percent += 20) {
+    for (const auto& [name, label] : algorithms) {
+      const std::string bench_name = "fig15_neuro_density/" + label +
+                                     "/density=" + std::to_string(percent) +
+                                     "%";
+      benchmark::RegisterBenchmark(
+          bench_name.c_str(),
+          [=](benchmark::State& state) {
+            const NeuroDatasets& full = CachedNeuroDatasets(neurons, 31);
+            const double fraction = percent / 100.0;
+            const Dataset a = RandomSubset(full.axons, fraction, 131);
+            const Dataset b = RandomSubset(full.dendrites, fraction, 132);
+            RunDistanceJoin(state, name, a, b, kEpsilon);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Table 1: join selectivity (|result| / (|A|*|B|), reported x1e6)
+// of the four dataset families for epsilon = 5 and 10. Expected ordering:
+// Gaussian > clustered > uniform among the synthetic sets, neuroscience
+// higher still, and selectivity grows with epsilon.
+//
+// Paper workload: 160K x 1.6M synthetic, 644K x 1.285M neuroscience.
+// Default here: 20K x 200K synthetic (density-matched), ~300-neuron tissue.
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace touch::bench {
+namespace {
+
+void RegisterSynthetic(Distribution distribution) {
+  const size_t size_a = Scaled(20'000);
+  const size_t size_b = 10 * size_a;
+  const SyntheticOptions opt = DensityMatchedOptions(size_a, 160'000);
+  for (const float epsilon : {5.0f, 10.0f}) {
+    const std::string name = std::string("table1/") +
+                             DistributionName(distribution) + "/eps=" +
+                             std::to_string(static_cast<int>(epsilon));
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [=](benchmark::State& state) {
+          const Dataset& a = CachedDataset(distribution, size_a, 71, opt);
+          const Dataset& b = CachedDataset(distribution, size_b, 72, opt);
+          RunDistanceJoin(state, "touch", a, b, epsilon);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+void RegisterNeuro() {
+  const int neurons = static_cast<int>(Scaled(300));
+  for (const float epsilon : {5.0f, 10.0f}) {
+    const std::string name =
+        "table1/neuroscience/eps=" + std::to_string(static_cast<int>(epsilon));
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [=](benchmark::State& state) {
+          const NeuroDatasets& data = CachedNeuroDatasets(neurons, 73);
+          RunDistanceJoin(state, "touch", data.axons, data.dendrites, epsilon);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  using namespace touch::bench;
+  RegisterSynthetic(touch::Distribution::kUniform);
+  RegisterSynthetic(touch::Distribution::kGaussian);
+  RegisterSynthetic(touch::Distribution::kClustered);
+  RegisterNeuro();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,72 @@
+#include "core/factory.h"
+
+#include <cstdlib>
+
+#include "join/nested_loop.h"
+#include "join/plane_sweep.h"
+#include "join/rtree_join.h"
+#include "join/sssj.h"
+
+namespace touch {
+
+std::unique_ptr<SpatialJoinAlgorithm> MakeAlgorithm(
+    const std::string& name, const AlgorithmConfig& config) {
+  if (name == "nl") return std::make_unique<NestedLoopJoin>();
+  if (name == "ps") return std::make_unique<PlaneSweepJoin>();
+  if (name == "pbsm") return std::make_unique<PbsmJoin>(config.pbsm);
+  if (name.rfind("pbsm-", 0) == 0) {
+    const int resolution = std::atoi(name.c_str() + 5);
+    if (resolution <= 0) return nullptr;
+    PbsmOptions options = config.pbsm;
+    options.resolution = resolution;
+    return std::make_unique<PbsmJoin>(options);
+  }
+  if (name == "s3") return std::make_unique<S3Join>(config.s3);
+  if (name == "seeded") {
+    return std::make_unique<SeededTreeJoin>(config.seeded);
+  }
+  if (name == "sssj") return std::make_unique<SssjJoin>(config.sssj);
+  if (name == "rtree") return std::make_unique<RTreeSyncJoin>(config.rtree);
+  if (name == "rtree-hilbert") {
+    RTreeJoinOptions options = config.rtree;
+    options.bulkload = BulkLoadMethod::kHilbert;
+    return std::make_unique<RTreeSyncJoin>(options);
+  }
+  if (name == "rtree-guttman" || name == "rtree-rstar") {
+    InsertionRTreeJoinOptions options = config.insertion_rtree;
+    options.variant = name == "rtree-rstar" ? RTreeVariant::kRStar
+                                            : RTreeVariant::kGuttman;
+    return std::make_unique<InsertionRTreeJoin>(options);
+  }
+  if (name == "rtree-tgs") {
+    RTreeJoinOptions options = config.rtree;
+    options.bulkload = BulkLoadMethod::kTgs;
+    return std::make_unique<RTreeSyncJoin>(options);
+  }
+  if (name == "inl") {
+    return std::make_unique<IndexedNestedLoopJoin>(config.rtree);
+  }
+  if (name == "rplus") return std::make_unique<RPlusJoin>(config.rplus);
+  if (name == "octree") return std::make_unique<OctreeJoin>(config.octree);
+  if (name == "nbps") return std::make_unique<NbpsJoin>(config.nbps);
+  if (name.rfind("nbps-", 0) == 0) {
+    const int resolution = std::atoi(name.c_str() + 5);
+    if (resolution <= 0) return nullptr;
+    NbpsOptions options = config.nbps;
+    options.resolution = resolution;
+    return std::make_unique<NbpsJoin>(options);
+  }
+  if (name == "touch") return std::make_unique<TouchJoin>(config.touch);
+  return nullptr;
+}
+
+std::vector<std::string> AllAlgorithmNames() {
+  return {"nl",           "ps",          "pbsm-500",
+          "pbsm-100",     "s3",          "sssj",
+          "inl",          "rtree",       "rtree-hilbert",
+          "rtree-tgs",    "rtree-guttman", "rtree-rstar",
+          "rplus",        "seeded",      "octree",
+          "nbps",         "touch"};
+}
+
+}  // namespace touch

@@ -1,0 +1,55 @@
+#ifndef TOUCH_CORE_PARTITIONED_H_
+#define TOUCH_CORE_PARTITIONED_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "join/algorithm.h"
+
+namespace touch {
+
+/// Options of the partitioned (embarrassingly parallel) join driver.
+struct PartitionedOptions {
+  /// Number of spatial subsets the workload is cut into (the paper cuts its
+  /// model into 16K contiguous subsets, one per BlueGene/P core).
+  int partitions = 8;
+  /// Worker threads; 0 or 1 runs the partitions sequentially (the paper's
+  /// per-core perspective), otherwise partitions are processed concurrently.
+  int threads = 1;
+};
+
+/// The paper's deployment model (section 3): the spatial join is
+/// embarrassingly parallel, so the dataset is split into contiguous spatial
+/// subsets, each joined locally and independently.
+///
+/// The driver slices the joint extent into `partitions` equi-width slabs
+/// along the longest axis. Dataset A is assigned to every slab its boxes
+/// overlap (a halo, so cross-boundary pairs are not lost); dataset B is
+/// assigned to exactly one slab (by reference corner), which makes each
+/// result pair unique to one slab — no deduplication pass is needed. Each
+/// slab is then joined with its own instance of the wrapped algorithm,
+/// optionally on worker threads.
+///
+/// `make_algorithm` supplies a fresh algorithm per slab (instances are not
+/// required to be thread-safe). Counters of all slabs are merged;
+/// memory_bytes reports the largest single slab (slabs are transient),
+/// plus the slab bookkeeping itself.
+JoinStats PartitionedJoin(
+    const std::function<std::unique_ptr<SpatialJoinAlgorithm>()>&
+        make_algorithm,
+    std::span<const Box> a, std::span<const Box> b,
+    const PartitionedOptions& options, ResultCollector& out);
+
+/// Distance-join variant: enlarges `a` by epsilon first (same translation as
+/// DistanceJoin).
+JoinStats PartitionedDistanceJoin(
+    const std::function<std::unique_ptr<SpatialJoinAlgorithm>()>&
+        make_algorithm,
+    std::span<const Box> a, std::span<const Box> b, float epsilon,
+    const PartitionedOptions& options, ResultCollector& out);
+
+}  // namespace touch
+
+#endif  // TOUCH_CORE_PARTITIONED_H_

@@ -1,0 +1,16 @@
+#ifndef TOUCH_DATAGEN_DATASET_H_
+#define TOUCH_DATAGEN_DATASET_H_
+
+#include <vector>
+
+#include "geom/box.h"
+
+namespace touch {
+
+/// A spatial dataset is simply a vector of object MBRs; an object's id is its
+/// index. This matches the paper's setting: two unsorted, unindexed inputs.
+using Dataset = std::vector<Box>;
+
+}  // namespace touch
+
+#endif  // TOUCH_DATAGEN_DATASET_H_

@@ -1,0 +1,50 @@
+#ifndef TOUCH_DATAGEN_DISTRIBUTIONS_H_
+#define TOUCH_DATAGEN_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/dataset.h"
+
+namespace touch {
+
+/// The three synthetic object distributions of the paper's evaluation
+/// (section 6.2, Figure 7).
+enum class Distribution {
+  kUniform,
+  kGaussian,
+  kClustered,
+};
+
+/// Parameters of the synthetic generators. Defaults reproduce the paper:
+/// boxes with sides of uniform random length in (0, max_side) distributed in
+/// a cube of `space` units; Gaussian centers ~ N(space/2, space/4); clustered
+/// data drawn around up to `clusters` uniform hotspots with N(0, cluster_sigma)
+/// offsets.
+struct SyntheticOptions {
+  float space = 1000.0f;
+  float max_side = 1.0f;
+  int clusters = 100;
+  float cluster_sigma = 220.0f;
+
+  /// Gaussian distribution parameters (paper: mu = 500, sigma = 250).
+  float gaussian_mean = 500.0f;
+  float gaussian_sigma = 250.0f;
+};
+
+/// Generates `count` boxes with the given distribution; deterministic in
+/// `seed`. Centers are clamped into [0, space]^3 so every object lies inside
+/// the workload cube, as in the paper's constant 1000-unit space.
+Dataset GenerateSynthetic(Distribution distribution, size_t count,
+                          uint64_t seed, const SyntheticOptions& options = {});
+
+/// Parses "uniform" | "gaussian" | "clustered" (case-sensitive). Returns
+/// false on unknown names.
+bool ParseDistribution(const std::string& name, Distribution* out);
+
+/// Display name of a distribution.
+const char* DistributionName(Distribution distribution);
+
+}  // namespace touch
+
+#endif  // TOUCH_DATAGEN_DISTRIBUTIONS_H_

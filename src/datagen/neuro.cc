@@ -1,0 +1,96 @@
+#include "datagen/neuro.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace touch {
+namespace {
+
+// Uniform random unit vector.
+Vec3 RandomDirection(Rng& rng) {
+  // Marsaglia's method on the sphere via normalized Gaussians.
+  Vec3 v(static_cast<float>(rng.Normal()), static_cast<float>(rng.Normal()),
+         static_cast<float>(rng.Normal()));
+  if (v.LengthSquared() == 0) return Vec3(1, 0, 0);
+  return v.Normalized();
+}
+
+float Clamp01Space(float v, float space) { return std::clamp(v, 0.0f, space); }
+
+// Grows one branch as a persistent random walk of `segments` cylinders
+// starting at `soma`, appending to `out`. `centripetal` > 0 biases growth
+// towards the volume centre (used for axons).
+void GrowBranch(const Vec3& soma, const NeuroOptions& opt, float centripetal,
+                Rng& rng, std::vector<Cylinder>* out) {
+  Vec3 position = soma;
+  Vec3 direction = RandomDirection(rng);
+  const Vec3 core(opt.volume * 0.5f, opt.volume * 0.5f, opt.volume * 0.5f);
+  for (int s = 0; s < opt.segments_per_branch; ++s) {
+    // Blend the previous direction with a random turn; tortuosity is the
+    // weight of the previous direction.
+    const Vec3 turn = RandomDirection(rng);
+    direction = (direction * opt.tortuosity + turn * (1.0f - opt.tortuosity))
+                    .Normalized();
+    if (centripetal > 0) {
+      const Vec3 to_core = (core - position).Normalized();
+      direction =
+          (direction * (1.0f - centripetal) + to_core * centripetal)
+              .Normalized();
+    }
+    const float len = opt.segment_length *
+                      (0.5f + static_cast<float>(rng.NextDouble()));
+    Vec3 next = position + direction * len;
+    next.x = Clamp01Space(next.x, opt.volume);
+    next.y = Clamp01Space(next.y, opt.volume);
+    next.z = Clamp01Space(next.z, opt.volume);
+    // Taper the process slightly towards its tip, like real neurites.
+    const float taper =
+        1.0f - 0.5f * static_cast<float>(s) /
+                   static_cast<float>(std::max(1, opt.segments_per_branch));
+    out->push_back(Cylinder(position, next, opt.radius * taper));
+    position = next;
+  }
+}
+
+}  // namespace
+
+NeuroModel GenerateNeuroscience(const NeuroOptions& options, uint64_t seed) {
+  Rng rng(seed);
+  NeuroModel model;
+  const int axon_cyls =
+      options.neurons * options.axon_branches * options.segments_per_branch;
+  const int dend_cyls = options.neurons * options.dendrite_branches *
+                        options.segments_per_branch;
+  model.axons.reserve(static_cast<size_t>(std::max(0, axon_cyls)));
+  model.dendrites.reserve(static_cast<size_t>(std::max(0, dend_cyls)));
+
+  const float center = options.volume * 0.5f;
+  const float sigma = options.volume * options.soma_sigma_fraction;
+  for (int n = 0; n < options.neurons; ++n) {
+    const Vec3 soma(
+        Clamp01Space(static_cast<float>(rng.Normal(center, sigma)),
+                     options.volume),
+        Clamp01Space(static_cast<float>(rng.Normal(center, sigma)),
+                     options.volume),
+        Clamp01Space(static_cast<float>(rng.Normal(center, sigma)),
+                     options.volume));
+    for (int b = 0; b < options.axon_branches; ++b) {
+      GrowBranch(soma, options, options.axon_centripetal, rng, &model.axons);
+    }
+    for (int b = 0; b < options.dendrite_branches; ++b) {
+      GrowBranch(soma, options, /*centripetal=*/0.0f, rng, &model.dendrites);
+    }
+  }
+  return model;
+}
+
+Dataset CylinderMbrs(const std::vector<Cylinder>& cylinders) {
+  Dataset boxes;
+  boxes.reserve(cylinders.size());
+  for (const Cylinder& c : cylinders) boxes.push_back(c.Mbr());
+  return boxes;
+}
+
+}  // namespace touch

@@ -1,0 +1,154 @@
+#include "estimate/selectivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/grid.h"
+
+namespace touch {
+namespace {
+
+Vec3 AverageExtent(std::span<const Box> boxes) {
+  if (boxes.empty()) return Vec3(0, 0, 0);
+  double sx = 0;
+  double sy = 0;
+  double sz = 0;
+  for (const Box& box : boxes) {
+    const Vec3 e = box.Extent();
+    sx += e.x;
+    sy += e.y;
+    sz += e.z;
+  }
+  const double inv = 1.0 / static_cast<double>(boxes.size());
+  return Vec3(static_cast<float>(sx * inv), static_cast<float>(sy * inv),
+              static_cast<float>(sz * inv));
+}
+
+/// Per-axis overlap probabilities for centers in the same cell and in
+/// adjacent cells. Two intervals of lengths ea and eb overlap when their
+/// centers are within (ea+eb)/2 of each other; with s = min(1, (ea+eb)/2c)
+/// and centers uniform in cells of edge c:
+///   same cell      (x1, x2 ~ U(0,1)):  P(|x1-x2| <= s)   = 2s - s^2
+///   adjacent cells (x2 shifted by 1):  P(|x1-x2-1| <= s) = s^2 / 2
+/// Offsets of two or more cells contribute nothing once cells are at least
+/// as large as the combined object extents (which the constructor enforces).
+struct AxisProbabilities {
+  double same = 1.0;
+  double adjacent = 0.0;
+};
+
+AxisProbabilities AxisOverlapProbabilities(double ea, double eb, double c) {
+  if (c <= 0) return AxisProbabilities{1.0, 0.0};
+  const double s = std::min(1.0, (ea + eb) / (2.0 * c));
+  return AxisProbabilities{2.0 * s - s * s, s * s / 2.0};
+}
+
+}  // namespace
+
+SelectivityEstimator::SelectivityEstimator(std::span<const Box> a,
+                                           std::span<const Box> b,
+                                           int resolution) {
+  size_a_ = a.size();
+  size_b_ = b.size();
+  avg_extent_a_ = AverageExtent(a);
+  avg_extent_b_ = AverageExtent(b);
+
+  domain_ = Box::Empty();
+  for (const Box& box : a) domain_.ExpandToContain(box);
+  for (const Box& box : b) domain_.ExpandToContain(box);
+  if (domain_.IsEmpty()) {
+    res_ = 1;
+    cells_.assign(1, CellCounts{});
+    return;
+  }
+
+  // Cells must stay larger than a few average objects or the within-cell
+  // uniformity assumption collapses (objects straddle cells the histogram
+  // never pairs them in).
+  const Vec3 extent = domain_.Extent();
+  const float max_avg =
+      std::max({avg_extent_a_.x, avg_extent_a_.y, avg_extent_a_.z,
+                avg_extent_b_.x, avg_extent_b_.y, avg_extent_b_.z});
+  int res = std::max(1, resolution);
+  if (max_avg > 0) {
+    const float min_extent = std::min({extent.x, extent.y, extent.z});
+    const int cap =
+        std::max(1, static_cast<int>(min_extent / (4.0f * max_avg)));
+    res = std::min(res, cap);
+  }
+  res_ = res;
+
+  cells_.assign(static_cast<size_t>(res_) * res_ * res_, CellCounts{});
+  const GridMapper grid(domain_, res_);
+  const auto cell_index = [&](const Box& box) {
+    const CellCoord c = grid.CellOf(box.Center());
+    return (static_cast<size_t>(c.x) * res_ + c.y) * res_ + c.z;
+  };
+  for (const Box& box : a) ++cells_[cell_index(box)].a;
+  for (const Box& box : b) ++cells_[cell_index(box)].b;
+}
+
+SelectivityEstimate SelectivityEstimator::Estimate(float epsilon) const {
+  SelectivityEstimate estimate;
+  if (size_a_ == 0 || size_b_ == 0 || domain_.IsEmpty()) return estimate;
+
+  const Vec3 extent = domain_.Extent();
+  const double cell_edge[3] = {extent.x / static_cast<double>(res_),
+                               extent.y / static_cast<double>(res_),
+                               extent.z / static_cast<double>(res_)};
+  // The distance join enlarges A's boxes by epsilon on every side.
+  const double ea[3] = {avg_extent_a_.x + 2.0 * epsilon,
+                        avg_extent_a_.y + 2.0 * epsilon,
+                        avg_extent_a_.z + 2.0 * epsilon};
+  const double eb[3] = {avg_extent_b_.x, avg_extent_b_.y, avg_extent_b_.z};
+
+  AxisProbabilities p[3];
+  for (int axis = 0; axis < 3; ++axis) {
+    p[axis] = AxisOverlapProbabilities(ea[axis], eb[axis], cell_edge[axis]);
+  }
+
+  // Sum nA(c) * nB(c + d) over all cells and the 27 offsets d in {-1,0,1}^3,
+  // weighting each offset by the product of per-axis probabilities.
+  const auto count_at = [&](int x, int y, int z) -> double {
+    if (x < 0 || y < 0 || z < 0 || x >= res_ || y >= res_ || z >= res_) {
+      return 0;
+    }
+    return cells_[(static_cast<size_t>(x) * res_ + y) * res_ + z].b;
+  };
+  double expected = 0;
+  for (int x = 0; x < res_; ++x) {
+    for (int y = 0; y < res_; ++y) {
+      for (int z = 0; z < res_; ++z) {
+        const CellCounts& cell =
+            cells_[(static_cast<size_t>(x) * res_ + y) * res_ + z];
+        if (cell.a == 0) continue;
+        double b_weighted = 0;
+        for (int dx = -1; dx <= 1; ++dx) {
+          const double px = dx == 0 ? p[0].same : p[0].adjacent;
+          for (int dy = -1; dy <= 1; ++dy) {
+            const double py = dy == 0 ? p[1].same : p[1].adjacent;
+            for (int dz = -1; dz <= 1; ++dz) {
+              const double pz = dz == 0 ? p[2].same : p[2].adjacent;
+              b_weighted += px * py * pz * count_at(x + dx, y + dy, z + dz);
+            }
+          }
+        }
+        expected += static_cast<double>(cell.a) * b_weighted;
+      }
+    }
+  }
+
+  estimate.expected_results = expected;
+  estimate.selectivity =
+      expected / (static_cast<double>(size_a_) * static_cast<double>(size_b_));
+  return estimate;
+}
+
+bool SelectivityEstimator::ShouldBuildOnA(std::span<const Box> a,
+                                          std::span<const Box> b) {
+  // The paper's heuristic: the smaller dataset is the sparser one (same or
+  // bigger extent spread over fewer objects) and should build the tree.
+  return a.size() <= b.size();
+}
+
+}  // namespace touch

@@ -1,0 +1,41 @@
+#include "geom/box.h"
+
+#include <cstdio>
+
+namespace touch {
+
+Box Intersection(const Box& a, const Box& b) {
+  Box r(Vec3(std::max(a.lo.x, b.lo.x), std::max(a.lo.y, b.lo.y),
+             std::max(a.lo.z, b.lo.z)),
+        Vec3(std::min(a.hi.x, b.hi.x), std::min(a.hi.y, b.hi.y),
+             std::min(a.hi.z, b.hi.z)));
+  return r;
+}
+
+Box Union(const Box& a, const Box& b) {
+  Box r = a;
+  r.ExpandToContain(b);
+  return r;
+}
+
+double MinDistance(const Box& a, const Box& b) {
+  double sum = 0;
+  for (int axis = 0; axis < 3; ++axis) {
+    const double gap_lo = static_cast<double>(b.lo[axis]) - a.hi[axis];
+    const double gap_hi = static_cast<double>(a.lo[axis]) - b.hi[axis];
+    const double gap = std::max({gap_lo, gap_hi, 0.0});
+    sum += gap * gap;
+  }
+  return std::sqrt(sum);
+}
+
+bool operator==(const Box& a, const Box& b) { return a.lo == b.lo && a.hi == b.hi; }
+
+std::string Box::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[(%g,%g,%g)-(%g,%g,%g)]", lo.x, lo.y, lo.z,
+                hi.x, hi.y, hi.z);
+  return std::string(buf);
+}
+
+}  // namespace touch

@@ -1,0 +1,71 @@
+#include "geom/cylinder.h"
+
+#include <algorithm>
+
+namespace touch {
+
+Box Cylinder::Mbr() const {
+  Box b = Box::Empty();
+  b.ExpandToContain(start);
+  b.ExpandToContain(end);
+  return b.Enlarged(radius);
+}
+
+// Closest-point computation between segments, after Ericson, "Real-Time
+// Collision Detection", section 5.1.9. Uses double internally: the clamped
+// parametric solve is sensitive to cancellation for near-parallel segments.
+double SegmentDistance(const Vec3& p0, const Vec3& p1, const Vec3& q0,
+                       const Vec3& q1) {
+  const double dx1 = p1.x - p0.x, dy1 = p1.y - p0.y, dz1 = p1.z - p0.z;
+  const double dx2 = q1.x - q0.x, dy2 = q1.y - q0.y, dz2 = q1.z - q0.z;
+  const double rx = p0.x - q0.x, ry = p0.y - q0.y, rz = p0.z - q0.z;
+
+  const double a = dx1 * dx1 + dy1 * dy1 + dz1 * dz1;  // |d1|^2
+  const double e = dx2 * dx2 + dy2 * dy2 + dz2 * dz2;  // |d2|^2
+  const double f = dx2 * rx + dy2 * ry + dz2 * rz;     // d2 . r
+
+  double s = 0.0;
+  double t = 0.0;
+  constexpr double kEps = 1e-12;
+  if (a <= kEps && e <= kEps) {
+    // Both segments degenerate to points.
+  } else if (a <= kEps) {
+    t = std::clamp(f / e, 0.0, 1.0);
+  } else {
+    const double c = dx1 * rx + dy1 * ry + dz1 * rz;  // d1 . r
+    if (e <= kEps) {
+      s = std::clamp(-c / a, 0.0, 1.0);
+    } else {
+      const double b = dx1 * dx2 + dy1 * dy2 + dz1 * dz2;  // d1 . d2
+      const double denom = a * e - b * b;
+      if (denom > kEps) {
+        s = std::clamp((b * f - c * e) / denom, 0.0, 1.0);
+      }
+      t = (b * s + f) / e;
+      if (t < 0.0) {
+        t = 0.0;
+        s = std::clamp(-c / a, 0.0, 1.0);
+      } else if (t > 1.0) {
+        t = 1.0;
+        s = std::clamp((b - c) / a, 0.0, 1.0);
+      }
+    }
+  }
+
+  const double cx = rx + s * dx1 - t * dx2;
+  const double cy = ry + s * dy1 - t * dy2;
+  const double cz = rz + s * dz1 - t * dz2;
+  return std::sqrt(cx * cx + cy * cy + cz * cz);
+}
+
+double CylinderDistance(const Cylinder& a, const Cylinder& b) {
+  const double axis_distance = SegmentDistance(a.start, a.end, b.start, b.end);
+  return std::max(0.0, axis_distance - a.radius - b.radius);
+}
+
+bool CylindersWithinDistance(const Cylinder& a, const Cylinder& b,
+                             double epsilon) {
+  return CylinderDistance(a, b) <= epsilon;
+}
+
+}  // namespace touch

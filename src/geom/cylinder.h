@@ -1,0 +1,48 @@
+#ifndef TOUCH_GEOM_CYLINDER_H_
+#define TOUCH_GEOM_CYLINDER_H_
+
+#include "geom/box.h"
+#include "geom/vec3.h"
+
+namespace touch {
+
+/// Capped cylinder (a line segment with a radius), the primitive the
+/// neuroscience models of the paper are built from: each neuron branch is a
+/// chain of such cylinders for axons and dendrites.
+///
+/// The spatial-join filtering phase only sees the cylinder's MBR; this type
+/// additionally supports the exact refinement test (segment-segment distance
+/// against the sum of radii), which the paper delegates to "any off-the-shelf
+/// solution" and we provide for completeness.
+struct Cylinder {
+  Vec3 start;
+  Vec3 end;
+  float radius = 0;
+
+  constexpr Cylinder() = default;
+  constexpr Cylinder(const Vec3& s, const Vec3& e, float r)
+      : start(s), end(e), radius(r) {}
+
+  /// Minimum bounding box of the cylinder (segment box padded by radius).
+  Box Mbr() const;
+
+  /// Axis length of the cylinder (segment length).
+  float Length() const { return (end - start).Length(); }
+};
+
+/// Minimum distance between two 3D line segments [p0,p1] and [q0,q1].
+double SegmentDistance(const Vec3& p0, const Vec3& p1, const Vec3& q0,
+                       const Vec3& q1);
+
+/// Distance between two cylinder surfaces (segment distance minus radii;
+/// clamped at 0 when the cylinders interpenetrate).
+double CylinderDistance(const Cylinder& a, const Cylinder& b);
+
+/// Exact refinement predicate of the paper's distance join: true when the
+/// cylinders are within `epsilon` of each other.
+bool CylindersWithinDistance(const Cylinder& a, const Cylinder& b,
+                             double epsilon);
+
+}  // namespace touch
+
+#endif  // TOUCH_GEOM_CYLINDER_H_

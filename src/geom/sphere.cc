@@ -1,0 +1,36 @@
+#include "geom/sphere.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace touch {
+
+double PointSegmentDistance(const Vec3& p, const Vec3& s0, const Vec3& s1) {
+  const Vec3 d = s1 - s0;
+  const float len_sq = d.LengthSquared();
+  if (len_sq <= 0.0f) return static_cast<double>((p - s0).Length());
+  const float t = std::clamp((p - s0).Dot(d) / len_sq, 0.0f, 1.0f);
+  return static_cast<double>((p - (s0 + d * t)).Length());
+}
+
+double SphereDistance(const Sphere& a, const Sphere& b) {
+  const double centers = static_cast<double>((a.center - b.center).Length());
+  return std::max(0.0, centers - a.radius - b.radius);
+}
+
+double SphereCylinderDistance(const Sphere& sphere, const Cylinder& cylinder) {
+  const double axis =
+      PointSegmentDistance(sphere.center, cylinder.start, cylinder.end);
+  return std::max(0.0, axis - sphere.radius - cylinder.radius);
+}
+
+bool SpheresWithinDistance(const Sphere& a, const Sphere& b, double epsilon) {
+  return SphereDistance(a, b) <= epsilon;
+}
+
+bool SphereCylinderWithinDistance(const Sphere& sphere,
+                                  const Cylinder& cylinder, double epsilon) {
+  return SphereCylinderDistance(sphere, cylinder) <= epsilon;
+}
+
+}  // namespace touch

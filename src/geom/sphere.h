@@ -1,0 +1,45 @@
+#ifndef TOUCH_GEOM_SPHERE_H_
+#define TOUCH_GEOM_SPHERE_H_
+
+#include "geom/box.h"
+#include "geom/cylinder.h"
+#include "geom/vec3.h"
+
+namespace touch {
+
+/// Sphere primitive for the refinement phase. The paper's filter phase only
+/// sees MBRs; spheres are a second exact geometry (besides cylinders) that
+/// downstream users of the library can refine with, e.g. for the medical-
+/// imaging workloads the paper's introduction cites (cancerous cells within
+/// a distance of each other).
+struct Sphere {
+  Vec3 center;
+  float radius = 0;
+
+  constexpr Sphere() = default;
+  constexpr Sphere(const Vec3& c, float r) : center(c), radius(r) {}
+
+  /// Minimum bounding box of the sphere.
+  Box Mbr() const {
+    const Vec3 r(radius, radius, radius);
+    return Box(center - r, center + r);
+  }
+};
+
+/// Surface-to-surface distance of two spheres (0 when they interpenetrate).
+double SphereDistance(const Sphere& a, const Sphere& b);
+
+/// Surface-to-surface distance between a sphere and a capped cylinder.
+double SphereCylinderDistance(const Sphere& sphere, const Cylinder& cylinder);
+
+/// Exact refinement predicates: true when the surfaces are within `epsilon`.
+bool SpheresWithinDistance(const Sphere& a, const Sphere& b, double epsilon);
+bool SphereCylinderWithinDistance(const Sphere& sphere,
+                                  const Cylinder& cylinder, double epsilon);
+
+/// Minimum distance between a point and the segment [s0, s1].
+double PointSegmentDistance(const Vec3& p, const Vec3& s0, const Vec3& s1);
+
+}  // namespace touch
+
+#endif  // TOUCH_GEOM_SPHERE_H_

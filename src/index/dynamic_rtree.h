@@ -1,0 +1,176 @@
+#ifndef TOUCH_INDEX_DYNAMIC_RTREE_H_
+#define TOUCH_INDEX_DYNAMIC_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "util/stats.h"
+
+namespace touch {
+
+/// Insertion policy of the dynamic R-tree.
+enum class RTreeVariant {
+  /// Guttman's original R-tree (SIGMOD'84): choose-leaf by least volume
+  /// enlargement, quadratic node split.
+  kGuttman,
+  /// R*-tree (Beckmann et al., SIGMOD'90): overlap-minimizing choose-subtree
+  /// at the leaf level, forced reinsertion on first overflow per level, and
+  /// margin-driven split-axis selection — the paper's example of fighting
+  /// node overlap with "an improved node split algorithm (reinsertion of
+  /// spatial objects if a node overflows)" (section 2.2.1).
+  kRStar,
+};
+
+/// Insert-built R-tree over 3D boxes.
+///
+/// The bulk-loaded `RTree` is what the paper's baselines use; this dynamic
+/// tree exists because the paper's related work (R-tree, R*-tree) is defined
+/// by insertion-time behaviour, because the seeded-tree experiments need a
+/// tree that can grow, and because downstream users of the library may not
+/// know their dataset a priori. Supports insertion, deletion and range
+/// queries; not thread-safe.
+class DynamicRTree {
+ public:
+  struct Options {
+    /// Maximum entries per node (M). Nodes split when they would exceed it.
+    uint32_t max_entries = 16;
+    /// Minimum entries per node (m <= M/2). Underfull nodes are condensed.
+    uint32_t min_entries = 6;
+    RTreeVariant variant = RTreeVariant::kGuttman;
+    /// R*: fraction of entries evicted on forced reinsertion (30% in the
+    /// original paper).
+    float reinsert_fraction = 0.3f;
+  };
+
+  DynamicRTree() : DynamicRTree(Options()) {}
+  explicit DynamicRTree(const Options& options);
+
+  /// Inserts a box under key `id`. Ids need not be unique or dense; they are
+  /// returned verbatim by queries.
+  void Insert(uint32_t id, const Box& box);
+
+  /// Removes one entry that has this exact id and box. Returns false when no
+  /// such entry exists. Underfull nodes along the path are dissolved and
+  /// their entries reinserted (Guttman's CondenseTree).
+  bool Remove(uint32_t id, const Box& box);
+
+  /// Invokes `emit(id, box)` for every stored entry whose box intersects
+  /// `query`. Object-level tests are counted in stats->comparisons,
+  /// node-level tests in stats->node_comparisons (stats may be null).
+  template <typename Emit>
+  void Query(const Box& query, Emit&& emit, JoinStats* stats = nullptr) const {
+    if (size_ == 0) return;
+    QueryNode(root_, query, emit, stats);
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Number of levels (0 when empty, 1 for a root-leaf).
+  int height() const { return size_ == 0 ? 0 : nodes_[root_].level + 1; }
+
+  /// MBR of the whole tree (empty box when the tree is empty).
+  Box bounds() const;
+
+  /// Exact bytes held by the structure (nodes + entry vectors).
+  size_t MemoryUsageBytes() const;
+
+  /// Preorder walk for conversion/inspection: `enter(mbr, level, is_leaf,
+  /// child_count)` on entering a node, `item(id, box)` per leaf entry,
+  /// `exit()` when the node's subtree is done. No-op on an empty tree.
+  template <typename EnterFn, typename ItemFn, typename ExitFn>
+  void VisitNodes(EnterFn&& enter, ItemFn&& item, ExitFn&& exit) const {
+    if (size_ == 0) return;
+    const auto walk = [&](auto&& self, uint32_t node_id) -> void {
+      const Node& node = nodes_[node_id];
+      enter(node.mbr, node.level, node.IsLeaf(), node.entries.size());
+      for (const Entry& e : node.entries) {
+        if (node.IsLeaf()) {
+          item(e.id, e.mbr);
+        } else {
+          self(self, e.id);
+        }
+      }
+      exit();
+    };
+    walk(walk, root_);
+  }
+
+  /// Validates structural invariants (MBR containment, fill factors, uniform
+  /// leaf depth); returns false and stops at the first violation. Test hook.
+  bool CheckInvariants() const;
+
+  /// Sum of volumes of sibling-MBR pairwise intersections across all inner
+  /// nodes: the "overlap" the R*-tree heuristics minimize. Diagnostic used
+  /// by tests and the bulkload ablation bench.
+  double TotalSiblingOverlapVolume() const;
+
+ private:
+  struct Entry {
+    Box mbr;
+    /// Child node id for inner nodes, user id for leaves.
+    uint32_t id = 0;
+  };
+  struct Node {
+    Box mbr = Box::Empty();
+    std::vector<Entry> entries;
+    int32_t parent = -1;
+    uint8_t level = 0;  // 0 = leaf
+
+    bool IsLeaf() const { return level == 0; }
+  };
+
+  uint32_t AllocNode(uint8_t level);
+  void RecomputeMbr(uint32_t node_id);
+  /// Recomputes the MBR of `node_id` and of every ancestor, refreshing the
+  /// cached entry copy each parent holds for its child on the way up.
+  void SyncUpward(uint32_t node_id);
+  uint32_t ChooseSubtree(const Box& box, uint8_t target_level) const;
+  void InsertEntry(const Entry& entry, uint8_t target_level, int depth);
+  /// Handles an overflowing node: R* forced reinsertion (once per level per
+  /// top-level insertion) or a split, propagating upward.
+  void HandleOverflow(uint32_t node_id, int depth);
+  void SplitNode(uint32_t node_id);
+  /// Quadratic pick-seeds + pick-next (Guttman).
+  void QuadraticSplit(std::vector<Entry>& entries, std::vector<Entry>* left,
+                      std::vector<Entry>* right) const;
+  /// Margin-minimizing axis choice + overlap-minimizing distribution (R*).
+  void RStarSplit(std::vector<Entry>& entries, std::vector<Entry>* left,
+                  std::vector<Entry>* right) const;
+  void CondenseTree(uint32_t node_id);
+
+  template <typename Emit>
+  void QueryNode(uint32_t node_id, const Box& query, Emit&& emit,
+                 JoinStats* stats) const {
+    const Node& node = nodes_[node_id];
+    for (const Entry& entry : node.entries) {
+      if (stats != nullptr) {
+        if (node.IsLeaf()) {
+          ++stats->comparisons;
+        } else {
+          ++stats->node_comparisons;
+        }
+      }
+      if (!Intersects(entry.mbr, query)) continue;
+      if (node.IsLeaf()) {
+        emit(entry.id, entry.mbr);
+      } else {
+        QueryNode(entry.id, query, emit, stats);
+      }
+    }
+  }
+
+  Options options_;
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> free_nodes_;
+  uint32_t root_ = 0;
+  size_t size_ = 0;
+  /// Levels that already used forced reinsertion during the current
+  /// top-level Insert (R* applies it once per level per insertion).
+  std::vector<bool> reinserted_levels_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_INDEX_DYNAMIC_RTREE_H_

@@ -1,0 +1,148 @@
+#include "index/hilbert.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace touch {
+namespace {
+
+constexpr int kDims = 3;
+
+/// Skilling's AxesToTranspose: converts plain coordinates into the
+/// "transpose" form of the Hilbert index, in place. After this runs, the
+/// Hilbert index is the bit-interleave of the three transformed coordinates
+/// (x contributes the most significant bit of each 3-bit group).
+void AxesToTranspose(std::array<uint32_t, 3>& axes, int order) {
+  // Gray decode the axes, high bit to low bit.
+  for (uint32_t bit = uint32_t{1} << (order - 1); bit > 1; bit >>= 1) {
+    const uint32_t mask = bit - 1;
+    for (int i = 0; i < kDims; ++i) {
+      if (axes[i] & bit) {
+        axes[0] ^= mask;  // invert low bits of x
+      } else {
+        const uint32_t swap = (axes[0] ^ axes[i]) & mask;
+        axes[0] ^= swap;
+        axes[i] ^= swap;
+      }
+    }
+  }
+  // Gray encode.
+  for (int i = 1; i < kDims; ++i) axes[i] ^= axes[i - 1];
+  uint32_t accumulated = 0;
+  for (uint32_t bit = uint32_t{1} << (order - 1); bit > 1; bit >>= 1) {
+    if (axes[kDims - 1] & bit) accumulated ^= bit - 1;
+  }
+  for (int i = 0; i < kDims; ++i) axes[i] ^= accumulated;
+}
+
+/// Skilling's TransposeToAxes: exact inverse of AxesToTranspose.
+void TransposeToAxes(std::array<uint32_t, 3>& axes, int order) {
+  // Gray decode.
+  uint32_t accumulated = axes[kDims - 1] >> 1;
+  for (int i = kDims - 1; i > 0; --i) axes[i] ^= axes[i - 1];
+  axes[0] ^= accumulated;
+  // Undo excess work.
+  for (uint32_t bit = 2; bit != (uint32_t{1} << order); bit <<= 1) {
+    const uint32_t mask = bit - 1;
+    for (int i = kDims - 1; i >= 0; --i) {
+      if (axes[i] & bit) {
+        axes[0] ^= mask;
+      } else {
+        const uint32_t swap = (axes[0] ^ axes[i]) & mask;
+        axes[0] ^= swap;
+        axes[i] ^= swap;
+      }
+    }
+  }
+}
+
+/// Interleaves the transpose form into a single index: bit b of the result
+/// group g (from the top) is bit (order-1-g) of axes[b].
+uint64_t InterleaveTranspose(const std::array<uint32_t, 3>& axes, int order) {
+  uint64_t result = 0;
+  for (int bit = order - 1; bit >= 0; --bit) {
+    for (int i = 0; i < kDims; ++i) {
+      result = (result << 1) | ((axes[i] >> bit) & 1u);
+    }
+  }
+  return result;
+}
+
+std::array<uint32_t, 3> DeinterleaveTranspose(uint64_t d, int order) {
+  std::array<uint32_t, 3> axes = {0, 0, 0};
+  for (int g = 0; g < order; ++g) {
+    for (int i = 0; i < kDims; ++i) {
+      const int src = (order - 1 - g) * kDims + (kDims - 1 - i);
+      axes[i] |= static_cast<uint32_t>((d >> src) & 1u) << (order - 1 - g);
+    }
+  }
+  return axes;
+}
+
+uint32_t Quantize(float value, float lo, float hi, uint32_t cells) {
+  if (!(hi > lo)) return 0;
+  const float t = (value - lo) / (hi - lo);
+  const auto cell = static_cast<int64_t>(t * static_cast<float>(cells));
+  return static_cast<uint32_t>(
+      std::clamp<int64_t>(cell, 0, static_cast<int64_t>(cells) - 1));
+}
+
+}  // namespace
+
+uint64_t HilbertIndex(uint32_t x, uint32_t y, uint32_t z, int order) {
+  std::array<uint32_t, 3> axes = {x, y, z};
+  AxesToTranspose(axes, order);
+  return InterleaveTranspose(axes, order);
+}
+
+std::array<uint32_t, 3> HilbertPoint(uint64_t d, int order) {
+  std::array<uint32_t, 3> axes = DeinterleaveTranspose(d, order);
+  TransposeToAxes(axes, order);
+  return axes;
+}
+
+uint64_t HilbertCode(const Box& box, const Box& space) {
+  constexpr uint32_t kCells = uint32_t{1} << kHilbertOrder;
+  const Vec3 c = box.Center();
+  const uint32_t x = Quantize(c.x, space.lo.x, space.hi.x, kCells);
+  const uint32_t y = Quantize(c.y, space.lo.y, space.hi.y, kCells);
+  const uint32_t z = Quantize(c.z, space.lo.z, space.hi.z, kCells);
+  return HilbertIndex(x, y, z, kHilbertOrder);
+}
+
+StrPartitioning HilbertPartition(std::span<const Box> boxes,
+                                 size_t bucket_size) {
+  StrPartitioning result;
+  if (boxes.empty()) {
+    result.bucket_begin.push_back(0);
+    return result;
+  }
+  bucket_size = std::max<size_t>(1, bucket_size);
+
+  Box space = Box::Empty();
+  for (const Box& b : boxes) space.ExpandToContain(b);
+
+  std::vector<uint64_t> keys(boxes.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    keys[i] = HilbertCode(boxes[i], space);
+  }
+
+  result.order.resize(boxes.size());
+  std::iota(result.order.begin(), result.order.end(), 0u);
+  std::sort(result.order.begin(), result.order.end(),
+            [&](uint32_t a, uint32_t b) {
+              // Tie-break on id for a deterministic permutation.
+              return keys[a] != keys[b] ? keys[a] < keys[b] : a < b;
+            });
+
+  const size_t buckets = (boxes.size() + bucket_size - 1) / bucket_size;
+  result.bucket_begin.reserve(buckets + 1);
+  for (size_t b = 0; b < buckets; ++b) {
+    result.bucket_begin.push_back(static_cast<uint32_t>(b * bucket_size));
+  }
+  result.bucket_begin.push_back(static_cast<uint32_t>(boxes.size()));
+  return result;
+}
+
+}  // namespace touch

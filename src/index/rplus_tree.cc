@@ -1,0 +1,186 @@
+#include "index/rplus_tree.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+
+namespace touch {
+namespace {
+
+/// Construction-time node; flattened into the arena afterwards.
+struct TmpNode {
+  Box region;
+  Box mbr = Box::Empty();
+  std::vector<uint32_t> children;
+  std::vector<uint32_t> items;
+  uint8_t level = 0;
+};
+
+float AxisValue(const Vec3& v, int axis) {
+  return axis == 0 ? v.x : axis == 1 ? v.y : v.z;
+}
+
+}  // namespace
+
+bool RegionOwnsPoint(const Box& region, const Vec3& p, const Box& domain) {
+  const auto axis_ok = [](float lo, float hi, float v, float domain_hi) {
+    return v >= lo && (v < hi || (hi == domain_hi && v <= hi));
+  };
+  return axis_ok(region.lo.x, region.hi.x, p.x, domain.hi.x) &&
+         axis_ok(region.lo.y, region.hi.y, p.y, domain.hi.y) &&
+         axis_ok(region.lo.z, region.hi.z, p.z, domain.hi.z);
+}
+
+RPlusTree::RPlusTree(std::span<const Box> boxes, size_t leaf_capacity) {
+  size_ = boxes.size();
+  leaf_capacity = std::max<size_t>(1, leaf_capacity);
+  if (boxes.empty()) return;
+
+  domain_ = Box::Empty();
+  for (const Box& box : boxes) domain_.ExpandToContain(box);
+
+  std::vector<TmpNode> tmp;
+
+  // Recursive top-down build. Returns the TmpNode index.
+  const auto build = [&](auto&& self, const Box& region,
+                         std::vector<uint32_t> ids) -> uint32_t {
+    const uint32_t id = static_cast<uint32_t>(tmp.size());
+    tmp.emplace_back();
+    tmp[id].region = region;
+    for (const uint32_t obj : ids) tmp[id].mbr.ExpandToContain(boxes[obj]);
+
+    bool split_ok = ids.size() > leaf_capacity;
+    if (split_ok) {
+      // Median cut on the region's widest axis. The median is taken over
+      // the *centers clamped into the region* so duplicated placements
+      // (whose boxes extend past the region) cannot drag the plane outside.
+      const Vec3 extent = region.Extent();
+      int axis = 0;
+      if (extent.y > AxisValue(extent, axis)) axis = 1;
+      if (extent.z > AxisValue(extent, axis)) axis = 2;
+
+      std::vector<float> centers;
+      centers.reserve(ids.size());
+      for (const uint32_t obj : ids) {
+        centers.push_back(std::clamp(AxisValue(boxes[obj].Center(), axis),
+                                     AxisValue(region.lo, axis),
+                                     AxisValue(region.hi, axis)));
+      }
+      std::nth_element(centers.begin(),
+                       centers.begin() + static_cast<ptrdiff_t>(
+                                             centers.size() / 2),
+                       centers.end());
+      const float split = centers[centers.size() / 2];
+      split_ok = split > AxisValue(region.lo, axis) &&
+                 split < AxisValue(region.hi, axis);
+      if (split_ok) {
+        Box lo_region = region;
+        Box hi_region = region;
+        if (axis == 0) {
+          lo_region.hi.x = split;
+          hi_region.lo.x = split;
+        } else if (axis == 1) {
+          lo_region.hi.y = split;
+          hi_region.lo.y = split;
+        } else {
+          lo_region.hi.z = split;
+          hi_region.lo.z = split;
+        }
+        // Duplicate objects into every side they overlap (the half-open
+        // ownership rule later picks one side per point, but an object can
+        // legitimately live on both).
+        std::vector<uint32_t> lo_ids;
+        std::vector<uint32_t> hi_ids;
+        for (const uint32_t obj : ids) {
+          if (AxisValue(boxes[obj].lo, axis) < split) lo_ids.push_back(obj);
+          if (AxisValue(boxes[obj].hi, axis) >= split) hi_ids.push_back(obj);
+        }
+        // No-progress guard (all objects straddle the plane): fall through
+        // to a leaf instead of recursing forever.
+        if (lo_ids.size() < ids.size() || hi_ids.size() < ids.size()) {
+          ids.clear();
+          ids.shrink_to_fit();
+          const uint32_t lo_child =
+              self(self, lo_region, std::move(lo_ids));
+          const uint32_t hi_child =
+              self(self, hi_region, std::move(hi_ids));
+          tmp[id].children = {lo_child, hi_child};
+          tmp[id].level = static_cast<uint8_t>(
+              1 + std::max(tmp[lo_child].level, tmp[hi_child].level));
+          return id;
+        }
+      }
+    }
+
+    tmp[id].items = std::move(ids);
+    tmp[id].level = 0;
+    return id;
+  };
+
+  std::vector<uint32_t> all_ids(boxes.size());
+  for (uint32_t i = 0; i < boxes.size(); ++i) all_ids[i] = i;
+  const uint32_t tmp_root = build(build, domain_, std::move(all_ids));
+
+  // Flatten (preorder, contiguous child ranges).
+  nodes_.reserve(tmp.size());
+  const auto flatten = [&](auto&& self, uint32_t id) -> uint32_t {
+    const TmpNode& node = tmp[id];
+    const uint32_t out = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[out].region = node.region;
+    nodes_[out].mbr = node.mbr;
+    nodes_[out].level = node.level;
+    if (node.children.empty()) {
+      nodes_[out].begin = static_cast<uint32_t>(item_ids_.size());
+      nodes_[out].count = static_cast<uint32_t>(node.items.size());
+      item_ids_.insert(item_ids_.end(), node.items.begin(), node.items.end());
+      return out;
+    }
+    const uint32_t child_begin = static_cast<uint32_t>(child_ids_.size());
+    nodes_[out].begin = child_begin;
+    nodes_[out].count = static_cast<uint32_t>(node.children.size());
+    child_ids_.resize(child_ids_.size() + node.children.size());
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      child_ids_[child_begin + i] = self(self, node.children[i]);
+    }
+    return out;
+  };
+  root_ = flatten(flatten, tmp_root);
+  height_ = nodes_[root_].level + 1;
+  visited_mark_.assign(boxes.size(), 0);
+}
+
+void RPlusTree::Query(std::span<const Box> boxes, const Box& query,
+                      std::vector<uint32_t>* result, JoinStats* stats) const {
+  result->clear();
+  if (empty()) return;
+  ++visit_epoch_;
+  const auto walk = [&](auto&& self, uint32_t node_id) -> void {
+    const Node& node = nodes_[node_id];
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.begin + node.count; ++i) {
+        const uint32_t obj = item_ids_[i];
+        if (visited_mark_[obj] == visit_epoch_) continue;  // duplicate
+        if (stats != nullptr) ++stats->comparisons;
+        if (Intersects(boxes[obj], query)) {
+          visited_mark_[obj] = visit_epoch_;
+          result->push_back(obj);
+        }
+      }
+      return;
+    }
+    for (uint32_t i = node.begin; i < node.begin + node.count; ++i) {
+      const uint32_t child = child_ids_[i];
+      if (stats != nullptr) ++stats->node_comparisons;
+      if (Intersects(nodes_[child].mbr, query)) self(self, child);
+    }
+  };
+  walk(walk, root_);
+}
+
+size_t RPlusTree::MemoryUsageBytes() const {
+  return VectorBytes(nodes_) + VectorBytes(child_ids_) +
+         VectorBytes(item_ids_) + VectorBytes(visited_mark_);
+}
+
+}  // namespace touch

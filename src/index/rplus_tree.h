@@ -1,0 +1,89 @@
+#ifndef TOUCH_INDEX_RPLUS_TREE_H_
+#define TOUCH_INDEX_RPLUS_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "util/stats.h"
+
+namespace touch {
+
+/// R+-tree (Sellis, Roussopoulos, Faloutsos, VLDB'87; paper section 2.2.1):
+/// sibling *regions* never overlap — the fix for the R-tree's inner-node
+/// overlap — at the price of storing an object in every leaf whose region it
+/// crosses ("the latter duplicates objects to reduce overlap. Duplicating
+/// objects, however, also leads to duplicate results which have to be
+/// filtered").
+///
+/// Built top-down: each node's region is cut by a median plane on its widest
+/// axis; objects go to every side they overlap. Each node carries both its
+/// disjoint `region` (the R+ invariant, used for deduplication — regions of
+/// the leaves partition the root region, so any point belongs to exactly one
+/// leaf) and its tight content `mbr` (used for traversal pruning).
+class RPlusTree {
+ public:
+  struct Node {
+    /// Disjoint partition cell owned by this node (half-open semantics
+    /// against siblings; the helpers below handle the boundary).
+    Box region;
+    /// Tight MBR of the content (may poke out of `region`: an object
+    /// overlapping the region may extend beyond it).
+    Box mbr;
+    /// Children range in child_ids() for inner nodes; item range in
+    /// item_ids() for leaves.
+    uint32_t begin = 0;
+    uint32_t count = 0;
+    uint8_t level = 0;
+
+    bool IsLeaf() const { return level == 0; }
+  };
+
+  /// Builds the tree; leaves hold at most `leaf_capacity` placements.
+  RPlusTree(std::span<const Box> boxes, size_t leaf_capacity);
+
+  /// Number of distinct indexed objects (not placements).
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Total placements; placements - size() = duplicated entries.
+  size_t placements() const { return item_ids_.size(); }
+
+  uint32_t root() const { return root_; }
+  std::span<const Node> nodes() const { return nodes_; }
+  std::span<const uint32_t> child_ids() const { return child_ids_; }
+  std::span<const uint32_t> item_ids() const { return item_ids_; }
+  int height() const { return height_; }
+
+  /// The root region (the dataset MBR); needed for half-open ownership
+  /// tests at the domain's upper boundary.
+  const Box& domain() const { return domain_; }
+
+  /// Finds all distinct objects intersecting `query` (duplicates from the
+  /// multi-placement are filtered internally with a visited mark).
+  /// `boxes` must be the span the tree was built from.
+  void Query(std::span<const Box> boxes, const Box& query,
+             std::vector<uint32_t>* result, JoinStats* stats) const;
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> child_ids_;
+  std::vector<uint32_t> item_ids_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+  size_t size_ = 0;
+  Box domain_;
+  mutable std::vector<uint32_t> visited_mark_;
+  mutable uint32_t visit_epoch_ = 0;
+};
+
+/// Half-open point-in-region test (`lo <= p < hi`), closed on faces lying on
+/// the domain's upper boundary — the rule that makes leaf regions partition
+/// the domain so each point has exactly one owner.
+bool RegionOwnsPoint(const Box& region, const Vec3& p, const Box& domain);
+
+}  // namespace touch
+
+#endif  // TOUCH_INDEX_RPLUS_TREE_H_

@@ -1,0 +1,128 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+
+#include "index/dynamic_rtree.h"
+#include "index/hilbert.h"
+#include "index/tgs.h"
+#include "util/memory.h"
+
+namespace touch {
+namespace {
+
+StrPartitioning Pack(std::span<const Box> boxes, size_t bucket_size,
+                     BulkLoadMethod method) {
+  switch (method) {
+    case BulkLoadMethod::kHilbert:
+      return HilbertPartition(boxes, bucket_size);
+    case BulkLoadMethod::kTgs:
+      return TgsPartition(boxes, bucket_size);
+    case BulkLoadMethod::kStr:
+      break;
+  }
+  return StrPartition(boxes, bucket_size);
+}
+
+}  // namespace
+
+RTree::RTree(std::span<const Box> boxes, size_t leaf_capacity, size_t fanout,
+             BulkLoadMethod method) {
+  leaf_capacity = std::max<size_t>(1, leaf_capacity);
+  fanout = std::max<size_t>(1, fanout);
+  if (boxes.empty()) return;
+
+  // Level 0: pack objects into leaves.
+  const StrPartitioning leaves = Pack(boxes, leaf_capacity, method);
+  item_ids_ = leaves.order;
+  std::vector<uint32_t> current_level;  // node ids of the level being built
+  current_level.reserve(leaves.NumBuckets());
+  for (size_t b = 0; b < leaves.NumBuckets(); ++b) {
+    Node node;
+    node.mbr = BucketMbr(boxes, leaves.Bucket(b));
+    node.begin = leaves.bucket_begin[b];
+    node.count = leaves.bucket_begin[b + 1] - leaves.bucket_begin[b];
+    node.level = 0;
+    current_level.push_back(static_cast<uint32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+  height_ = 1;
+
+  // Upper levels: pack the node MBRs of the previous level into parents of
+  // `fanout` children until a single root remains.
+  while (current_level.size() > 1) {
+    std::vector<Box> level_mbrs;
+    level_mbrs.reserve(current_level.size());
+    for (uint32_t id : current_level) level_mbrs.push_back(nodes_[id].mbr);
+
+    const StrPartitioning packed = Pack(level_mbrs, fanout, method);
+    std::vector<uint32_t> next_level;
+    next_level.reserve(packed.NumBuckets());
+    for (size_t b = 0; b < packed.NumBuckets(); ++b) {
+      Node node;
+      node.mbr = Box::Empty();
+      node.begin = static_cast<uint32_t>(child_ids_.size());
+      node.count = static_cast<uint32_t>(packed.Bucket(b).size());
+      node.level = static_cast<uint8_t>(height_);
+      for (uint32_t local : packed.Bucket(b)) {
+        const uint32_t child = current_level[local];
+        child_ids_.push_back(child);
+        node.mbr.ExpandToContain(nodes_[child].mbr);
+      }
+      next_level.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+    current_level = std::move(next_level);
+    ++height_;
+  }
+  root_ = current_level.front();
+}
+
+RTree RTree::FromDynamic(const DynamicRTree& tree) {
+  RTree flat;
+  if (tree.empty()) return flat;
+  flat.height_ = tree.height();
+
+  // Preorder DFS through the dynamic tree's visitor; parents pre-reserve a
+  // contiguous child range and fill it slot by slot as children are entered.
+  std::vector<uint32_t> node_stack;  // flat ids of the current DFS path
+  std::vector<uint32_t> next_slot;   // next child slot to fill, per level
+  tree.VisitNodes(
+      [&](const Box& mbr, uint8_t level, bool is_leaf, size_t child_count) {
+        const uint32_t id = static_cast<uint32_t>(flat.nodes_.size());
+        Node node;
+        node.mbr = mbr;
+        node.level = level;
+        if (is_leaf) {
+          node.begin = static_cast<uint32_t>(flat.item_ids_.size());
+          node.count = 0;  // items appended by the item callback
+        } else {
+          node.begin = static_cast<uint32_t>(flat.child_ids_.size());
+          node.count = static_cast<uint32_t>(child_count);
+          flat.child_ids_.resize(flat.child_ids_.size() + child_count);
+        }
+        flat.nodes_.push_back(node);
+        if (!node_stack.empty()) {
+          const Node& parent = flat.nodes_[node_stack.back()];
+          flat.child_ids_[parent.begin + next_slot.back()] = id;
+          ++next_slot.back();
+        }
+        node_stack.push_back(id);
+        next_slot.push_back(0);
+      },
+      [&](uint32_t item_id, const Box&) {
+        flat.item_ids_.push_back(item_id);
+        ++flat.nodes_[node_stack.back()].count;
+      },
+      [&] {
+        node_stack.pop_back();
+        next_slot.pop_back();
+      });
+  flat.root_ = 0;  // preorder: the root is emitted first
+  return flat;
+}
+
+size_t RTree::MemoryUsageBytes() const {
+  return VectorBytes(nodes_) + VectorBytes(child_ids_) + VectorBytes(item_ids_);
+}
+
+}  // namespace touch

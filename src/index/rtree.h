@@ -1,0 +1,121 @@
+#ifndef TOUCH_INDEX_RTREE_H_
+#define TOUCH_INDEX_RTREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "index/str.h"
+#include "util/stats.h"
+
+namespace touch {
+
+/// How the read-only R-tree packs objects (and node MBRs on upper levels)
+/// into nodes. STR is the paper's choice; Hilbert-sort packing (Kamel &
+/// Faloutsos, VLDB'94) is the other bulk loader the paper names as
+/// comparable on real-world data (section 2.2.1).
+enum class BulkLoadMethod {
+  kStr,
+  kHilbert,
+  kTgs,
+};
+
+/// Bulk-loaded, read-only R-tree over a dataset of boxes.
+///
+/// This is the index behind the paper's two "one/both datasets indexed"
+/// baselines: the indexed nested loop join queries one such tree per probe
+/// object, and the synchronous-traversal join (Brinkhoff et al., SIGMOD'93)
+/// walks two of them in lockstep. Bulk loading uses STR at every level, which
+/// the paper singles out as the best-performing R-tree construction for
+/// non-extreme data.
+///
+/// Nodes live in one arena vector; children id lists live in a second flat
+/// vector, so the tree is cache-friendly and its memory footprint is exact.
+class RTree {
+ public:
+  struct Node {
+    Box mbr;
+    /// For inner nodes: range in child_ids(); for leaves: range in item_ids().
+    uint32_t begin = 0;
+    uint32_t count = 0;
+    /// 0 for leaves, parent level = child level + 1.
+    uint8_t level = 0;
+
+    bool IsLeaf() const { return level == 0; }
+  };
+
+  /// Builds the tree. `leaf_capacity` objects per leaf, `fanout` children per
+  /// inner node (both >= 1; a fanout of 2 with 2KB nodes is the paper's best
+  /// configuration for the R-tree baselines).
+  RTree(std::span<const Box> boxes, size_t leaf_capacity, size_t fanout,
+        BulkLoadMethod method = BulkLoadMethod::kStr);
+
+  /// Flattens an insertion-built DynamicRTree into the read-only arena
+  /// layout, so the synchronous-traversal join can run over trees built the
+  /// way the paper's 1984/1990-era baselines build them (section 2.2.1).
+  /// The dynamic tree's entry ids must be indices into the dataset span the
+  /// flat tree will be queried/joined with.
+  static RTree FromDynamic(const class DynamicRTree& tree);
+
+  /// Number of indexed objects.
+  size_t size() const { return item_ids_.size(); }
+  bool empty() const { return item_ids_.empty(); }
+
+  /// Index of the root node in nodes(); only valid when !empty().
+  uint32_t root() const { return root_; }
+  std::span<const Node> nodes() const { return nodes_; }
+  std::span<const uint32_t> child_ids() const { return child_ids_; }
+  std::span<const uint32_t> item_ids() const { return item_ids_; }
+
+  /// Height: number of levels (1 for a single-leaf tree, 0 when empty).
+  int height() const { return height_; }
+
+  /// Finds all indexed objects whose box intersects `query`, invoking
+  /// `emit(object_id)` for each. Object-level intersection tests are counted
+  /// in stats->comparisons, node-level tests in stats->node_comparisons.
+  /// `boxes` must be the span the tree was built from.
+  template <typename Emit>
+  void Query(std::span<const Box> boxes, const Box& query, Emit&& emit,
+             JoinStats* stats) const {
+    if (empty()) return;
+    QueryNode(boxes, root_, query, emit, stats);
+  }
+
+  /// Exact bytes held by the index structures.
+  size_t MemoryUsageBytes() const;
+
+ private:
+  RTree() = default;  // used by FromDynamic
+
+  template <typename Emit>
+  void QueryNode(std::span<const Box> boxes, uint32_t node_id,
+                 const Box& query, Emit&& emit, JoinStats* stats) const {
+    const Node& node = nodes_[node_id];
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.begin + node.count; ++i) {
+        const uint32_t object_id = item_ids_[i];
+        ++stats->comparisons;
+        if (Intersects(boxes[object_id], query)) emit(object_id);
+      }
+      return;
+    }
+    for (uint32_t i = node.begin; i < node.begin + node.count; ++i) {
+      const uint32_t child = child_ids_[i];
+      ++stats->node_comparisons;
+      if (Intersects(nodes_[child].mbr, query)) {
+        QueryNode(boxes, child, query, emit, stats);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> child_ids_;
+  std::vector<uint32_t> item_ids_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_INDEX_RTREE_H_

@@ -1,0 +1,100 @@
+#include "index/tgs.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+namespace touch {
+namespace {
+
+/// Sorts `ids` in place by box center along `axis`.
+void SortByCenter(std::span<const Box> boxes, std::span<uint32_t> ids,
+                  int axis) {
+  const auto center = [&](uint32_t id) {
+    const Vec3 c = boxes[id].Center();
+    return axis == 0 ? c.x : axis == 1 ? c.y : c.z;
+  };
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    const float ca = center(a);
+    const float cb = center(b);
+    return ca != cb ? ca < cb : a < b;
+  });
+}
+
+/// Greedy binary split of ids[begin, end): tries every axis and every
+/// bucket-aligned cut, keeps the one minimizing the volume sum of the two
+/// sides, and recurses. Ranges of at most bucket_size become buckets.
+void SplitRecursive(std::span<const Box> boxes, std::vector<uint32_t>& ids,
+                    size_t begin, size_t end, size_t bucket_size,
+                    std::vector<uint32_t>* bucket_begin) {
+  const size_t count = end - begin;
+  if (count <= bucket_size) {
+    bucket_begin->push_back(static_cast<uint32_t>(begin));
+    return;
+  }
+
+  // Number of buckets on the left side of the cut: 1 .. ceil(count/bs) - 1.
+  const size_t total_buckets = (count + bucket_size - 1) / bucket_size;
+
+  int best_axis = 0;
+  size_t best_cut = bucket_size;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<uint32_t> best_order;
+
+  std::vector<uint32_t> scratch(ids.begin() + static_cast<ptrdiff_t>(begin),
+                                ids.begin() + static_cast<ptrdiff_t>(end));
+  std::vector<Box> suffix_mbr(count + 1, Box::Empty());
+  for (int axis = 0; axis < 3; ++axis) {
+    SortByCenter(boxes, scratch, axis);
+    // Suffix MBRs once, prefix MBR built incrementally while scanning cuts.
+    for (size_t i = count; i-- > 0;) {
+      suffix_mbr[i] = suffix_mbr[i + 1];
+      suffix_mbr[i].ExpandToContain(boxes[scratch[i]]);
+    }
+    Box prefix = Box::Empty();
+    size_t next_cut = bucket_size;
+    for (size_t i = 0; i < count; ++i) {
+      prefix.ExpandToContain(boxes[scratch[i]]);
+      if (i + 1 == next_cut && next_cut < total_buckets * bucket_size &&
+          next_cut < count) {
+        const double cost = prefix.Volume() + suffix_mbr[i + 1].Volume();
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_axis = axis;
+          best_cut = next_cut;
+          best_order = scratch;
+        }
+        next_cut += bucket_size;
+      }
+    }
+  }
+  (void)best_axis;
+
+  std::copy(best_order.begin(), best_order.end(),
+            ids.begin() + static_cast<ptrdiff_t>(begin));
+  SplitRecursive(boxes, ids, begin, begin + best_cut, bucket_size,
+                 bucket_begin);
+  SplitRecursive(boxes, ids, begin + best_cut, end, bucket_size,
+                 bucket_begin);
+}
+
+}  // namespace
+
+StrPartitioning TgsPartition(std::span<const Box> boxes, size_t bucket_size) {
+  StrPartitioning result;
+  if (boxes.empty()) {
+    result.bucket_begin.push_back(0);
+    return result;
+  }
+  bucket_size = std::max<size_t>(1, bucket_size);
+
+  result.order.resize(boxes.size());
+  std::iota(result.order.begin(), result.order.end(), 0u);
+  SplitRecursive(boxes, result.order, 0, boxes.size(), bucket_size,
+                 &result.bucket_begin);
+  result.bucket_begin.push_back(static_cast<uint32_t>(boxes.size()));
+  return result;
+}
+
+}  // namespace touch

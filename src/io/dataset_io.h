@@ -1,0 +1,48 @@
+#ifndef TOUCH_IO_DATASET_IO_H_
+#define TOUCH_IO_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "datagen/neuro.h"
+#include "geom/box.h"
+
+namespace touch {
+
+/// Outcome of an I/O operation. Exceptions are not used in this codebase;
+/// failures carry a human-readable message with the offending file/line.
+struct IoStatus {
+  bool ok = true;
+  std::string message;
+
+  static IoStatus Ok() { return IoStatus{}; }
+  static IoStatus Error(std::string msg) {
+    return IoStatus{false, std::move(msg)};
+  }
+  explicit operator bool() const { return ok; }
+};
+
+/// Binary dataset format (little-endian): magic "TSJB", u32 version, u64
+/// count, then `count` boxes of 6 floats (lo.xyz, hi.xyz). Compact and
+/// loads at memcpy speed — the paper's loading experiment (section 6.3)
+/// shows load time is dwarfed by join time, and this format keeps it so.
+IoStatus WriteBoxesBinary(const std::string& path,
+                          const std::vector<Box>& boxes);
+IoStatus ReadBoxesBinary(const std::string& path, std::vector<Box>* boxes);
+
+/// CSV with header `lo_x,lo_y,lo_z,hi_x,hi_y,hi_z`, one box per line.
+/// Interoperable with spreadsheet/pandas tooling; slower than binary.
+IoStatus WriteBoxesCsv(const std::string& path, const std::vector<Box>& boxes);
+IoStatus ReadBoxesCsv(const std::string& path, std::vector<Box>* boxes);
+
+/// Binary neuroscience model (magic "TSJC"): u32 version, u64 axon count,
+/// u64 dendrite count, then cylinders of 7 floats (start.xyz, end.xyz,
+/// radius), axons first.
+IoStatus WriteNeuroModelBinary(const std::string& path,
+                               const NeuroModel& model);
+IoStatus ReadNeuroModelBinary(const std::string& path, NeuroModel* model);
+
+}  // namespace touch
+
+#endif  // TOUCH_IO_DATASET_IO_H_

@@ -1,0 +1,24 @@
+#include "join/algorithm.h"
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace touch {
+
+JoinStats DistanceJoin(SpatialJoinAlgorithm& algorithm, std::span<const Box> a,
+                       std::span<const Box> b, float epsilon,
+                       ResultCollector& out) {
+  Timer timer;
+  std::vector<Box> enlarged;
+  enlarged.reserve(a.size());
+  for (const Box& box : a) enlarged.push_back(box.Enlarged(epsilon));
+  const double enlarge_seconds = timer.Seconds();
+
+  // The enlarged copy is input preparation, shared by all algorithms; it is
+  // charged to total time but not to the algorithm's memory footprint.
+  JoinStats stats = algorithm.Join(enlarged, b, out);
+  stats.total_seconds += enlarge_seconds;
+  return stats;
+}
+
+}  // namespace touch

@@ -1,0 +1,39 @@
+#include "join/indexed_nested_loop.h"
+
+#include "index/rtree.h"
+#include "util/timer.h"
+
+namespace touch {
+
+JoinStats IndexedNestedLoopJoin::Join(std::span<const Box> a,
+                                      std::span<const Box> b,
+                                      ResultCollector& out) {
+  JoinStats stats;
+  Timer total;
+  if (a.empty() || b.empty()) {
+    stats.total_seconds = total.Seconds();
+    return stats;
+  }
+
+  Timer phase;
+  const RTree tree(a, options_.leaf_capacity, options_.fanout,
+                   options_.bulkload);
+  stats.build_seconds = phase.Seconds();
+  stats.memory_bytes = tree.MemoryUsageBytes();
+
+  phase.Reset();
+  for (uint32_t b_id = 0; b_id < b.size(); ++b_id) {
+    tree.Query(
+        a, b[b_id],
+        [&](uint32_t a_id) {
+          ++stats.results;
+          out.Emit(a_id, b_id);
+        },
+        &stats);
+  }
+  stats.join_seconds = phase.Seconds();
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+}  // namespace touch

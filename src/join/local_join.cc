@@ -1,0 +1,26 @@
+#include "join/local_join.h"
+
+#include <algorithm>
+
+namespace touch {
+
+const char* LocalJoinStrategyName(LocalJoinStrategy strategy) {
+  switch (strategy) {
+    case LocalJoinStrategy::kNestedLoop:
+      return "nested-loop";
+    case LocalJoinStrategy::kPlaneSweep:
+      return "plane-sweep";
+    case LocalJoinStrategy::kGrid:
+      return "grid";
+  }
+  return "unknown";
+}
+
+void SortByXLow(std::span<const Box> boxes, std::vector<uint32_t>& ids) {
+  std::sort(ids.begin(), ids.end(), [boxes](uint32_t a, uint32_t b) {
+    if (boxes[a].lo.x != boxes[b].lo.x) return boxes[a].lo.x < boxes[b].lo.x;
+    return a < b;
+  });
+}
+
+}  // namespace touch

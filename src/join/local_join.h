@@ -1,0 +1,102 @@
+#ifndef TOUCH_JOIN_LOCAL_JOIN_H_
+#define TOUCH_JOIN_LOCAL_JOIN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "util/stats.h"
+
+namespace touch {
+
+/// Strategy used to join the objects that meet inside one partition (a PBSM
+/// cell, an S3 cell pair, an R-tree leaf pair, or a TOUCH inner node). The
+/// paper runs PBSM/S3/RTree/INL with the plane sweep as the local join and
+/// TOUCH with the grid local join; the others exist for the ablation bench.
+enum class LocalJoinStrategy {
+  kNestedLoop,
+  kPlaneSweep,
+  kGrid,
+};
+
+const char* LocalJoinStrategyName(LocalJoinStrategy strategy);
+
+/// All-pairs test of boxes_a[ids_a] x boxes_b[ids_b]. Every test counts as
+/// one object comparison. Emit(a_id, b_id) is called for intersecting pairs.
+template <typename Emit>
+void LocalNestedLoop(std::span<const Box> boxes_a,
+                     std::span<const uint32_t> ids_a,
+                     std::span<const Box> boxes_b,
+                     std::span<const uint32_t> ids_b, JoinStats* stats,
+                     Emit&& emit) {
+  for (const uint32_t a_id : ids_a) {
+    const Box& box_a = boxes_a[a_id];
+    for (const uint32_t b_id : ids_b) {
+      ++stats->comparisons;
+      if (Intersects(box_a, boxes_b[b_id])) emit(a_id, b_id);
+    }
+  }
+}
+
+/// Sorts `ids` ascending by the x-lower-bound of their boxes (the sweep
+/// order). Deterministic under ties.
+void SortByXLow(std::span<const Box> boxes, std::vector<uint32_t>& ids);
+
+/// Forward plane sweep over two id lists that are already sorted with
+/// SortByXLow. Only pairs whose x-extents overlap are tested in full (one
+/// comparison each); pairs far apart on x are skipped, pairs far apart on y/z
+/// but close on x are the redundant tests the paper attributes to the sweep.
+template <typename Emit>
+void LocalPlaneSweepSorted(std::span<const Box> boxes_a,
+                           std::span<const uint32_t> sorted_a,
+                           std::span<const Box> boxes_b,
+                           std::span<const uint32_t> sorted_b,
+                           JoinStats* stats, Emit&& emit) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < sorted_a.size() && j < sorted_b.size()) {
+    const Box& box_a = boxes_a[sorted_a[i]];
+    const Box& box_b = boxes_b[sorted_b[j]];
+    if (box_a.lo.x <= box_b.lo.x) {
+      // box_a enters the sweep plane: scan B objects that start before box_a
+      // ends.
+      for (size_t k = j; k < sorted_b.size(); ++k) {
+        const Box& candidate = boxes_b[sorted_b[k]];
+        if (candidate.lo.x > box_a.hi.x) break;
+        ++stats->comparisons;
+        if (Intersects(box_a, candidate)) emit(sorted_a[i], sorted_b[k]);
+      }
+      ++i;
+    } else {
+      // box_b enters the sweep plane: scan A objects strictly after box_b's
+      // start (equal starts were handled by the branch above).
+      for (size_t k = i; k < sorted_a.size(); ++k) {
+        const Box& candidate = boxes_a[sorted_a[k]];
+        if (candidate.lo.x > box_b.hi.x) break;
+        ++stats->comparisons;
+        if (Intersects(candidate, box_b)) emit(sorted_a[k], sorted_b[j]);
+      }
+      ++j;
+    }
+  }
+}
+
+/// Convenience wrapper that copies and sorts the id lists, then sweeps.
+template <typename Emit>
+void LocalPlaneSweep(std::span<const Box> boxes_a,
+                     std::span<const uint32_t> ids_a,
+                     std::span<const Box> boxes_b,
+                     std::span<const uint32_t> ids_b, JoinStats* stats,
+                     Emit&& emit) {
+  std::vector<uint32_t> sorted_a(ids_a.begin(), ids_a.end());
+  std::vector<uint32_t> sorted_b(ids_b.begin(), ids_b.end());
+  SortByXLow(boxes_a, sorted_a);
+  SortByXLow(boxes_b, sorted_b);
+  LocalPlaneSweepSorted(boxes_a, sorted_a, boxes_b, sorted_b, stats,
+                        static_cast<Emit&&>(emit));
+}
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_LOCAL_JOIN_H_

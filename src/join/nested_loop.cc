@@ -1,0 +1,26 @@
+#include "join/nested_loop.h"
+
+#include "util/timer.h"
+
+namespace touch {
+
+JoinStats NestedLoopJoin::Join(std::span<const Box> a, std::span<const Box> b,
+                               ResultCollector& out) {
+  JoinStats stats;
+  Timer timer;
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    const Box& box_a = a[i];
+    for (uint32_t j = 0; j < b.size(); ++j) {
+      ++stats.comparisons;
+      if (Intersects(box_a, b[j])) {
+        ++stats.results;
+        out.Emit(i, j);
+      }
+    }
+  }
+  stats.join_seconds = timer.Seconds();
+  stats.total_seconds = stats.join_seconds;
+  return stats;
+}
+
+}  // namespace touch

@@ -1,0 +1,21 @@
+#ifndef TOUCH_JOIN_NESTED_LOOP_H_
+#define TOUCH_JOIN_NESTED_LOOP_H_
+
+#include "join/algorithm.h"
+
+namespace touch {
+
+/// The textbook O(|A|*|B|) nested loop join (paper section 2.1): compares
+/// every pair of objects. No auxiliary structures, hence a zero memory
+/// footprint — the paper keeps it as the space-efficiency baseline, and the
+/// test suite uses it as the correctness oracle for every other algorithm.
+class NestedLoopJoin : public SpatialJoinAlgorithm {
+ public:
+  std::string_view name() const override { return "nl"; }
+  JoinStats Join(std::span<const Box> a, std::span<const Box> b,
+                 ResultCollector& out) override;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_NESTED_LOOP_H_

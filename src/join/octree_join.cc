@@ -1,0 +1,177 @@
+#include "join/octree_join.h"
+
+#include <algorithm>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace touch {
+namespace {
+
+/// One octant under construction. Item lists are only materialized in
+/// leaves; inner octants hand their lists to their children and drop them.
+struct BuildState {
+  std::span<const Box> a;
+  std::span<const Box> b;
+  const OctreeJoinOptions* options;
+  Box root_cube;
+  JoinStats* stats;
+  ResultCollector* out;
+  /// Peak number of live duplicated id-list entries, for memory accounting.
+  size_t live_entries = 0;
+  size_t peak_entries = 0;
+};
+
+/// Reference point of a result pair: the minimum corner of the boxes'
+/// intersection (both boxes contain it, so every leaf overlapping it holds
+/// both objects).
+Vec3 ReferencePoint(const Box& box_a, const Box& box_b) {
+  return Vec3(std::max(box_a.lo.x, box_b.lo.x),
+              std::max(box_a.lo.y, box_b.lo.y),
+              std::max(box_a.lo.z, box_b.lo.z));
+}
+
+/// Half-open containment `lo <= p < hi`, closed on faces that lie on the
+/// root cube's upper boundary so boundary points belong to exactly one leaf.
+bool OwnsPoint(const Box& cube, const Vec3& p, const Box& root) {
+  const auto axis_ok = [](float lo, float hi, float v, float root_hi) {
+    return v >= lo && (v < hi || (hi == root_hi && v <= hi));
+  };
+  return axis_ok(cube.lo.x, cube.hi.x, p.x, root.hi.x) &&
+         axis_ok(cube.lo.y, cube.hi.y, p.y, root.hi.y) &&
+         axis_ok(cube.lo.z, cube.hi.z, p.z, root.hi.z);
+}
+
+void JoinLeaf(BuildState& state, const Box& cube,
+              const std::vector<uint32_t>& a_ids,
+              const std::vector<uint32_t>& b_ids) {
+  for (const uint32_t a_id : a_ids) {
+    const Box& box_a = state.a[a_id];
+    for (const uint32_t b_id : b_ids) {
+      ++state.stats->comparisons;
+      const Box& box_b = state.b[b_id];
+      if (!Intersects(box_a, box_b)) continue;
+      // Deduplicate: only the octant owning the reference point reports.
+      if (OwnsPoint(cube, ReferencePoint(box_a, box_b), state.root_cube)) {
+        ++state.stats->results;
+        state.out->Emit(a_id, b_id);
+      }
+    }
+  }
+}
+
+void BuildAndJoin(BuildState& state, const Box& cube, int depth,
+                  std::vector<uint32_t> a_ids, std::vector<uint32_t> b_ids) {
+  if (a_ids.empty() || b_ids.empty()) {
+    // Pruned subtree: one side cannot contribute results. This is the
+    // octree's equivalent of TOUCH/S3 filtering.
+    state.stats->filtered += a_ids.size() + b_ids.size();
+    return;
+  }
+  if (a_ids.size() + b_ids.size() <= state.options->leaf_capacity ||
+      depth >= state.options->max_depth) {
+    JoinLeaf(state, cube, a_ids, b_ids);
+    return;
+  }
+
+  // Split only the axes the midpoint strictly separates; a degenerate axis
+  // (zero or float-denormal extent) would otherwise clone its objects into
+  // both halves forever without making progress.
+  const Vec3 mid = cube.Center();
+  const bool split_x = cube.lo.x < mid.x && mid.x < cube.hi.x;
+  const bool split_y = cube.lo.y < mid.y && mid.y < cube.hi.y;
+  const bool split_z = cube.lo.z < mid.z && mid.z < cube.hi.z;
+  if (!split_x && !split_y && !split_z) {
+    JoinLeaf(state, cube, a_ids, b_ids);
+    return;
+  }
+
+  struct Child {
+    Box cube;
+    std::vector<uint32_t> a_ids;
+    std::vector<uint32_t> b_ids;
+  };
+  std::vector<Child> children;
+  children.reserve(8);
+  bool made_progress = false;
+  for (int octant = 0; octant < 8; ++octant) {
+    // Skip the duplicate sibling on axes that are not split.
+    if ((octant & 1 && !split_x) || (octant & 2 && !split_y) ||
+        (octant & 4 && !split_z)) {
+      continue;
+    }
+    Child child;
+    child.cube = Box(
+        Vec3(octant & 1 ? mid.x : cube.lo.x, octant & 2 ? mid.y : cube.lo.y,
+             octant & 4 ? mid.z : cube.lo.z),
+        Vec3(octant & 1 || !split_x ? cube.hi.x : mid.x,
+             octant & 2 || !split_y ? cube.hi.y : mid.y,
+             octant & 4 || !split_z ? cube.hi.z : mid.z));
+    for (const uint32_t id : a_ids) {
+      ++state.stats->node_comparisons;
+      if (Intersects(state.a[id], child.cube)) child.a_ids.push_back(id);
+    }
+    for (const uint32_t id : b_ids) {
+      ++state.stats->node_comparisons;
+      if (Intersects(state.b[id], child.cube)) child.b_ids.push_back(id);
+    }
+    if (child.a_ids.size() + child.b_ids.size() <
+        a_ids.size() + b_ids.size()) {
+      made_progress = true;
+    }
+    children.push_back(std::move(child));
+  }
+
+  if (!made_progress) {
+    // Every octant inherited the full load (e.g. a stack of identical
+    // boxes): splitting further only multiplies duplicates.
+    JoinLeaf(state, cube, a_ids, b_ids);
+    return;
+  }
+
+  for (Child& child : children) {
+    const size_t created = child.a_ids.size() + child.b_ids.size();
+    state.live_entries += created;
+    state.peak_entries = std::max(state.peak_entries, state.live_entries);
+    BuildAndJoin(state, child.cube, depth + 1, std::move(child.a_ids),
+                 std::move(child.b_ids));
+    state.live_entries -= created;
+  }
+}
+
+}  // namespace
+
+JoinStats OctreeJoin::Join(std::span<const Box> a, std::span<const Box> b,
+                           ResultCollector& out) {
+  JoinStats stats;
+  Timer total;
+  if (a.empty() || b.empty()) {
+    stats.total_seconds = total.Seconds();
+    return stats;
+  }
+
+  Box space = Box::Empty();
+  for (const Box& box : a) space.ExpandToContain(box);
+  for (const Box& box : b) space.ExpandToContain(box);
+
+  BuildState state{a, b, &options_, space, &stats, &out};
+
+  std::vector<uint32_t> a_ids(a.size());
+  std::vector<uint32_t> b_ids(b.size());
+  for (uint32_t i = 0; i < a.size(); ++i) a_ids[i] = i;
+  for (uint32_t i = 0; i < b.size(); ++i) b_ids[i] = i;
+  state.live_entries = a.size() + b.size();
+  state.peak_entries = state.live_entries;
+
+  BuildAndJoin(state, space, 0, std::move(a_ids), std::move(b_ids));
+
+  // The tree is built and consumed in one pass; its footprint is the peak
+  // of the duplicated id lists live at once (the recursion stack holds one
+  // path of sibling lists).
+  stats.memory_bytes = state.peak_entries * sizeof(uint32_t);
+  stats.join_seconds = total.Seconds();
+  stats.total_seconds = stats.join_seconds;
+  return stats;
+}
+
+}  // namespace touch

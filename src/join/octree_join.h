@@ -1,0 +1,51 @@
+#ifndef TOUCH_JOIN_OCTREE_JOIN_H_
+#define TOUCH_JOIN_OCTREE_JOIN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/algorithm.h"
+
+namespace touch {
+
+/// Configuration of the octree join.
+struct OctreeJoinOptions {
+  /// An octant stops splitting once it holds at most this many objects
+  /// (A and B combined).
+  size_t leaf_capacity = 64;
+  /// Hard depth cap; at 1000 space units an octant at depth 10 is under one
+  /// unit across, i.e. object-sized.
+  int max_depth = 10;
+};
+
+/// Double-index octree traversal join (the 3D analogue of the quadtree join
+/// of Aref & Samet; paper section 2.2.1).
+///
+/// Space is decomposed into octants recursively wherever the combined
+/// occupancy exceeds the leaf capacity; objects of both datasets are
+/// *duplicated* into every octant they overlap ("similar to the R+-Tree
+/// objects are duplicated"). Subtrees that lost one side entirely are pruned
+/// — an octant with no A objects cannot produce results, so its B objects
+/// are dropped. Each leaf joins its A-list against its B-list; because
+/// duplication makes a pair co-occur in several leaves, a result is emitted
+/// only in the single leaf that owns the pair's reference point (the minimum
+/// corner of the two boxes' intersection), which filters the duplicates the
+/// paper says this family of joins must deal with.
+class OctreeJoin : public SpatialJoinAlgorithm {
+ public:
+  explicit OctreeJoin(const OctreeJoinOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "octree"; }
+  JoinStats Join(std::span<const Box> a, std::span<const Box> b,
+                 ResultCollector& out) override;
+
+  const OctreeJoinOptions& options() const { return options_; }
+
+ private:
+  OctreeJoinOptions options_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_OCTREE_JOIN_H_

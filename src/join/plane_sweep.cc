@@ -1,0 +1,38 @@
+#include "join/plane_sweep.h"
+
+#include <numeric>
+
+#include "join/local_join.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace touch {
+
+JoinStats PlaneSweepJoin::Join(std::span<const Box> a, std::span<const Box> b,
+                               ResultCollector& out) {
+  JoinStats stats;
+  Timer total;
+
+  Timer phase;
+  std::vector<uint32_t> sorted_a(a.size());
+  std::vector<uint32_t> sorted_b(b.size());
+  std::iota(sorted_a.begin(), sorted_a.end(), 0);
+  std::iota(sorted_b.begin(), sorted_b.end(), 0);
+  SortByXLow(a, sorted_a);
+  SortByXLow(b, sorted_b);
+  stats.build_seconds = phase.Seconds();
+
+  phase.Reset();
+  LocalPlaneSweepSorted(a, sorted_a, b, sorted_b, &stats,
+                        [&](uint32_t a_id, uint32_t b_id) {
+                          ++stats.results;
+                          out.Emit(a_id, b_id);
+                        });
+  stats.join_seconds = phase.Seconds();
+
+  stats.memory_bytes = VectorBytes(sorted_a) + VectorBytes(sorted_b);
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+}  // namespace touch

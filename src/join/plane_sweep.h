@@ -1,0 +1,22 @@
+#ifndef TOUCH_JOIN_PLANE_SWEEP_H_
+#define TOUCH_JOIN_PLANE_SWEEP_H_
+
+#include "join/algorithm.h"
+
+namespace touch {
+
+/// In-memory plane sweep join (paper section 2.1): sorts both datasets on x
+/// and sweeps them synchronously, fully testing only pairs whose x-extents
+/// overlap. Because objects are sorted in one dimension only, objects close
+/// on x but far on y/z still cause redundant comparisons — the inefficiency
+/// the paper highlights.
+class PlaneSweepJoin : public SpatialJoinAlgorithm {
+ public:
+  std::string_view name() const override { return "ps"; }
+  JoinStats Join(std::span<const Box> a, std::span<const Box> b,
+                 ResultCollector& out) override;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_PLANE_SWEEP_H_

@@ -1,0 +1,38 @@
+#ifndef TOUCH_JOIN_RPLUS_JOIN_H_
+#define TOUCH_JOIN_RPLUS_JOIN_H_
+
+#include "index/rplus_tree.h"
+#include "join/algorithm.h"
+
+namespace touch {
+
+/// Configuration of the R+-tree join.
+struct RPlusJoinOptions {
+  size_t leaf_capacity = 64;
+};
+
+/// Double-index R+-tree traversal join (paper section 2.2.1's "R+-Tree"
+/// alternative to the overlapping R-tree): both datasets are indexed with
+/// disjoint-region R+-trees and walked synchronously. Object duplication in
+/// the leaves would produce duplicate results; they are filtered on the fly
+/// with the reference-point rule over the *regions* — leaf regions partition
+/// the space, so exactly one leaf pair owns each result pair's reference
+/// point.
+class RPlusJoin : public SpatialJoinAlgorithm {
+ public:
+  explicit RPlusJoin(const RPlusJoinOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "rplus"; }
+  JoinStats Join(std::span<const Box> a, std::span<const Box> b,
+                 ResultCollector& out) override;
+
+  const RPlusJoinOptions& options() const { return options_; }
+
+ private:
+  RPlusJoinOptions options_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_RPLUS_JOIN_H_

@@ -1,0 +1,162 @@
+#include "join/s3.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "geom/grid.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace touch {
+namespace {
+
+// One hierarchy level: occupied cells -> resident object ids.
+using LevelMap = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+struct Hierarchy {
+  std::vector<LevelMap> levels;  // index 0 = coarsest (single cell)
+};
+
+// Integer power; levels/fanout are small so overflow is not a concern here.
+int64_t IntPow(int64_t base, int exp) {
+  int64_t result = 1;
+  while (exp-- > 0) result *= base;
+  return result;
+}
+
+// Assigns every object of `boxes` to the lowest (finest) level where it
+// overlaps exactly one cell. Cell coordinates at coarser levels are derived
+// from the finest-level coordinates with integer division by fanout^k, so
+// cross-level alignment is exact (no float inconsistencies between levels).
+void AssignHierarchy(std::span<const Box> boxes, const GridMapper& finest,
+                     int levels, int fanout, Hierarchy* h) {
+  h->levels.assign(levels, LevelMap());
+  for (uint32_t id = 0; id < boxes.size(); ++id) {
+    const CellRange range = finest.RangeOf(boxes[id]);
+    // Number of coarsening steps until the range collapses to one cell.
+    int ups = 0;
+    int64_t divisor = 1;
+    while (ups < levels - 1 &&
+           (range.lo.x / divisor != range.hi.x / divisor ||
+            range.lo.y / divisor != range.hi.y / divisor ||
+            range.lo.z / divisor != range.hi.z / divisor)) {
+      ++ups;
+      divisor *= fanout;
+    }
+    const int level = levels - 1 - ups;
+    const CellCoord coord{static_cast<int>(range.lo.x / divisor),
+                          static_cast<int>(range.lo.y / divisor),
+                          static_cast<int>(range.lo.z / divisor)};
+    h->levels[level][GridMapper::PackKey(coord)].push_back(id);
+  }
+}
+
+size_t HierarchyBytes(const Hierarchy& h) {
+  size_t bytes = 0;
+  constexpr size_t kNodeOverhead = sizeof(uint64_t) + 2 * sizeof(void*);
+  for (const LevelMap& level : h.levels) {
+    bytes += level.bucket_count() * sizeof(void*);
+    for (const auto& [key, ids] : level) {
+      bytes += kNodeOverhead + sizeof(std::vector<uint32_t>) + VectorBytes(ids);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace
+
+JoinStats S3Join::Join(std::span<const Box> a, std::span<const Box> b,
+                       ResultCollector& out) {
+  JoinStats stats;
+  Timer total;
+  if (a.empty() || b.empty()) {
+    stats.total_seconds = total.Seconds();
+    return stats;
+  }
+  const int levels = std::max(1, options_.levels);
+  const int fanout = std::max(2, options_.fanout);
+
+  // Both hierarchies share one domain (the joint MBR) so their grids align.
+  Timer phase;
+  Box domain = Box::Empty();
+  for (const Box& box : a) domain.ExpandToContain(box);
+  for (const Box& box : b) domain.ExpandToContain(box);
+  const int finest_res = static_cast<int>(IntPow(fanout, levels - 1));
+  const GridMapper finest(domain, finest_res);
+
+  Hierarchy ha;
+  Hierarchy hb;
+  AssignHierarchy(a, finest, levels, fanout, &ha);
+  AssignHierarchy(b, finest, levels, fanout, &hb);
+  // Sort every cell's list by x-lower-bound once, so that each of the up to
+  // levels^2 joins a cell participates in can plane-sweep directly instead
+  // of re-sorting the list every time.
+  if (options_.local_join != LocalJoinStrategy::kNestedLoop) {
+    for (Hierarchy* h : {&ha, &hb}) {
+      std::span<const Box> boxes = (h == &ha) ? a : b;
+      for (LevelMap& level : h->levels) {
+        for (auto& [key, ids] : level) SortByXLow(boxes, ids);
+      }
+    }
+  }
+  stats.build_seconds = phase.Seconds();
+  stats.memory_bytes = HierarchyBytes(ha) + HierarchyBytes(hb);
+
+  // Join every aligned (A-cell, B-cell) pair across all level combinations:
+  // the finer cell looks up its enclosing cell on the coarser level.
+  phase.Reset();
+  auto emit = [&](uint32_t a_id, uint32_t b_id) {
+    ++stats.results;
+    out.Emit(a_id, b_id);
+  };
+  auto local_join = [&](const std::vector<uint32_t>& a_ids,
+                        const std::vector<uint32_t>& b_ids) {
+    switch (options_.local_join) {
+      case LocalJoinStrategy::kPlaneSweep:
+      case LocalJoinStrategy::kGrid:
+        // Cell lists were sorted by x right after assignment.
+        LocalPlaneSweepSorted(a, a_ids, b, b_ids, &stats, emit);
+        break;
+      case LocalJoinStrategy::kNestedLoop:
+        LocalNestedLoop(a, a_ids, b, b_ids, &stats, emit);
+        break;
+    }
+  };
+
+  for (int la = 0; la < levels; ++la) {
+    const LevelMap& a_level = ha.levels[la];
+    if (a_level.empty()) continue;
+    for (int lb = 0; lb < levels; ++lb) {
+      const LevelMap& b_level = hb.levels[lb];
+      if (b_level.empty()) continue;
+      if (la >= lb) {
+        // A side is finer or equal: A cell -> enclosing B cell.
+        const int64_t divisor = IntPow(fanout, la - lb);
+        for (const auto& [key, a_ids] : a_level) {
+          const CellCoord c = GridMapper::UnpackKey(key);
+          const CellCoord up{static_cast<int>(c.x / divisor),
+                             static_cast<int>(c.y / divisor),
+                             static_cast<int>(c.z / divisor)};
+          auto it = b_level.find(GridMapper::PackKey(up));
+          if (it != b_level.end()) local_join(a_ids, it->second);
+        }
+      } else {
+        // B side is strictly finer: B cell -> enclosing A cell.
+        const int64_t divisor = IntPow(fanout, lb - la);
+        for (const auto& [key, b_ids] : b_level) {
+          const CellCoord c = GridMapper::UnpackKey(key);
+          const CellCoord up{static_cast<int>(c.x / divisor),
+                             static_cast<int>(c.y / divisor),
+                             static_cast<int>(c.z / divisor)};
+          auto it = a_level.find(GridMapper::PackKey(up));
+          if (it != a_level.end()) local_join(it->second, b_ids);
+        }
+      }
+    }
+  }
+  stats.join_seconds = phase.Seconds();
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+}  // namespace touch

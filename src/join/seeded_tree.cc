@@ -1,0 +1,255 @@
+#include "join/seeded_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "index/str.h"
+#include "join/sync_traversal.h"
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace touch {
+namespace {
+
+/// Construction-time node representation; flattened into the arena at the
+/// end so begin/count ranges can be laid out contiguously.
+struct TmpNode {
+  Box mbr = Box::Empty();
+  std::vector<uint32_t> children;  // indices into the TmpNode vector
+  std::vector<uint32_t> items;     // object ids (leaves only)
+  uint8_t level = 0;
+  bool is_slot = false;
+};
+
+/// Copies the top `seed_levels` of `seed` into TmpNodes; nodes at the cut
+/// depth (or seed leaves reached earlier) become slots. Returns the root
+/// TmpNode index.
+uint32_t CopySeed(const RTree& seed, std::vector<TmpNode>* tmp,
+                  std::vector<uint32_t>* slots, uint32_t seed_node_id,
+                  int remaining_levels) {
+  const RTree::Node& seed_node = seed.nodes()[seed_node_id];
+  const uint32_t id = static_cast<uint32_t>(tmp->size());
+  tmp->emplace_back();
+  (*tmp)[id].mbr = seed_node.mbr;
+  if (remaining_levels <= 1 || seed_node.IsLeaf()) {
+    (*tmp)[id].is_slot = true;
+    slots->push_back(id);
+    return id;
+  }
+  for (uint32_t i = seed_node.begin; i < seed_node.begin + seed_node.count;
+       ++i) {
+    const uint32_t child = CopySeed(seed, tmp, slots, seed.child_ids()[i],
+                                    remaining_levels - 1);
+    (*tmp)[id].children.push_back(child);
+  }
+  return id;
+}
+
+double Enlargement(const Box& mbr, const Box& box) {
+  return Union(mbr, box).Volume() - mbr.Volume();
+}
+
+}  // namespace
+
+SeededTree::SeededTree(const RTree& seed, int seed_levels,
+                       std::span<const Box> boxes, size_t leaf_capacity,
+                       size_t fanout) {
+  leaf_capacity = std::max<size_t>(1, leaf_capacity);
+  fanout = std::max<size_t>(2, fanout);
+  if (boxes.empty()) return;
+
+  std::vector<TmpNode> tmp;
+  std::vector<uint32_t> slots;
+  uint32_t tmp_root = 0;
+  if (seed.empty()) {
+    // No seed: the whole tree is one slot grown over B.
+    tmp.emplace_back();
+    tmp[0].is_slot = true;
+    slots.push_back(0);
+  } else {
+    tmp_root = CopySeed(seed, &tmp, &slots, seed.root(),
+                        std::max(1, seed_levels));
+  }
+  slot_count_ = slots.size();
+
+  // Route every object to the slot reached by least-enlargement descent.
+  std::vector<std::vector<uint32_t>> slot_objects(slots.size());
+  std::vector<size_t> slot_index_of(tmp.size(), SIZE_MAX);
+  for (size_t s = 0; s < slots.size(); ++s) slot_index_of[slots[s]] = s;
+  for (uint32_t obj = 0; obj < boxes.size(); ++obj) {
+    uint32_t current = tmp_root;
+    while (!tmp[current].is_slot) {
+      const std::vector<uint32_t>& children = tmp[current].children;
+      uint32_t best = children.front();
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_volume = std::numeric_limits<double>::infinity();
+      for (const uint32_t child : children) {
+        const double enlargement = Enlargement(tmp[child].mbr, boxes[obj]);
+        const double volume = tmp[child].mbr.Volume();
+        if (enlargement < best_enlargement ||
+            (enlargement == best_enlargement && volume < best_volume)) {
+          best = child;
+          best_enlargement = enlargement;
+          best_volume = volume;
+        }
+      }
+      current = best;
+    }
+    slot_objects[slot_index_of[current]].push_back(obj);
+  }
+
+  // Grow an STR-packed subtree under every non-empty slot.
+  for (size_t s = 0; s < slots.size(); ++s) {
+    TmpNode& slot = tmp[slots[s]];
+    const std::vector<uint32_t>& objects = slot_objects[s];
+    if (objects.empty()) {
+      // Dead slot: an empty leaf whose empty MBR intersects nothing.
+      slot.mbr = Box::Empty();
+      slot.level = 0;
+      continue;
+    }
+
+    std::vector<Box> object_boxes;
+    object_boxes.reserve(objects.size());
+    for (const uint32_t id : objects) object_boxes.push_back(boxes[id]);
+
+    // Leaves.
+    const StrPartitioning leaves = StrPartition(object_boxes, leaf_capacity);
+    std::vector<uint32_t> level_nodes;
+    for (size_t bkt = 0; bkt < leaves.NumBuckets(); ++bkt) {
+      const uint32_t id = static_cast<uint32_t>(tmp.size());
+      tmp.emplace_back();
+      TmpNode& leaf = tmp.back();
+      leaf.level = 0;
+      for (const uint32_t local : leaves.Bucket(bkt)) {
+        leaf.items.push_back(objects[local]);
+        leaf.mbr.ExpandToContain(boxes[objects[local]]);
+      }
+      level_nodes.push_back(id);
+    }
+
+    // Pack upper levels until they fit under the slot.
+    uint8_t level = 1;
+    while (level_nodes.size() > fanout) {
+      std::vector<Box> level_mbrs;
+      level_mbrs.reserve(level_nodes.size());
+      for (const uint32_t id : level_nodes) level_mbrs.push_back(tmp[id].mbr);
+      const StrPartitioning packed = StrPartition(level_mbrs, fanout);
+      std::vector<uint32_t> next;
+      for (size_t bkt = 0; bkt < packed.NumBuckets(); ++bkt) {
+        const uint32_t id = static_cast<uint32_t>(tmp.size());
+        tmp.emplace_back();
+        TmpNode& parent = tmp.back();
+        parent.level = level;
+        for (const uint32_t local : packed.Bucket(bkt)) {
+          parent.children.push_back(level_nodes[local]);
+          parent.mbr.ExpandToContain(tmp[level_nodes[local]].mbr);
+        }
+        next.push_back(id);
+      }
+      level_nodes = std::move(next);
+      ++level;
+    }
+
+    TmpNode& slot_node = tmp[slots[s]];  // re-fetch: tmp may have grown
+    slot_node.mbr = Box::Empty();
+    if (level_nodes.size() == 1 && tmp[level_nodes[0]].items.empty() == false) {
+      // A single leaf: make the slot itself that leaf to avoid a one-child
+      // chain.
+      slot_node.level = 0;
+      slot_node.items = std::move(tmp[level_nodes[0]].items);
+      slot_node.mbr = tmp[level_nodes[0]].mbr;
+      tmp[level_nodes[0]].items.clear();
+    } else {
+      slot_node.children = std::move(level_nodes);
+      uint8_t max_child_level = 0;
+      for (const uint32_t child : slot_node.children) {
+        slot_node.mbr.ExpandToContain(tmp[child].mbr);
+        max_child_level = std::max(max_child_level, tmp[child].level);
+      }
+      slot_node.level = static_cast<uint8_t>(max_child_level + 1);
+    }
+  }
+
+  // Recompute seed-node MBRs and levels bottom-up (slot MBRs now reflect the
+  // grown content, not the seed's dataset-A extents).
+  const auto finalize = [&](auto&& self, uint32_t id) -> void {
+    TmpNode& node = tmp[id];
+    if (node.is_slot || node.children.empty()) return;
+    node.mbr = Box::Empty();
+    uint8_t max_child_level = 0;
+    for (const uint32_t child : node.children) {
+      self(self, child);
+      node.mbr.ExpandToContain(tmp[child].mbr);
+      max_child_level = std::max(max_child_level, tmp[child].level);
+    }
+    node.level = static_cast<uint8_t>(max_child_level + 1);
+  };
+  finalize(finalize, tmp_root);
+
+  // Flatten into the arena (preorder; children ranges are contiguous).
+  nodes_.reserve(tmp.size());
+  std::vector<uint32_t> arena_id(tmp.size(), 0);
+  const auto flatten = [&](auto&& self, uint32_t id) -> uint32_t {
+    const TmpNode& node = tmp[id];
+    const uint32_t out_id = static_cast<uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[out_id].mbr = node.mbr;
+    nodes_[out_id].level = node.level;
+    if (node.children.empty()) {
+      nodes_[out_id].begin = static_cast<uint32_t>(item_ids_.size());
+      nodes_[out_id].count = static_cast<uint32_t>(node.items.size());
+      item_ids_.insert(item_ids_.end(), node.items.begin(), node.items.end());
+      return out_id;
+    }
+    // Reserve the contiguous child-id range up front, fill after recursion.
+    const uint32_t child_begin = static_cast<uint32_t>(child_ids_.size());
+    nodes_[out_id].begin = child_begin;
+    nodes_[out_id].count = static_cast<uint32_t>(node.children.size());
+    child_ids_.resize(child_ids_.size() + node.children.size());
+    for (size_t i = 0; i < node.children.size(); ++i) {
+      child_ids_[child_begin + i] = self(self, node.children[i]);
+    }
+    return out_id;
+  };
+  root_ = flatten(flatten, tmp_root);
+  height_ = nodes_[root_].level + 1;
+}
+
+size_t SeededTree::MemoryUsageBytes() const {
+  return VectorBytes(nodes_) + VectorBytes(child_ids_) + VectorBytes(item_ids_);
+}
+
+JoinStats SeededTreeJoin::Join(std::span<const Box> a, std::span<const Box> b,
+                               ResultCollector& out) {
+  JoinStats stats;
+  Timer total;
+  if (a.empty() || b.empty()) {
+    stats.total_seconds = total.Seconds();
+    return stats;
+  }
+
+  Timer phase;
+  const RTree tree_a(a, options_.leaf_capacity, options_.fanout);
+  const SeededTree tree_b(tree_a, options_.seed_levels, b,
+                          options_.leaf_capacity, options_.fanout);
+  stats.build_seconds = phase.Seconds();
+  stats.memory_bytes = tree_a.MemoryUsageBytes() + tree_b.MemoryUsageBytes();
+
+  phase.Reset();
+  ++stats.node_comparisons;
+  if (Intersects(tree_a.nodes()[tree_a.root()].mbr,
+                 tree_b.nodes()[tree_b.root()].mbr)) {
+    SyncTraverse(a, b, tree_a, tree_b, tree_a.root(), tree_b.root(),
+                 options_.local_join, &stats,
+                 [&](uint32_t a_id, uint32_t b_id) {
+                   ++stats.results;
+                   out.Emit(a_id, b_id);
+                 });
+  }
+  stats.join_seconds = phase.Seconds();
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+}  // namespace touch

@@ -1,0 +1,93 @@
+#ifndef TOUCH_JOIN_SEEDED_TREE_H_
+#define TOUCH_JOIN_SEEDED_TREE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "index/rtree.h"
+#include "join/algorithm.h"
+#include "join/local_join.h"
+
+namespace touch {
+
+/// R-tree grown over dataset B under a "seed" copied from the index on
+/// dataset A (Lo & Ravishankar, SIGMOD'94; paper section 2.2.2).
+///
+/// The top `seed_levels` levels of the existing index IA are copied verbatim;
+/// every object of B then descends the seed by least volume enlargement to a
+/// slot (a copied bottom-level seed node) and each slot's objects are
+/// bulk-packed into an STR subtree beneath it. Because the seed mirrors IA's
+/// upper structure, the bounding boxes of the grown tree align with IA's,
+/// which reduces the node pairs the synchronous-traversal join must visit.
+///
+/// Exposes the same flat-arena interface as `RTree` so `SyncTraverse` works
+/// on (RTree, SeededTree) pairs.
+class SeededTree {
+ public:
+  struct Node {
+    Box mbr;
+    uint32_t begin = 0;
+    uint32_t count = 0;
+    uint8_t level = 0;
+
+    bool IsLeaf() const { return level == 0; }
+  };
+
+  /// `seed` is the index on dataset A; `boxes` is dataset B. `seed_levels`
+  /// >= 1 top levels of the seed are copied (clamped to the seed's height).
+  SeededTree(const RTree& seed, int seed_levels, std::span<const Box> boxes,
+             size_t leaf_capacity, size_t fanout);
+
+  size_t size() const { return item_ids_.size(); }
+  bool empty() const { return item_ids_.empty(); }
+  uint32_t root() const { return root_; }
+  std::span<const Node> nodes() const { return nodes_; }
+  std::span<const uint32_t> child_ids() const { return child_ids_; }
+  std::span<const uint32_t> item_ids() const { return item_ids_; }
+  int height() const { return height_; }
+  /// Number of slots the seed offered (bottom-level copied nodes).
+  size_t slot_count() const { return slot_count_; }
+
+  size_t MemoryUsageBytes() const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> child_ids_;
+  std::vector<uint32_t> item_ids_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+  size_t slot_count_ = 0;
+};
+
+/// Configuration of the seeded tree join.
+struct SeededTreeOptions {
+  size_t fanout = 2;
+  size_t leaf_capacity = 64;
+  /// Levels copied from the index on A (>= 1). More levels align the grown
+  /// tree more tightly with IA but create more (possibly empty) slots.
+  int seed_levels = 4;
+  LocalJoinStrategy local_join = LocalJoinStrategy::kPlaneSweep;
+};
+
+/// Seeded tree join (paper section 2.2.2): bulk-loads IA on dataset A, grows
+/// IB on dataset B from IA's seed, then joins both with the synchronous
+/// traversal.
+class SeededTreeJoin : public SpatialJoinAlgorithm {
+ public:
+  explicit SeededTreeJoin(const SeededTreeOptions& options = {})
+      : options_(options) {}
+
+  std::string_view name() const override { return "seeded"; }
+  JoinStats Join(std::span<const Box> a, std::span<const Box> b,
+                 ResultCollector& out) override;
+
+  const SeededTreeOptions& options() const { return options_; }
+
+ private:
+  SeededTreeOptions options_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_SEEDED_TREE_H_

@@ -1,0 +1,136 @@
+#include "join/sssj.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/memory.h"
+#include "util/timer.h"
+
+namespace touch {
+namespace {
+
+// Strip interval [start, end] of a box along z, clamped into [0, strips).
+struct StripInterval {
+  int start;
+  int end;
+};
+
+// Incremental membership list with O(1) add and O(1) swap-remove.
+class ActiveList {
+ public:
+  explicit ActiveList(size_t universe) : position_(universe, kAbsent) {}
+
+  void Add(uint32_t id) {
+    position_[id] = static_cast<uint32_t>(members_.size());
+    members_.push_back(id);
+  }
+
+  void Remove(uint32_t id) {
+    const uint32_t pos = position_[id];
+    const uint32_t last = members_.back();
+    members_[pos] = last;
+    position_[last] = pos;
+    members_.pop_back();
+    position_[id] = kAbsent;
+  }
+
+  const std::vector<uint32_t>& members() const { return members_; }
+
+  size_t MemoryUsageBytes() const {
+    return VectorBytes(members_) + VectorBytes(position_);
+  }
+
+ private:
+  static constexpr uint32_t kAbsent = 0xffffffffu;
+  std::vector<uint32_t> members_;
+  std::vector<uint32_t> position_;
+};
+
+}  // namespace
+
+JoinStats SssjJoin::Join(std::span<const Box> a, std::span<const Box> b,
+                         ResultCollector& out) {
+  JoinStats stats;
+  Timer total;
+  if (a.empty() || b.empty()) {
+    stats.total_seconds = total.Seconds();
+    return stats;
+  }
+  const int strips = std::max(1, options_.strips);
+
+  // Partitioning phase: compute each object's strip interval along z over
+  // the joint extent; bucket ids by starting and ending strip.
+  Timer phase;
+  Box domain = Box::Empty();
+  for (const Box& box : a) domain.ExpandToContain(box);
+  for (const Box& box : b) domain.ExpandToContain(box);
+  const float z0 = domain.lo.z;
+  const float extent = domain.hi.z - domain.lo.z;
+  const float inv_width =
+      extent > 0 ? static_cast<float>(strips) / extent : 0.0f;
+  auto interval_of = [&](const Box& box) {
+    const int start = std::clamp(
+        static_cast<int>(std::floor((box.lo.z - z0) * inv_width)), 0,
+        strips - 1);
+    const int end = std::clamp(
+        static_cast<int>(std::floor((box.hi.z - z0) * inv_width)), start,
+        strips - 1);
+    return StripInterval{start, end};
+  };
+
+  std::vector<std::vector<uint32_t>> a_starts(strips);
+  std::vector<std::vector<uint32_t>> a_ends(strips);
+  std::vector<std::vector<uint32_t>> b_starts(strips);
+  std::vector<std::vector<uint32_t>> b_ends(strips);
+  for (uint32_t id = 0; id < a.size(); ++id) {
+    const StripInterval iv = interval_of(a[id]);
+    a_starts[iv.start].push_back(id);
+    a_ends[iv.end].push_back(id);
+  }
+  for (uint32_t id = 0; id < b.size(); ++id) {
+    const StripInterval iv = interval_of(b[id]);
+    b_starts[iv.start].push_back(id);
+    b_ends[iv.end].push_back(id);
+  }
+  stats.build_seconds = phase.Seconds();
+
+  // Join phase: sweep the strips. In strip n, the objects starting here are
+  // joined against everything active from the other dataset (which by
+  // construction started at a strip <= n and reaches n), so each overlapping
+  // pair is joined exactly once at strip max(s_a, s_b). To avoid the
+  // (a starts at n) x (b starts at n) pairs twice, the A-side join runs
+  // against B's active set *after* B's starters are added, and the B-side
+  // join runs against A's active set *before* A's starters are added.
+  phase.Reset();
+  ActiveList active_a(a.size());
+  ActiveList active_b(b.size());
+  auto emit = [&](uint32_t a_id, uint32_t b_id) {
+    ++stats.results;
+    out.Emit(a_id, b_id);
+  };
+  for (int n = 0; n < strips; ++n) {
+    for (const uint32_t id : b_starts[n]) active_b.Add(id);
+    // New B objects vs previously active A objects (s_a < n covered; also
+    // s_a == n pairs are excluded here because A starters are not yet added).
+    if (!b_starts[n].empty() && !active_a.members().empty()) {
+      LocalPlaneSweep(a, active_a.members(), b, b_starts[n], &stats, emit);
+    }
+    // New A objects vs the full B active set (covers s_b <= n).
+    if (!a_starts[n].empty() && !active_b.members().empty()) {
+      LocalPlaneSweep(a, a_starts[n], b, active_b.members(), &stats, emit);
+    }
+    for (const uint32_t id : a_starts[n]) active_a.Add(id);
+    for (const uint32_t id : a_ends[n]) active_a.Remove(id);
+    for (const uint32_t id : b_ends[n]) active_b.Remove(id);
+  }
+  stats.join_seconds = phase.Seconds();
+
+  stats.memory_bytes = active_a.MemoryUsageBytes() +
+                       active_b.MemoryUsageBytes() +
+                       NestedVectorBytes(a_starts) + NestedVectorBytes(a_ends) +
+                       NestedVectorBytes(b_starts) + NestedVectorBytes(b_ends);
+  stats.total_seconds = total.Seconds();
+  return stats;
+}
+
+}  // namespace touch

@@ -1,0 +1,43 @@
+#ifndef TOUCH_JOIN_SSSJ_H_
+#define TOUCH_JOIN_SSSJ_H_
+
+#include "join/algorithm.h"
+#include "join/local_join.h"
+
+namespace touch {
+
+/// Configuration of the SSSJ join.
+struct SssjOptions {
+  /// Number of equi-width strips the space is cut into (along z, so the
+  /// in-strip plane sweep can keep sweeping on x).
+  int strips = 64;
+};
+
+/// Scalable Sweeping-Based Spatial Join (Arge et al., VLDB'98; paper section
+/// 2.2.3). The paper describes it among the multiple-matching approaches but
+/// does not evaluate it; we implement it as an additional baseline.
+///
+/// Space is cut into equi-width strips. An object is *not* replicated:
+/// conceptually it belongs to the interval of strips [s, e] it spans. A pair
+/// (a, b) is joined exactly once, in strip max(s_a, s_b) — the first strip
+/// where both are present — by sweeping the strip's resident objects on x.
+/// The implementation keeps incremental active lists per dataset (add at s,
+/// drop after e) and joins each strip's newly-starting objects against the
+/// other dataset's active set.
+class SssjJoin : public SpatialJoinAlgorithm {
+ public:
+  explicit SssjJoin(const SssjOptions& options = {}) : options_(options) {}
+
+  std::string_view name() const override { return "sssj"; }
+  JoinStats Join(std::span<const Box> a, std::span<const Box> b,
+                 ResultCollector& out) override;
+
+  const SssjOptions& options() const { return options_; }
+
+ private:
+  SssjOptions options_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_SSSJ_H_

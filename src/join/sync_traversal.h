@@ -1,0 +1,65 @@
+#ifndef TOUCH_JOIN_SYNC_TRAVERSAL_H_
+#define TOUCH_JOIN_SYNC_TRAVERSAL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "geom/box.h"
+#include "join/local_join.h"
+#include "util/stats.h"
+
+namespace touch {
+
+/// Synchronous traversal of two bounding-box hierarchies (Brinkhoff et al.,
+/// SIGMOD'93): starting from a node pair, descend only into child pairs with
+/// intersecting MBRs; intersecting leaf pairs are joined with the chosen
+/// local join. The deeper side descends first so both sides reach their
+/// leaves together.
+///
+/// Works over any tree exposing the flat-arena interface of `RTree`
+/// (nodes(), child_ids(), item_ids(), and Node{mbr, begin, count, level,
+/// IsLeaf()}), which lets the R-tree baseline and the seeded-tree join share
+/// the traversal. Callers test the roots' MBR intersection themselves.
+template <typename TreeA, typename TreeB, typename EmitPair>
+void SyncTraverse(std::span<const Box> a, std::span<const Box> b,
+                  const TreeA& tree_a, const TreeB& tree_b, uint32_t node_a,
+                  uint32_t node_b, LocalJoinStrategy local_join,
+                  JoinStats* stats, EmitPair&& emit) {
+  const auto& na = tree_a.nodes()[node_a];
+  const auto& nb = tree_b.nodes()[node_b];
+
+  if (na.IsLeaf() && nb.IsLeaf()) {
+    const auto ids_a = tree_a.item_ids().subspan(na.begin, na.count);
+    const auto ids_b = tree_b.item_ids().subspan(nb.begin, nb.count);
+    if (local_join == LocalJoinStrategy::kNestedLoop) {
+      LocalNestedLoop(a, ids_a, b, ids_b, stats, emit);
+    } else {
+      LocalPlaneSweep(a, ids_a, b, ids_b, stats, emit);
+    }
+    return;
+  }
+
+  if (!na.IsLeaf() && (nb.IsLeaf() || na.level >= nb.level)) {
+    for (uint32_t i = na.begin; i < na.begin + na.count; ++i) {
+      const uint32_t child = tree_a.child_ids()[i];
+      ++stats->node_comparisons;
+      if (Intersects(tree_a.nodes()[child].mbr, nb.mbr)) {
+        SyncTraverse(a, b, tree_a, tree_b, child, node_b, local_join, stats,
+                     emit);
+      }
+    }
+  } else {
+    for (uint32_t i = nb.begin; i < nb.begin + nb.count; ++i) {
+      const uint32_t child = tree_b.child_ids()[i];
+      ++stats->node_comparisons;
+      if (Intersects(na.mbr, tree_b.nodes()[child].mbr)) {
+        SyncTraverse(a, b, tree_a, tree_b, node_a, child, local_join, stats,
+                     emit);
+      }
+    }
+  }
+}
+
+}  // namespace touch
+
+#endif  // TOUCH_JOIN_SYNC_TRAVERSAL_H_

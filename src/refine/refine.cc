@@ -1,0 +1,54 @@
+#include "refine/refine.h"
+
+#include "join/algorithm.h"
+
+namespace touch {
+namespace {
+
+/// MBRs of a span of geometries with an Mbr() member.
+template <typename Geometry>
+std::vector<Box> Mbrs(std::span<const Geometry> geometries) {
+  std::vector<Box> boxes;
+  boxes.reserve(geometries.size());
+  for (const Geometry& g : geometries) boxes.push_back(g.Mbr());
+  return boxes;
+}
+
+}  // namespace
+
+RefineStats CylinderDistanceJoin(SpatialJoinAlgorithm& algorithm,
+                                 std::span<const Cylinder> a,
+                                 std::span<const Cylinder> b, double epsilon,
+                                 ResultCollector& out,
+                                 JoinStats* filter_stats) {
+  const std::vector<Box> boxes_a = Mbrs(a);
+  const std::vector<Box> boxes_b = Mbrs(b);
+  RefiningCollector refine(
+      [&](uint32_t a_id, uint32_t b_id) {
+        return CylindersWithinDistance(a[a_id], b[b_id], epsilon);
+      },
+      out);
+  const JoinStats stats = DistanceJoin(algorithm, boxes_a, boxes_b,
+                                       static_cast<float>(epsilon), refine);
+  if (filter_stats != nullptr) *filter_stats = stats;
+  return refine.stats();
+}
+
+RefineStats SphereDistanceJoin(SpatialJoinAlgorithm& algorithm,
+                               std::span<const Sphere> a,
+                               std::span<const Sphere> b, double epsilon,
+                               ResultCollector& out, JoinStats* filter_stats) {
+  const std::vector<Box> boxes_a = Mbrs(a);
+  const std::vector<Box> boxes_b = Mbrs(b);
+  RefiningCollector refine(
+      [&](uint32_t a_id, uint32_t b_id) {
+        return SpheresWithinDistance(a[a_id], b[b_id], epsilon);
+      },
+      out);
+  const JoinStats stats = DistanceJoin(algorithm, boxes_a, boxes_b,
+                                       static_cast<float>(epsilon), refine);
+  if (filter_stats != nullptr) *filter_stats = stats;
+  return refine.stats();
+}
+
+}  // namespace touch

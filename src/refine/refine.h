@@ -1,0 +1,96 @@
+#ifndef TOUCH_REFINE_REFINE_H_
+#define TOUCH_REFINE_REFINE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "geom/cylinder.h"
+#include "geom/sphere.h"
+#include "join/algorithm.h"
+#include "util/timer.h"
+
+namespace touch {
+
+/// Metrics of the refinement phase of a filter-and-refine join.
+struct RefineStats {
+  /// Candidate pairs delivered by the filter (MBR) phase.
+  uint64_t candidates = 0;
+  /// Candidates confirmed by the exact-geometry predicate.
+  uint64_t confirmed = 0;
+  /// Wall-clock seconds spent inside the exact predicate.
+  double refine_seconds = 0;
+
+  /// Fraction of candidates that were real results (1.0 = the filter was
+  /// exact). Low precision means the MBR approximation is loose for this
+  /// geometry, not that the filter is wrong.
+  double Precision() const {
+    return candidates == 0
+               ? 1.0
+               : static_cast<double>(confirmed) /
+                     static_cast<double>(candidates);
+  }
+};
+
+/// ResultCollector adapter that applies an exact-geometry predicate to every
+/// candidate pair the filter phase emits and forwards only confirmed pairs.
+///
+/// This is the paper's "combine with any off-the-shelf solution to the
+/// second refinement phase" (section 4) made concrete: wrap the user's sink,
+/// hand the wrapper to any `SpatialJoinAlgorithm`, and the refinement
+/// streams — candidate pairs are never materialized.
+///
+///   RefiningCollector refine(
+///       [&](uint32_t i, uint32_t j) {
+///         return CylindersWithinDistance(axons[i], dendrites[j], eps);
+///       },
+///       user_sink);
+///   DistanceJoin(touch, axon_mbrs, dendrite_mbrs, eps, refine);
+template <typename Predicate>
+class RefiningCollector : public ResultCollector {
+ public:
+  RefiningCollector(Predicate predicate, ResultCollector& inner)
+      : predicate_(std::move(predicate)), inner_(inner) {}
+
+  void Emit(uint32_t a_id, uint32_t b_id) override {
+    ++stats_.candidates;
+    Timer timer;
+    const bool confirmed = predicate_(a_id, b_id);
+    stats_.refine_seconds += timer.Seconds();
+    if (confirmed) {
+      ++stats_.confirmed;
+      inner_.Emit(a_id, b_id);
+    }
+  }
+
+  const RefineStats& stats() const { return stats_; }
+
+ private:
+  Predicate predicate_;
+  ResultCollector& inner_;
+  RefineStats stats_;
+};
+
+template <typename Predicate>
+RefiningCollector(Predicate, ResultCollector&) -> RefiningCollector<Predicate>;
+
+/// Complete filter-and-refine distance join over cylinder datasets — the
+/// paper's neuroscience touch-detection task end to end: MBR approximation,
+/// spatial join with `algorithm`, exact cylinder-distance refinement.
+/// `filter_stats` (optional) receives the filter phase's JoinStats.
+RefineStats CylinderDistanceJoin(SpatialJoinAlgorithm& algorithm,
+                                 std::span<const Cylinder> a,
+                                 std::span<const Cylinder> b, double epsilon,
+                                 ResultCollector& out,
+                                 JoinStats* filter_stats = nullptr);
+
+/// Same pipeline over sphere datasets.
+RefineStats SphereDistanceJoin(SpatialJoinAlgorithm& algorithm,
+                               std::span<const Sphere> a,
+                               std::span<const Sphere> b, double epsilon,
+                               ResultCollector& out,
+                               JoinStats* filter_stats = nullptr);
+
+}  // namespace touch
+
+#endif  // TOUCH_REFINE_REFINE_H_

@@ -1,0 +1,32 @@
+#ifndef TOUCH_UTIL_MEMORY_H_
+#define TOUCH_UTIL_MEMORY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace touch {
+
+/// Analytic memory-footprint helpers.
+///
+/// The paper compares algorithms by the memory their auxiliary structures
+/// occupy. We account for this explicitly (capacity-based, deterministic)
+/// instead of interposing on malloc, so numbers are comparable across
+/// algorithms and runs.
+
+/// Bytes held by a vector's heap allocation (capacity, not size).
+template <typename T>
+size_t VectorBytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+/// Bytes held by a vector of vectors, including inner allocations.
+template <typename T>
+size_t NestedVectorBytes(const std::vector<std::vector<T>>& v) {
+  size_t total = v.capacity() * sizeof(std::vector<T>);
+  for (const auto& inner : v) total += inner.capacity() * sizeof(T);
+  return total;
+}
+
+}  // namespace touch
+
+#endif  // TOUCH_UTIL_MEMORY_H_

@@ -1,0 +1,34 @@
+#include "util/stats.h"
+
+#include <cstdio>
+
+namespace touch {
+
+double JoinStats::Selectivity(size_t size_a, size_t size_b) const {
+  if (size_a == 0 || size_b == 0) return 0.0;
+  return static_cast<double>(results) /
+         (static_cast<double>(size_a) * static_cast<double>(size_b));
+}
+
+void JoinStats::MergeCounters(const JoinStats& other) {
+  comparisons += other.comparisons;
+  node_comparisons += other.node_comparisons;
+  results += other.results;
+  filtered += other.filtered;
+  if (other.memory_bytes > memory_bytes) memory_bytes = other.memory_bytes;
+}
+
+std::string JoinStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "comparisons=%llu results=%llu filtered=%llu memory=%.2fMB "
+                "time=%.3fs (build=%.3f assign=%.3f join=%.3f)",
+                static_cast<unsigned long long>(comparisons),
+                static_cast<unsigned long long>(results),
+                static_cast<unsigned long long>(filtered),
+                static_cast<double>(memory_bytes) / (1024.0 * 1024.0),
+                total_seconds, build_seconds, assign_seconds, join_seconds);
+  return std::string(buf);
+}
+
+}  // namespace touch

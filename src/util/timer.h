@@ -1,0 +1,29 @@
+#ifndef TOUCH_UTIL_TIMER_H_
+#define TOUCH_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace touch {
+
+/// Monotonic wall-clock stopwatch used for the per-phase timings reported in
+/// JoinStats. Started on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_UTIL_TIMER_H_

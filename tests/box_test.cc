@@ -1,0 +1,177 @@
+#include "geom/box.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+TEST(BoxTest, DefaultBoxIsPointAtOrigin) {
+  Box b;
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_EQ(b.Center(), Vec3(0, 0, 0));
+  EXPECT_DOUBLE_EQ(b.Volume(), 0.0);
+}
+
+TEST(BoxTest, EmptyBoxIsEmpty) {
+  const Box e = Box::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_DOUBLE_EQ(e.Volume(), 0.0);
+}
+
+TEST(BoxTest, ExpandToContainFromEmptyYieldsTheBox) {
+  Box e = Box::Empty();
+  const Box b = MakeBox(1, 2, 3, 4, 5, 6);
+  e.ExpandToContain(b);
+  EXPECT_EQ(e, b);
+}
+
+TEST(BoxTest, ExpandToContainPoint) {
+  Box b = MakeBox(0, 0, 0, 1, 1, 1);
+  b.ExpandToContain(Vec3(5, -1, 0.5f));
+  EXPECT_EQ(b, MakeBox(0, -1, 0, 5, 1, 1));
+}
+
+TEST(BoxTest, VolumeAndMargin) {
+  const Box b = MakeBox(0, 0, 0, 2, 3, 4);
+  EXPECT_DOUBLE_EQ(b.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(b.Margin(), 9.0);
+}
+
+TEST(BoxTest, IntersectsOverlapping) {
+  EXPECT_TRUE(Intersects(MakeBox(0, 0, 0, 2, 2, 2), MakeBox(1, 1, 1, 3, 3, 3)));
+}
+
+TEST(BoxTest, IntersectsDisjointOnEachAxis) {
+  const Box base = MakeBox(0, 0, 0, 1, 1, 1);
+  EXPECT_FALSE(Intersects(base, MakeBox(2, 0, 0, 3, 1, 1)));
+  EXPECT_FALSE(Intersects(base, MakeBox(0, 2, 0, 1, 3, 1)));
+  EXPECT_FALSE(Intersects(base, MakeBox(0, 0, 2, 1, 1, 3)));
+}
+
+TEST(BoxTest, TouchingFacesCountAsIntersecting) {
+  // Closed-box semantics: sharing a face is an intersection.
+  EXPECT_TRUE(Intersects(MakeBox(0, 0, 0, 1, 1, 1), MakeBox(1, 0, 0, 2, 1, 1)));
+}
+
+TEST(BoxTest, TouchingCornerCountsAsIntersecting) {
+  EXPECT_TRUE(Intersects(MakeBox(0, 0, 0, 1, 1, 1), MakeBox(1, 1, 1, 2, 2, 2)));
+}
+
+TEST(BoxTest, IntersectsIsSymmetric) {
+  const Box a = MakeBox(0, 0, 0, 2, 2, 2);
+  const Box b = MakeBox(1, -5, 1, 3, 7, 1.5f);
+  EXPECT_EQ(Intersects(a, b), Intersects(b, a));
+  EXPECT_TRUE(Intersects(a, b));
+}
+
+TEST(BoxTest, ContainmentImpliesIntersection) {
+  const Box outer = MakeBox(0, 0, 0, 10, 10, 10);
+  const Box inner = MakeBox(4, 4, 4, 5, 5, 5);
+  EXPECT_TRUE(Contains(outer, inner));
+  EXPECT_FALSE(Contains(inner, outer));
+  EXPECT_TRUE(Intersects(outer, inner));
+}
+
+TEST(BoxTest, ContainsIsClosedAtBoundary) {
+  const Box outer = MakeBox(0, 0, 0, 1, 1, 1);
+  EXPECT_TRUE(Contains(outer, outer));
+  EXPECT_TRUE(ContainsPoint(outer, Vec3(1, 1, 1)));
+  EXPECT_FALSE(ContainsPoint(outer, Vec3(1, 1, 1.001f)));
+}
+
+TEST(BoxTest, DegenerateZeroExtentBoxIntersects) {
+  // A point-box on the surface of another box intersects it.
+  const Box point = MakeBox(1, 1, 1, 1, 1, 1);
+  EXPECT_TRUE(Intersects(point, MakeBox(0, 0, 0, 1, 1, 1)));
+  EXPECT_TRUE(Intersects(point, point));
+}
+
+TEST(BoxTest, IntersectionRegion) {
+  const Box a = MakeBox(0, 0, 0, 2, 2, 2);
+  const Box b = MakeBox(1, 1, 1, 3, 3, 3);
+  EXPECT_EQ(Intersection(a, b), MakeBox(1, 1, 1, 2, 2, 2));
+}
+
+TEST(BoxTest, IntersectionOfDisjointBoxesIsEmpty) {
+  EXPECT_TRUE(
+      Intersection(MakeBox(0, 0, 0, 1, 1, 1), MakeBox(2, 2, 2, 3, 3, 3))
+          .IsEmpty());
+}
+
+TEST(BoxTest, UnionEnclosesBoth) {
+  const Box a = MakeBox(0, 0, 0, 1, 1, 1);
+  const Box b = MakeBox(5, -2, 0, 6, 0, 3);
+  const Box u = Union(a, b);
+  EXPECT_TRUE(Contains(u, a));
+  EXPECT_TRUE(Contains(u, b));
+  EXPECT_EQ(u, MakeBox(0, -2, 0, 6, 1, 3));
+}
+
+TEST(BoxTest, EnlargedGrowsEverySide) {
+  const Box b = MakeBox(0, 0, 0, 1, 1, 1).Enlarged(2.0f);
+  EXPECT_EQ(b, MakeBox(-2, -2, -2, 3, 3, 3));
+}
+
+TEST(BoxTest, EnlargedIntersectionEqualsChebyshevDistancePredicate) {
+  // Enlarging a by eps makes Intersects(a', b) equivalent to
+  // "per-axis gap <= eps on all axes".
+  const Box a = MakeBox(0, 0, 0, 1, 1, 1);
+  const Box near = MakeBox(2.5f, 0, 0, 3, 1, 1);   // gap 1.5 on x
+  const Box far = MakeBox(3.5f, 0, 0, 4, 1, 1);    // gap 2.5 on x
+  EXPECT_TRUE(Intersects(a.Enlarged(1.5f), near));
+  EXPECT_FALSE(Intersects(a.Enlarged(1.4f), near));
+  EXPECT_FALSE(Intersects(a.Enlarged(2.0f), far));
+}
+
+TEST(BoxTest, MinDistanceZeroWhenIntersecting) {
+  EXPECT_DOUBLE_EQ(
+      MinDistance(MakeBox(0, 0, 0, 2, 2, 2), MakeBox(1, 1, 1, 3, 3, 3)), 0.0);
+}
+
+TEST(BoxTest, MinDistanceAlongSingleAxis) {
+  EXPECT_DOUBLE_EQ(
+      MinDistance(MakeBox(0, 0, 0, 1, 1, 1), MakeBox(4, 0, 0, 5, 1, 1)), 3.0);
+}
+
+TEST(BoxTest, MinDistanceDiagonal) {
+  // Gap of 3 on x and 4 on y -> distance 5.
+  EXPECT_DOUBLE_EQ(
+      MinDistance(MakeBox(0, 0, 0, 1, 1, 1), MakeBox(4, 5, 0, 5, 6, 1)), 5.0);
+}
+
+TEST(BoxTest, CenterAndExtent) {
+  const Box b = MakeBox(1, 2, 3, 3, 6, 11);
+  EXPECT_EQ(b.Center(), Vec3(2, 4, 7));
+  EXPECT_EQ(b.Extent(), Vec3(2, 4, 8));
+}
+
+TEST(Vec3Test, ArithmeticAndDot) {
+  const Vec3 a(1, 2, 3);
+  const Vec3 b(4, 5, 6);
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0f, Vec3(2, 4, 6));
+  EXPECT_FLOAT_EQ(a.Dot(b), 32.0f);
+}
+
+TEST(Vec3Test, NormalizedHasUnitLength) {
+  const Vec3 v = Vec3(3, 4, 0).Normalized();
+  EXPECT_FLOAT_EQ(v.Length(), 1.0f);
+  EXPECT_FLOAT_EQ(v.x, 0.6f);
+}
+
+TEST(Vec3Test, NormalizedZeroVectorStaysZero) {
+  EXPECT_EQ(Vec3(0, 0, 0).Normalized(), Vec3(0, 0, 0));
+}
+
+TEST(Vec3Test, IndexAccess) {
+  const Vec3 v(7, 8, 9);
+  EXPECT_FLOAT_EQ(v[0], 7);
+  EXPECT_FLOAT_EQ(v[1], 8);
+  EXPECT_FLOAT_EQ(v[2], 9);
+}
+
+}  // namespace
+}  // namespace touch

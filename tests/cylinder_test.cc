@@ -1,0 +1,145 @@
+#include "geom/cylinder.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace touch {
+namespace {
+
+TEST(SegmentDistanceTest, ParallelSegments) {
+  EXPECT_NEAR(SegmentDistance(Vec3(0, 0, 0), Vec3(10, 0, 0), Vec3(0, 3, 0),
+                              Vec3(10, 3, 0)),
+              3.0, 1e-9);
+}
+
+TEST(SegmentDistanceTest, CrossingSegmentsTouch) {
+  // Perpendicular segments crossing at the origin plane.
+  EXPECT_NEAR(SegmentDistance(Vec3(-1, 0, 0), Vec3(1, 0, 0), Vec3(0, -1, 0),
+                              Vec3(0, 1, 0)),
+              0.0, 1e-9);
+}
+
+TEST(SegmentDistanceTest, SkewSegments) {
+  // Perpendicular skew lines separated by 2 on z.
+  EXPECT_NEAR(SegmentDistance(Vec3(-1, 0, 0), Vec3(1, 0, 0), Vec3(0, -1, 2),
+                              Vec3(0, 1, 2)),
+              2.0, 1e-9);
+}
+
+TEST(SegmentDistanceTest, EndpointToEndpoint) {
+  // Closest approach at segment endpoints.
+  EXPECT_NEAR(SegmentDistance(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(4, 4, 0),
+                              Vec3(8, 8, 0)),
+              5.0, 1e-6);
+}
+
+TEST(SegmentDistanceTest, DegeneratePointSegments) {
+  // Both segments are points.
+  EXPECT_NEAR(SegmentDistance(Vec3(0, 0, 0), Vec3(0, 0, 0), Vec3(3, 4, 0),
+                              Vec3(3, 4, 0)),
+              5.0, 1e-9);
+  // One point, one segment: point projects onto the middle.
+  EXPECT_NEAR(SegmentDistance(Vec3(5, 7, 0), Vec3(5, 7, 0), Vec3(0, 0, 0),
+                              Vec3(10, 0, 0)),
+              7.0, 1e-9);
+}
+
+TEST(SegmentDistanceTest, CollinearOverlappingSegments) {
+  EXPECT_NEAR(SegmentDistance(Vec3(0, 0, 0), Vec3(5, 0, 0), Vec3(3, 0, 0),
+                              Vec3(9, 0, 0)),
+              0.0, 1e-9);
+}
+
+TEST(SegmentDistanceTest, CollinearDisjointSegments) {
+  EXPECT_NEAR(SegmentDistance(Vec3(0, 0, 0), Vec3(1, 0, 0), Vec3(4, 0, 0),
+                              Vec3(6, 0, 0)),
+              3.0, 1e-9);
+}
+
+TEST(SegmentDistanceTest, IsSymmetric) {
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p0(rng.NextFloat() * 10, rng.NextFloat() * 10,
+                  rng.NextFloat() * 10);
+    const Vec3 p1(rng.NextFloat() * 10, rng.NextFloat() * 10,
+                  rng.NextFloat() * 10);
+    const Vec3 q0(rng.NextFloat() * 10, rng.NextFloat() * 10,
+                  rng.NextFloat() * 10);
+    const Vec3 q1(rng.NextFloat() * 10, rng.NextFloat() * 10,
+                  rng.NextFloat() * 10);
+    EXPECT_NEAR(SegmentDistance(p0, p1, q0, q1),
+                SegmentDistance(q0, q1, p0, p1), 1e-9);
+  }
+}
+
+TEST(SegmentDistanceTest, NeverExceedsEndpointDistances) {
+  // The segment distance is a lower bound of any endpoint pair distance.
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 p0(rng.NextFloat(), rng.NextFloat(), rng.NextFloat());
+    const Vec3 p1(rng.NextFloat(), rng.NextFloat(), rng.NextFloat());
+    const Vec3 q0(rng.NextFloat(), rng.NextFloat(), rng.NextFloat());
+    const Vec3 q1(rng.NextFloat(), rng.NextFloat(), rng.NextFloat());
+    const double d = SegmentDistance(p0, p1, q0, q1);
+    EXPECT_LE(d, (p0 - q0).Length() + 1e-6);
+    EXPECT_LE(d, (p0 - q1).Length() + 1e-6);
+    EXPECT_LE(d, (p1 - q0).Length() + 1e-6);
+    EXPECT_LE(d, (p1 - q1).Length() + 1e-6);
+  }
+}
+
+TEST(CylinderTest, MbrEnclosesBothEndpointsPlusRadius) {
+  const Cylinder c(Vec3(1, 1, 1), Vec3(4, 5, 6), 0.5f);
+  const Box mbr = c.Mbr();
+  EXPECT_EQ(mbr.lo, Vec3(0.5f, 0.5f, 0.5f));
+  EXPECT_EQ(mbr.hi, Vec3(4.5f, 5.5f, 6.5f));
+}
+
+TEST(CylinderTest, LengthIsSegmentLength) {
+  EXPECT_FLOAT_EQ(Cylinder(Vec3(0, 0, 0), Vec3(3, 4, 0), 1).Length(), 5.0f);
+}
+
+TEST(CylinderTest, DistanceSubtractsRadii) {
+  const Cylinder a(Vec3(0, 0, 0), Vec3(10, 0, 0), 1.0f);
+  const Cylinder b(Vec3(0, 5, 0), Vec3(10, 5, 0), 1.5f);
+  EXPECT_NEAR(CylinderDistance(a, b), 2.5, 1e-6);
+}
+
+TEST(CylinderTest, InterpenetratingCylindersHaveZeroDistance) {
+  const Cylinder a(Vec3(0, 0, 0), Vec3(10, 0, 0), 2.0f);
+  const Cylinder b(Vec3(0, 1, 0), Vec3(10, 1, 0), 2.0f);
+  EXPECT_DOUBLE_EQ(CylinderDistance(a, b), 0.0);
+}
+
+TEST(CylinderTest, WithinDistancePredicate) {
+  const Cylinder a(Vec3(0, 0, 0), Vec3(10, 0, 0), 0.5f);
+  const Cylinder b(Vec3(0, 3, 0), Vec3(10, 3, 0), 0.5f);
+  // Surface distance = 3 - 1 = 2.
+  EXPECT_TRUE(CylindersWithinDistance(a, b, 2.0));
+  EXPECT_TRUE(CylindersWithinDistance(a, b, 2.5));
+  EXPECT_FALSE(CylindersWithinDistance(a, b, 1.9));
+}
+
+TEST(CylinderTest, MbrDistanceLowerBoundsExactDistance) {
+  // Filter-refine soundness: if the MBRs (enlarged by eps) do not intersect,
+  // the exact cylinder distance must exceed eps.
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    const Cylinder a(
+        Vec3(rng.NextFloat() * 20, rng.NextFloat() * 20, rng.NextFloat() * 20),
+        Vec3(rng.NextFloat() * 20, rng.NextFloat() * 20, rng.NextFloat() * 20),
+        0.2f + rng.NextFloat());
+    const Cylinder b(
+        Vec3(rng.NextFloat() * 20, rng.NextFloat() * 20, rng.NextFloat() * 20),
+        Vec3(rng.NextFloat() * 20, rng.NextFloat() * 20, rng.NextFloat() * 20),
+        0.2f + rng.NextFloat());
+    const float eps = rng.NextFloat() * 3;
+    if (!Intersects(a.Mbr().Enlarged(eps), b.Mbr())) {
+      EXPECT_GT(CylinderDistance(a, b), static_cast<double>(eps) - 1e-4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,135 @@
+#include "datagen/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace touch {
+namespace {
+
+TEST(DatagenTest, GeneratesRequestedCount) {
+  for (const Distribution d : {Distribution::kUniform, Distribution::kGaussian,
+                               Distribution::kClustered}) {
+    EXPECT_EQ(GenerateSynthetic(d, 1234, 1).size(), 1234u);
+  }
+}
+
+TEST(DatagenTest, ZeroCountYieldsEmptyDataset) {
+  EXPECT_TRUE(GenerateSynthetic(Distribution::kUniform, 0, 1).empty());
+}
+
+TEST(DatagenTest, DeterministicInSeed) {
+  const Dataset a = GenerateSynthetic(Distribution::kClustered, 500, 77);
+  const Dataset b = GenerateSynthetic(Distribution::kClustered, 500, 77);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(DatagenTest, DifferentSeedsDiffer) {
+  const Dataset a = GenerateSynthetic(Distribution::kUniform, 100, 1);
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 100, 2);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == b[i]) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(DatagenTest, BoxCentersStayInsideSpace) {
+  SyntheticOptions opt;
+  for (const Distribution d : {Distribution::kUniform, Distribution::kGaussian,
+                               Distribution::kClustered}) {
+    for (const Box& box : GenerateSynthetic(d, 2000, 3, opt)) {
+      const Vec3 c = box.Center();
+      EXPECT_GE(c.x, 0.0f);
+      EXPECT_LE(c.x, opt.space);
+      EXPECT_GE(c.y, 0.0f);
+      EXPECT_LE(c.y, opt.space);
+      EXPECT_GE(c.z, 0.0f);
+      EXPECT_LE(c.z, opt.space);
+    }
+  }
+}
+
+TEST(DatagenTest, BoxSidesBoundedByMaxSide) {
+  SyntheticOptions opt;
+  opt.max_side = 2.5f;
+  for (const Box& box : GenerateSynthetic(Distribution::kUniform, 2000, 4, opt)) {
+    const Vec3 e = box.Extent();
+    EXPECT_GE(e.x, 0.0f);
+    EXPECT_LT(e.x, opt.max_side);
+    EXPECT_LT(e.y, opt.max_side);
+    EXPECT_LT(e.z, opt.max_side);
+  }
+}
+
+TEST(DatagenTest, GaussianConcentratesAroundCenter) {
+  SyntheticOptions opt;
+  const Dataset data = GenerateSynthetic(Distribution::kGaussian, 20000, 5, opt);
+  // About 38% of a clamped N(500,250) sample lies within 125 of the mean on
+  // each axis; jointly the central half-cube should hold far more mass than
+  // it would under uniformity.
+  size_t central = 0;
+  for (const Box& box : data) {
+    const Vec3 c = box.Center();
+    if (std::abs(c.x - 500) < 250 && std::abs(c.y - 500) < 250 &&
+        std::abs(c.z - 500) < 250) {
+      ++central;
+    }
+  }
+  const double fraction = static_cast<double>(central) / data.size();
+  EXPECT_GT(fraction, 0.2);  // uniform would give 0.125
+}
+
+TEST(DatagenTest, ClusteredIsMoreConcentratedThanUniform) {
+  // Compare the average nearest-centroid spread via a crude proxy: the mean
+  // pairwise-sample distance of clustered data must undershoot uniform data.
+  const Dataset u = GenerateSynthetic(Distribution::kUniform, 2000, 6);
+  SyntheticOptions copt;
+  copt.clusters = 5;
+  copt.cluster_sigma = 30.0f;
+  const Dataset c = GenerateSynthetic(Distribution::kClustered, 2000, 6, copt);
+  auto mean_pair_distance = [](const Dataset& data) {
+    double sum = 0;
+    int count = 0;
+    for (size_t i = 0; i < data.size(); i += 40) {
+      for (size_t j = i + 1; j < data.size(); j += 40) {
+        sum += (data[i].Center() - data[j].Center()).Length();
+        ++count;
+      }
+    }
+    return sum / count;
+  };
+  EXPECT_LT(mean_pair_distance(c), mean_pair_distance(u));
+}
+
+TEST(DatagenTest, ClusteredHotspotsIndependentOfCount) {
+  // Growing a clustered dataset must extend it around the same hotspots:
+  // the first boxes of a bigger dataset coincide with the smaller one.
+  const Dataset small = GenerateSynthetic(Distribution::kClustered, 100, 9);
+  const Dataset big = GenerateSynthetic(Distribution::kClustered, 1000, 9);
+  for (size_t i = 0; i < small.size(); ++i) EXPECT_EQ(small[i], big[i]);
+}
+
+TEST(DatagenTest, ParseDistributionNames) {
+  Distribution d;
+  EXPECT_TRUE(ParseDistribution("uniform", &d));
+  EXPECT_EQ(d, Distribution::kUniform);
+  EXPECT_TRUE(ParseDistribution("gaussian", &d));
+  EXPECT_EQ(d, Distribution::kGaussian);
+  EXPECT_TRUE(ParseDistribution("clustered", &d));
+  EXPECT_EQ(d, Distribution::kClustered);
+  EXPECT_FALSE(ParseDistribution("zipf", &d));
+}
+
+TEST(DatagenTest, DistributionNamesRoundTrip) {
+  for (const Distribution d : {Distribution::kUniform, Distribution::kGaussian,
+                               Distribution::kClustered}) {
+    Distribution parsed;
+    ASSERT_TRUE(ParseDistribution(DistributionName(d), &parsed));
+    EXPECT_EQ(parsed, d);
+  }
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,156 @@
+#include "join/local_join.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/distributions.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+std::vector<uint32_t> AllIds(size_t n) {
+  std::vector<uint32_t> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+class LocalJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = GenerateSynthetic(Distribution::kClustered, 300, 1);
+    b_ = GenerateSynthetic(Distribution::kClustered, 400, 2);
+    // Enlarge A so the joins have plenty of results.
+    for (Box& box : a_) box = box.Enlarged(20.0f);
+    ids_a_ = AllIds(a_.size());
+    ids_b_ = AllIds(b_.size());
+  }
+
+  std::vector<IdPair> RunNested(JoinStats* stats) {
+    std::vector<IdPair> pairs;
+    LocalNestedLoop(a_, ids_a_, b_, ids_b_, stats,
+                    [&](uint32_t x, uint32_t y) { pairs.emplace_back(x, y); });
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  }
+
+  std::vector<IdPair> RunSweep(JoinStats* stats) {
+    std::vector<IdPair> pairs;
+    LocalPlaneSweep(a_, ids_a_, b_, ids_b_, stats,
+                    [&](uint32_t x, uint32_t y) { pairs.emplace_back(x, y); });
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  }
+
+  Dataset a_;
+  Dataset b_;
+  std::vector<uint32_t> ids_a_;
+  std::vector<uint32_t> ids_b_;
+};
+
+TEST_F(LocalJoinTest, SweepMatchesNestedLoop) {
+  JoinStats s1;
+  JoinStats s2;
+  EXPECT_EQ(RunNested(&s1), RunSweep(&s2));
+}
+
+TEST_F(LocalJoinTest, SweepEmitsNoDuplicates) {
+  JoinStats stats;
+  std::vector<IdPair> pairs;
+  LocalPlaneSweep(a_, ids_a_, b_, ids_b_, &stats,
+                  [&](uint32_t x, uint32_t y) { pairs.emplace_back(x, y); });
+  EXPECT_TRUE(HasNoDuplicates(pairs));
+}
+
+TEST_F(LocalJoinTest, NestedLoopComparisonCountIsExact) {
+  JoinStats stats;
+  RunNested(&stats);
+  EXPECT_EQ(stats.comparisons, a_.size() * b_.size());
+}
+
+TEST_F(LocalJoinTest, SweepDoesFewerComparisonsThanNestedLoop) {
+  JoinStats nested;
+  JoinStats sweep;
+  RunNested(&nested);
+  RunSweep(&sweep);
+  EXPECT_LT(sweep.comparisons, nested.comparisons);
+}
+
+TEST(LocalJoinEdgeTest, EmptySidesProduceNothing) {
+  const Dataset a = {MakeBox(0, 0, 0, 1, 1, 1)};
+  const std::vector<uint32_t> ids = {0};
+  JoinStats stats;
+  int emitted = 0;
+  LocalPlaneSweep(a, ids, a, {}, &stats,
+                  [&](uint32_t, uint32_t) { ++emitted; });
+  LocalPlaneSweep(a, {}, a, ids, &stats,
+                  [&](uint32_t, uint32_t) { ++emitted; });
+  LocalNestedLoop(a, {}, a, {}, &stats,
+                  [&](uint32_t, uint32_t) { ++emitted; });
+  EXPECT_EQ(emitted, 0);
+  EXPECT_EQ(stats.comparisons, 0u);
+}
+
+TEST(LocalJoinEdgeTest, SweepHandlesSharedXLowTies) {
+  // Several boxes with identical lo.x: every intersecting pair must be
+  // reported exactly once despite the tie.
+  Dataset a;
+  Dataset b;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(MakeBox(0, static_cast<float>(i), 0, 1,
+                        static_cast<float>(i) + 0.5f, 1));
+    b.push_back(MakeBox(0, static_cast<float>(i), 0, 1,
+                        static_cast<float>(i) + 0.5f, 1));
+  }
+  const std::vector<uint32_t> ids_a = AllIds(a.size());
+  const std::vector<uint32_t> ids_b = AllIds(b.size());
+  JoinStats stats;
+  std::vector<IdPair> sweep;
+  LocalPlaneSweep(a, ids_a, b, ids_b, &stats,
+                  [&](uint32_t x, uint32_t y) { sweep.emplace_back(x, y); });
+  std::sort(sweep.begin(), sweep.end());
+  std::vector<IdPair> nested;
+  JoinStats stats2;
+  LocalNestedLoop(a, ids_a, b, ids_b, &stats2,
+                  [&](uint32_t x, uint32_t y) { nested.emplace_back(x, y); });
+  std::sort(nested.begin(), nested.end());
+  EXPECT_EQ(sweep, nested);
+  EXPECT_TRUE(HasNoDuplicates(sweep));
+}
+
+TEST(LocalJoinEdgeTest, SortByXLowIsStableOnTies) {
+  const Dataset boxes(10, MakeBox(1, 0, 0, 2, 1, 1));
+  std::vector<uint32_t> ids = AllIds(boxes.size());
+  SortByXLow(boxes, ids);
+  for (uint32_t i = 0; i < ids.size(); ++i) EXPECT_EQ(ids[i], i);
+}
+
+TEST(LocalJoinEdgeTest, SubsetIdListsJoinOnlyTheSubset) {
+  // Local joins operate on id subsets, not whole datasets.
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.push_back(CenteredBox(static_cast<float>(i) * 10, 0, 0, 6));
+  }
+  const std::vector<uint32_t> left = {0, 1};
+  const std::vector<uint32_t> right = {1, 9};
+  JoinStats stats;
+  std::vector<IdPair> pairs;
+  LocalNestedLoop(data, left, data, right, &stats,
+                  [&](uint32_t x, uint32_t y) { pairs.emplace_back(x, y); });
+  std::sort(pairs.begin(), pairs.end());
+  // Boxes 0-1 and 1-1 overlap (10 apart, half-extent 6); 9 is far away.
+  const std::vector<IdPair> expected = {{0, 1}, {1, 1}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(LocalJoinEdgeTest, StrategyNames) {
+  EXPECT_STREQ(LocalJoinStrategyName(LocalJoinStrategy::kGrid), "grid");
+  EXPECT_STREQ(LocalJoinStrategyName(LocalJoinStrategy::kPlaneSweep),
+               "plane-sweep");
+  EXPECT_STREQ(LocalJoinStrategyName(LocalJoinStrategy::kNestedLoop),
+               "nested-loop");
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,114 @@
+#include "join/nbps.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "join/pbsm.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+class NbpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = GenerateSynthetic(Distribution::kGaussian, 600, 91);
+    for (Box& box : a_) box = box.Enlarged(8.0f);
+    b_ = GenerateSynthetic(Distribution::kGaussian, 900, 92);
+  }
+  Dataset a_;
+  Dataset b_;
+};
+
+TEST_F(NbpsTest, MatchesOracle) {
+  NbpsJoin join;
+  EXPECT_EQ(RunJoinSorted(join, a_, b_), OracleJoin(a_, b_));
+}
+
+TEST_F(NbpsTest, StreamedResultsAreDuplicateFree) {
+  NbpsJoin join;
+  VectorCollector out;
+  join.Join(a_, b_, out);
+  EXPECT_TRUE(HasNoDuplicates(out.pairs()));
+}
+
+TEST_F(NbpsTest, MatchesOracleAcrossResolutions) {
+  for (const int resolution : {1, 4, 25, 120}) {
+    NbpsOptions opt;
+    opt.resolution = resolution;
+    NbpsJoin join(opt);
+    EXPECT_EQ(RunJoinSorted(join, a_, b_), OracleJoin(a_, b_))
+        << "resolution=" << resolution;
+  }
+}
+
+TEST_F(NbpsTest, EmptyInputs) {
+  NbpsJoin join;
+  VectorCollector out;
+  EXPECT_EQ(join.Join({}, b_, out).results, 0u);
+  EXPECT_EQ(join.Join(a_, {}, out).results, 0u);
+  EXPECT_TRUE(out.pairs().empty());
+}
+
+TEST_F(NbpsTest, RecordsTimeToFirstResult) {
+  NbpsJoin join;
+  CountingCollector out;
+  const JoinStats stats = join.Join(a_, b_, out);
+  ASSERT_GT(stats.results, 0u);
+  EXPECT_GT(stats.first_result_seconds, 0.0);
+  EXPECT_LE(stats.first_result_seconds, stats.total_seconds);
+}
+
+TEST_F(NbpsTest, NoResultsLeavesFirstResultTimeZero) {
+  Dataset far;
+  for (int i = 0; i < 50; ++i) far.push_back(CenteredBox(5000, 5000, 5000));
+  NbpsJoin join;
+  CountingCollector out;
+  const JoinStats stats = join.Join(a_, far, out);
+  EXPECT_EQ(stats.results, 0u);
+  EXPECT_EQ(stats.first_result_seconds, 0.0);
+}
+
+TEST_F(NbpsTest, FirstResultArrivesBeforeBlockingJoinFinishes) {
+  // The non-blocking property: on a workload sized so the blocking PBSM join
+  // takes measurable time, NBPS must deliver its first pair well before its
+  // own end (and thus before any blocking join could deliver anything).
+  const Dataset a = GenerateSynthetic(Distribution::kUniform, 20000, 93);
+  Dataset enlarged = a;
+  for (Box& box : enlarged) box = box.Enlarged(5.0f);
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 30000, 94);
+
+  NbpsJoin nbps;
+  CountingCollector out;
+  const JoinStats stats = nbps.Join(enlarged, b, out);
+  ASSERT_GT(stats.results, 0u);
+  EXPECT_LT(stats.first_result_seconds, stats.total_seconds / 4);
+}
+
+TEST_F(NbpsTest, ResultsIdenticalToPbsmWithSameGrid) {
+  NbpsOptions nbps_opt;
+  nbps_opt.resolution = 50;
+  PbsmOptions pbsm_opt;
+  pbsm_opt.resolution = 50;
+  NbpsJoin nbps(nbps_opt);
+  PbsmJoin pbsm(pbsm_opt);
+  EXPECT_EQ(RunJoinSorted(nbps, a_, b_), RunJoinSorted(pbsm, a_, b_));
+}
+
+TEST_F(NbpsTest, OrderInsensitive) {
+  // The pair set must not depend on which stream plays A and which plays B.
+  NbpsJoin join;
+  const auto forward = RunJoinSorted(join, a_, b_);
+  VectorCollector reversed_out;
+  join.Join(b_, a_, reversed_out);
+  std::vector<IdPair> reversed;
+  reversed.reserve(reversed_out.pairs().size());
+  for (const auto& [b_id, a_id] : reversed_out.pairs()) {
+    reversed.emplace_back(a_id, b_id);
+  }
+  std::sort(reversed.begin(), reversed.end());
+  EXPECT_EQ(forward, reversed);
+}
+
+}  // namespace
+}  // namespace touch

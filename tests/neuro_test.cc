@@ -1,0 +1,124 @@
+#include "datagen/neuro.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace touch {
+namespace {
+
+NeuroOptions SmallModel() {
+  NeuroOptions opt;
+  opt.neurons = 20;
+  opt.segments_per_branch = 30;
+  return opt;
+}
+
+TEST(NeuroTest, CylinderCountsMatchConfiguration) {
+  const NeuroOptions opt = SmallModel();
+  const NeuroModel model = GenerateNeuroscience(opt, 1);
+  EXPECT_EQ(model.axons.size(),
+            static_cast<size_t>(opt.neurons * opt.axon_branches *
+                                opt.segments_per_branch));
+  EXPECT_EQ(model.dendrites.size(),
+            static_cast<size_t>(opt.neurons * opt.dendrite_branches *
+                                opt.segments_per_branch));
+}
+
+TEST(NeuroTest, AxonDendriteRatioMatchesPaper) {
+  // The paper's model has ~1:2 axon:dendrite cylinders.
+  const NeuroModel model = GenerateNeuroscience(SmallModel(), 2);
+  EXPECT_EQ(model.dendrites.size(), 2 * model.axons.size());
+}
+
+TEST(NeuroTest, DeterministicInSeed) {
+  const NeuroModel a = GenerateNeuroscience(SmallModel(), 42);
+  const NeuroModel b = GenerateNeuroscience(SmallModel(), 42);
+  ASSERT_EQ(a.axons.size(), b.axons.size());
+  for (size_t i = 0; i < a.axons.size(); ++i) {
+    EXPECT_EQ(a.axons[i].start, b.axons[i].start);
+    EXPECT_EQ(a.axons[i].end, b.axons[i].end);
+  }
+}
+
+TEST(NeuroTest, CylindersStayInsideVolume) {
+  const NeuroOptions opt = SmallModel();
+  const NeuroModel model = GenerateNeuroscience(opt, 3);
+  for (const Cylinder& c : model.dendrites) {
+    for (const Vec3& p : {c.start, c.end}) {
+      EXPECT_GE(p.x, 0.0f);
+      EXPECT_LE(p.x, opt.volume);
+      EXPECT_GE(p.y, 0.0f);
+      EXPECT_LE(p.y, opt.volume);
+      EXPECT_GE(p.z, 0.0f);
+      EXPECT_LE(p.z, opt.volume);
+    }
+  }
+}
+
+TEST(NeuroTest, DenseCoreSparsePeriphery) {
+  // The generator must reproduce the paper's key property: dense center,
+  // sparse elsewhere (it drives TOUCH's filtering). Compare cylinder counts
+  // in the central half-cube vs one corner octant of equal volume.
+  NeuroOptions opt = SmallModel();
+  opt.neurons = 100;
+  const NeuroModel model = GenerateNeuroscience(opt, 4);
+  const float v = opt.volume;
+  size_t central = 0;
+  size_t corner = 0;
+  for (const Cylinder& c : model.dendrites) {
+    const Vec3 m = (c.start + c.end) * 0.5f;
+    if (std::abs(m.x - v / 2) < v / 4 && std::abs(m.y - v / 2) < v / 4 &&
+        std::abs(m.z - v / 2) < v / 4) {
+      ++central;
+    }
+    if (m.x < v / 2 && m.y < v / 2 && m.z < v / 2 &&
+        (m.x < v / 4 || m.y < v / 4 || m.z < v / 4)) {
+      ++corner;
+    }
+  }
+  EXPECT_GT(central, 4 * corner);
+}
+
+TEST(NeuroTest, SegmentsFormConnectedBranches) {
+  // Within one branch consecutive cylinders share endpoints.
+  NeuroOptions opt = SmallModel();
+  opt.neurons = 1;
+  opt.axon_branches = 1;
+  opt.dendrite_branches = 0;
+  const NeuroModel model = GenerateNeuroscience(opt, 5);
+  ASSERT_EQ(model.axons.size(),
+            static_cast<size_t>(opt.segments_per_branch));
+  for (size_t i = 1; i < model.axons.size(); ++i) {
+    EXPECT_EQ(model.axons[i].start, model.axons[i - 1].end);
+  }
+}
+
+TEST(NeuroTest, BranchesTaperTowardsTips) {
+  NeuroOptions opt = SmallModel();
+  opt.neurons = 1;
+  opt.axon_branches = 1;
+  opt.dendrite_branches = 0;
+  const NeuroModel model = GenerateNeuroscience(opt, 6);
+  EXPECT_GT(model.axons.front().radius, model.axons.back().radius);
+}
+
+TEST(NeuroTest, CylinderMbrsPreserveOrderAndCount) {
+  const NeuroModel model = GenerateNeuroscience(SmallModel(), 7);
+  const Dataset boxes = CylinderMbrs(model.axons);
+  ASSERT_EQ(boxes.size(), model.axons.size());
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(boxes[i], model.axons[i].Mbr());
+  }
+}
+
+TEST(NeuroTest, ZeroNeuronsYieldEmptyModel) {
+  NeuroOptions opt;
+  opt.neurons = 0;
+  const NeuroModel model = GenerateNeuroscience(opt, 8);
+  EXPECT_TRUE(model.axons.empty());
+  EXPECT_TRUE(model.dendrites.empty());
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,126 @@
+#include "join/octree_join.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+class OctreeJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = GenerateSynthetic(Distribution::kClustered, 700, 81);
+    for (Box& box : a_) box = box.Enlarged(10.0f);
+    b_ = GenerateSynthetic(Distribution::kClustered, 1000, 82);
+  }
+  Dataset a_;
+  Dataset b_;
+};
+
+TEST_F(OctreeJoinTest, MatchesOracle) {
+  OctreeJoin join;
+  EXPECT_EQ(RunJoinSorted(join, a_, b_), OracleJoin(a_, b_));
+}
+
+TEST_F(OctreeJoinTest, NoDuplicateResultsDespiteObjectDuplication) {
+  OctreeJoin join;
+  VectorCollector out;
+  join.Join(a_, b_, out);
+  EXPECT_TRUE(HasNoDuplicates(out.pairs()));
+}
+
+TEST_F(OctreeJoinTest, MatchesOracleAcrossConfigurations) {
+  for (const size_t capacity : {size_t{4}, size_t{64}, size_t{100000}}) {
+    for (const int depth : {1, 4, 12}) {
+      OctreeJoinOptions opt;
+      opt.leaf_capacity = capacity;
+      opt.max_depth = depth;
+      OctreeJoin join(opt);
+      EXPECT_EQ(RunJoinSorted(join, a_, b_), OracleJoin(a_, b_))
+          << "capacity=" << capacity << " depth=" << depth;
+    }
+  }
+}
+
+TEST_F(OctreeJoinTest, DepthZeroDegeneratesToNestedLoop) {
+  OctreeJoinOptions opt;
+  opt.max_depth = 0;
+  opt.leaf_capacity = 1;
+  OctreeJoin join(opt);
+  JoinStats stats;
+  EXPECT_EQ(RunJoinSorted(join, a_, b_, &stats), OracleJoin(a_, b_));
+  EXPECT_EQ(stats.comparisons, a_.size() * b_.size());
+}
+
+TEST_F(OctreeJoinTest, EmptyInputs) {
+  OctreeJoin join;
+  VectorCollector out;
+  EXPECT_EQ(join.Join({}, b_, out).results, 0u);
+  EXPECT_EQ(join.Join(a_, {}, out).results, 0u);
+  EXPECT_TRUE(out.pairs().empty());
+}
+
+TEST_F(OctreeJoinTest, PrunesOneSidedRegions) {
+  // A in one corner, B partly overlapping, partly far away: far B objects
+  // land in pruned subtrees.
+  Dataset a;
+  Dataset b;
+  for (int i = 0; i < 200; ++i) {
+    const float f = static_cast<float>(i % 20);
+    a.push_back(CenteredBox(f, f, f, 2.0f));
+    b.push_back(CenteredBox(f, f, f, 2.0f));               // overlapping half
+    b.push_back(CenteredBox(900 + f, 900 + f, 900 + f));   // far half
+  }
+  OctreeJoinOptions opt;
+  opt.leaf_capacity = 16;
+  OctreeJoin join(opt);
+  JoinStats stats;
+  EXPECT_EQ(RunJoinSorted(join, a, b, &stats), OracleJoin(a, b));
+  EXPECT_GT(stats.filtered, 0u);
+}
+
+TEST_F(OctreeJoinTest, IdenticalDegenerateBoxesDoNotRecurseForever) {
+  // 500 identical points exceed any leaf capacity; the depth cap must stop
+  // the split chain.
+  Dataset a(300, CenteredBox(10, 10, 10, 0.0f));
+  Dataset b(300, CenteredBox(10, 10, 10, 0.0f));
+  OctreeJoinOptions opt;
+  opt.leaf_capacity = 8;
+  opt.max_depth = 20;
+  OctreeJoin join(opt);
+  VectorCollector out;
+  join.Join(a, b, out);
+  EXPECT_EQ(out.pairs().size(), a.size() * b.size());
+  EXPECT_TRUE(HasNoDuplicates(out.pairs()));
+}
+
+TEST_F(OctreeJoinTest, StatsAreFilled) {
+  OctreeJoin join;
+  CountingCollector out;
+  const JoinStats stats = join.Join(a_, b_, out);
+  EXPECT_EQ(stats.results, out.count());
+  EXPECT_GT(stats.comparisons, 0u);
+  EXPECT_GT(stats.node_comparisons, 0u);
+  EXPECT_GT(stats.memory_bytes, (a_.size() + b_.size()) * sizeof(uint32_t) / 2);
+  EXPECT_GE(stats.total_seconds, 0.0);
+}
+
+TEST_F(OctreeJoinTest, FinerDecompositionCutsComparisons) {
+  JoinStats coarse_stats;
+  JoinStats fine_stats;
+  OctreeJoinOptions coarse;
+  coarse.max_depth = 0;
+  OctreeJoinOptions fine;
+  fine.leaf_capacity = 32;
+  fine.max_depth = 10;
+  OctreeJoin coarse_join(coarse);
+  OctreeJoin fine_join(fine);
+  RunJoinSorted(coarse_join, a_, b_, &coarse_stats);
+  RunJoinSorted(fine_join, a_, b_, &fine_stats);
+  EXPECT_LT(fine_stats.comparisons, coarse_stats.comparisons / 10);
+}
+
+}  // namespace
+}  // namespace touch

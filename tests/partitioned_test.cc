@@ -1,0 +1,147 @@
+#include "core/partitioned.h"
+
+#include <gtest/gtest.h>
+
+#include "core/factory.h"
+#include "datagen/distributions.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+std::function<std::unique_ptr<SpatialJoinAlgorithm>()> TouchFactory() {
+  return [] { return MakeAlgorithm("touch"); };
+}
+
+std::vector<IdPair> RunPartitioned(const Dataset& a, const Dataset& b,
+                                   int partitions, int threads,
+                                   JoinStats* stats_out = nullptr) {
+  PartitionedOptions opt;
+  opt.partitions = partitions;
+  opt.threads = threads;
+  VectorCollector out;
+  const JoinStats stats = PartitionedJoin(TouchFactory(), a, b, opt, out);
+  if (stats_out != nullptr) *stats_out = stats;
+  std::vector<IdPair> pairs = out.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+class PartitionedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = GenerateSynthetic(Distribution::kClustered, 600, 60);
+    for (Box& box : a_) box = box.Enlarged(12.0f);
+    b_ = GenerateSynthetic(Distribution::kClustered, 900, 61);
+  }
+  Dataset a_;
+  Dataset b_;
+};
+
+TEST_F(PartitionedTest, MatchesOracleAcrossPartitionCounts) {
+  const auto oracle = OracleJoin(a_, b_);
+  for (const int partitions : {1, 2, 7, 16, 100}) {
+    EXPECT_EQ(RunPartitioned(a_, b_, partitions, 1), oracle)
+        << "partitions=" << partitions;
+  }
+}
+
+TEST_F(PartitionedTest, BoundarySpanningPairsAreNotLostOrDuplicated) {
+  // Boxes deliberately straddling slab boundaries: the halo must keep every
+  // cross-boundary pair and the reference-point rule must keep exactly one
+  // copy of it.
+  Dataset a;
+  Dataset b;
+  for (int i = 0; i < 40; ++i) {
+    // Long boxes along x (the slab axis for this extent).
+    a.push_back(MakeBox(static_cast<float>(i) * 25.0f, 0, 0,
+                        static_cast<float>(i) * 25.0f + 60.0f, 10, 10));
+    b.push_back(MakeBox(static_cast<float>(i) * 25.0f + 10.0f, 5, 5,
+                        static_cast<float>(i) * 25.0f + 70.0f, 15, 15));
+  }
+  const auto oracle = OracleJoin(a, b);
+  for (const int partitions : {3, 8, 33}) {
+    const auto pairs = RunPartitioned(a, b, partitions, 1);
+    EXPECT_EQ(pairs, oracle) << "partitions=" << partitions;
+    EXPECT_TRUE(HasNoDuplicates(pairs));
+  }
+}
+
+TEST_F(PartitionedTest, MultiThreadedMatchesSequential) {
+  const auto sequential = RunPartitioned(a_, b_, 16, 1);
+  for (const int threads : {2, 4, 8}) {
+    EXPECT_EQ(RunPartitioned(a_, b_, 16, threads), sequential)
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(PartitionedTest, WorksWithEveryWrappedAlgorithm) {
+  const auto oracle = OracleJoin(a_, b_);
+  for (const std::string name : {"ps", "pbsm-20", "s3", "rtree", "seeded",
+                                 "octree", "rplus", "nbps-10", "touch"}) {
+    PartitionedOptions opt;
+    opt.partitions = 6;
+    VectorCollector out;
+    PartitionedJoin([&] { return MakeAlgorithm(name); }, a_, b_, opt, out);
+    auto pairs = out.pairs();
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_EQ(pairs, oracle) << name;
+  }
+}
+
+TEST_F(PartitionedTest, CountersAggregateAcrossSlabs) {
+  JoinStats mono_stats;
+  TouchJoin mono;
+  VectorCollector mono_out;
+  mono_stats = mono.Join(a_, b_, mono_out);
+
+  JoinStats part_stats;
+  RunPartitioned(a_, b_, 8, 1, &part_stats);
+  EXPECT_EQ(part_stats.results, mono_out.pairs().size());
+  EXPECT_GT(part_stats.comparisons, 0u);
+}
+
+TEST_F(PartitionedTest, SinglePartitionEqualsPlainJoin) {
+  JoinStats mono_stats;
+  TouchJoin mono;
+  VectorCollector mono_out;
+  mono_stats = mono.Join(a_, b_, mono_out);
+
+  JoinStats stats;
+  const auto pairs = RunPartitioned(a_, b_, 1, 1, &stats);
+  EXPECT_EQ(pairs, OracleJoin(a_, b_));
+  // One slab means the wrapped algorithm sees the whole input: filtering
+  // behaviour must match the monolithic run exactly.
+  EXPECT_EQ(stats.filtered, mono_stats.filtered);
+  EXPECT_EQ(stats.results, mono_stats.results);
+}
+
+TEST_F(PartitionedTest, EmptyInputsAreSafe) {
+  EXPECT_TRUE(RunPartitioned({}, b_, 4, 2).empty());
+  EXPECT_TRUE(RunPartitioned(a_, {}, 4, 2).empty());
+}
+
+TEST(PartitionedDistanceTest, MatchesMonolithicDistanceJoin) {
+  const Dataset a = GenerateSynthetic(Distribution::kUniform, 500, 62);
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 800, 63);
+  constexpr float kEpsilon = 18.0f;
+
+  TouchJoin mono;
+  VectorCollector mono_out;
+  DistanceJoin(mono, a, b, kEpsilon, mono_out);
+  auto expected = mono_out.pairs();
+  std::sort(expected.begin(), expected.end());
+
+  PartitionedOptions opt;
+  opt.partitions = 10;
+  opt.threads = 3;
+  VectorCollector out;
+  PartitionedDistanceJoin([] { return MakeAlgorithm("touch"); }, a, b,
+                          kEpsilon, opt, out);
+  auto pairs = out.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  EXPECT_EQ(pairs, expected);
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,114 @@
+// End-to-end filter + refine pipeline tests: the TOUCH distance join on
+// cylinder MBRs (the filter the paper evaluates) composed with the exact
+// cylinder-distance refinement must find exactly the pairs a brute-force
+// exact scan finds — the completeness guarantee a downstream neuroscience
+// user actually relies on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/touch.h"
+#include "datagen/neuro.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+using PairSet = std::set<IdPair>;
+
+PairSet BruteForceSynapses(const std::vector<Cylinder>& axons,
+                           const std::vector<Cylinder>& dendrites,
+                           double epsilon) {
+  PairSet result;
+  for (uint32_t i = 0; i < axons.size(); ++i) {
+    for (uint32_t j = 0; j < dendrites.size(); ++j) {
+      if (CylindersWithinDistance(axons[i], dendrites[j], epsilon)) {
+        result.insert({i, j});
+      }
+    }
+  }
+  return result;
+}
+
+PairSet FilterRefineSynapses(const std::vector<Cylinder>& axons,
+                             const std::vector<Cylinder>& dendrites,
+                             float epsilon) {
+  const Dataset axon_boxes = CylinderMbrs(axons);
+  const Dataset dendrite_boxes = CylinderMbrs(dendrites);
+  TouchJoin join;
+  VectorCollector candidates;
+  DistanceJoin(join, axon_boxes, dendrite_boxes, epsilon, candidates);
+  PairSet result;
+  for (const auto& [i, j] : candidates.pairs()) {
+    if (CylindersWithinDistance(axons[i], dendrites[j], epsilon)) {
+      result.insert({i, j});
+    }
+  }
+  return result;
+}
+
+class RefinePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    NeuroOptions opt;
+    opt.neurons = 8;
+    opt.segments_per_branch = 20;
+    model_ = GenerateNeuroscience(opt, 99);
+  }
+  NeuroModel model_;
+};
+
+TEST_F(RefinePipelineTest, FilterRefineEqualsBruteForce) {
+  for (const float epsilon : {0.5f, 1.0f, 2.0f}) {
+    EXPECT_EQ(FilterRefineSynapses(model_.axons, model_.dendrites, epsilon),
+              BruteForceSynapses(model_.axons, model_.dendrites, epsilon))
+        << "epsilon=" << epsilon;
+  }
+}
+
+TEST_F(RefinePipelineTest, FilterIsNeverLossy) {
+  // Every brute-force pair must appear among the filter's candidates: the
+  // MBR distance lower-bounds the exact distance.
+  constexpr float kEpsilon = 1.5f;
+  const Dataset axon_boxes = CylinderMbrs(model_.axons);
+  const Dataset dendrite_boxes = CylinderMbrs(model_.dendrites);
+  TouchJoin join;
+  VectorCollector candidates;
+  DistanceJoin(join, axon_boxes, dendrite_boxes, kEpsilon, candidates);
+  PairSet candidate_set(candidates.pairs().begin(), candidates.pairs().end());
+  for (const IdPair& pair :
+       BruteForceSynapses(model_.axons, model_.dendrites, kEpsilon)) {
+    EXPECT_TRUE(candidate_set.count(pair))
+        << "exact pair (" << pair.first << "," << pair.second
+        << ") missing from filter output";
+  }
+}
+
+TEST_F(RefinePipelineTest, RefinementOnlyRemovesPairs) {
+  constexpr float kEpsilon = 1.0f;
+  const Dataset axon_boxes = CylinderMbrs(model_.axons);
+  const Dataset dendrite_boxes = CylinderMbrs(model_.dendrites);
+  TouchJoin join;
+  VectorCollector candidates;
+  DistanceJoin(join, axon_boxes, dendrite_boxes, kEpsilon, candidates);
+  const PairSet refined =
+      FilterRefineSynapses(model_.axons, model_.dendrites, kEpsilon);
+  EXPECT_LE(refined.size(), candidates.pairs().size());
+}
+
+TEST(RefineScalingTest, LargerEpsilonFindsMoreSynapses) {
+  NeuroOptions opt;
+  opt.neurons = 12;
+  opt.segments_per_branch = 15;
+  const NeuroModel model = GenerateNeuroscience(opt, 7);
+  const PairSet narrow = FilterRefineSynapses(model.axons, model.dendrites, 0.5f);
+  const PairSet wide = FilterRefineSynapses(model.axons, model.dendrites, 2.0f);
+  EXPECT_GE(wide.size(), narrow.size());
+  EXPECT_TRUE(std::includes(wide.begin(), wide.end(), narrow.begin(),
+                            narrow.end()));
+}
+
+}  // namespace
+}  // namespace touch

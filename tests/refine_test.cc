@@ -1,0 +1,193 @@
+#include "refine/refine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/touch.h"
+#include "datagen/neuro.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace touch {
+namespace {
+
+constexpr double kTolerance = 1e-5;
+
+// --- Sphere geometry ---------------------------------------------------------
+
+TEST(SphereGeometryTest, MbrIsTight) {
+  const Sphere s(Vec3(10, 20, 30), 2.5f);
+  EXPECT_EQ(s.Mbr(), Box(Vec3(7.5f, 17.5f, 27.5f), Vec3(12.5f, 22.5f, 32.5f)));
+}
+
+TEST(SphereGeometryTest, DistanceBetweenSeparatedSpheres) {
+  const Sphere a(Vec3(0, 0, 0), 1.0f);
+  const Sphere b(Vec3(10, 0, 0), 2.0f);
+  EXPECT_NEAR(SphereDistance(a, b), 7.0, kTolerance);
+}
+
+TEST(SphereGeometryTest, InterpenetratingSpheresHaveZeroDistance) {
+  const Sphere a(Vec3(0, 0, 0), 3.0f);
+  const Sphere b(Vec3(1, 1, 1), 3.0f);
+  EXPECT_EQ(SphereDistance(a, b), 0.0);
+}
+
+TEST(SphereGeometryTest, DistanceIsSymmetric) {
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    const Sphere a(Vec3(rng.NextFloat() * 100, rng.NextFloat() * 100,
+                        rng.NextFloat() * 100),
+                   rng.NextFloat() * 5);
+    const Sphere b(Vec3(rng.NextFloat() * 100, rng.NextFloat() * 100,
+                        rng.NextFloat() * 100),
+                   rng.NextFloat() * 5);
+    EXPECT_NEAR(SphereDistance(a, b), SphereDistance(b, a), kTolerance);
+  }
+}
+
+TEST(SphereGeometryTest, PointSegmentDistanceCases) {
+  const Vec3 s0(0, 0, 0);
+  const Vec3 s1(10, 0, 0);
+  // Projection inside the segment.
+  EXPECT_NEAR(PointSegmentDistance(Vec3(5, 3, 0), s0, s1), 3.0, kTolerance);
+  // Beyond the ends: distance to the endpoint.
+  EXPECT_NEAR(PointSegmentDistance(Vec3(-4, 0, 3), s0, s1), 5.0, kTolerance);
+  EXPECT_NEAR(PointSegmentDistance(Vec3(13, 4, 0), s0, s1), 5.0, kTolerance);
+  // Degenerate segment.
+  EXPECT_NEAR(PointSegmentDistance(Vec3(1, 2, 2), s0, s0), 3.0, kTolerance);
+}
+
+TEST(SphereGeometryTest, SphereCylinderDistance) {
+  const Cylinder cyl(Vec3(0, 0, 0), Vec3(10, 0, 0), 1.0f);
+  const Sphere sphere(Vec3(5, 6, 0), 2.0f);
+  // Axis distance 6, minus radii 1 + 2.
+  EXPECT_NEAR(SphereCylinderDistance(sphere, cyl), 3.0, kTolerance);
+  // Touching / interpenetrating.
+  const Sphere close_sphere(Vec3(5, 2, 0), 2.0f);
+  EXPECT_EQ(SphereCylinderDistance(close_sphere, cyl), 0.0);
+}
+
+TEST(SphereGeometryTest, MbrDistanceLowerBoundsExactDistance) {
+  // The property the filter phase relies on: MBR distance never exceeds the
+  // exact surface distance, so no pair within epsilon is filtered away.
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) {
+    const Sphere a(Vec3(rng.NextFloat() * 50, rng.NextFloat() * 50,
+                        rng.NextFloat() * 50),
+                   0.5f + rng.NextFloat() * 3);
+    const Sphere b(Vec3(rng.NextFloat() * 50, rng.NextFloat() * 50,
+                        rng.NextFloat() * 50),
+                   0.5f + rng.NextFloat() * 3);
+    EXPECT_LE(MinDistance(a.Mbr(), b.Mbr()),
+              SphereDistance(a, b) + kTolerance);
+  }
+}
+
+// --- RefiningCollector --------------------------------------------------------
+
+TEST(RefiningCollectorTest, ForwardsOnlyConfirmedPairsAndCountsBoth) {
+  VectorCollector sink;
+  RefiningCollector refine(
+      [](uint32_t a_id, uint32_t) { return a_id % 2 == 0; }, sink);
+  for (uint32_t i = 0; i < 10; ++i) refine.Emit(i, 100 + i);
+  EXPECT_EQ(refine.stats().candidates, 10u);
+  EXPECT_EQ(refine.stats().confirmed, 5u);
+  EXPECT_EQ(sink.pairs().size(), 5u);
+  EXPECT_NEAR(refine.stats().Precision(), 0.5, 1e-12);
+}
+
+TEST(RefiningCollectorTest, EmptyStreamHasPerfectPrecision) {
+  CountingCollector sink;
+  RefiningCollector refine([](uint32_t, uint32_t) { return true; }, sink);
+  EXPECT_EQ(refine.stats().Precision(), 1.0);
+}
+
+// --- End-to-end pipelines -----------------------------------------------------
+
+using PairSet = std::set<IdPair>;
+
+TEST(SpherePipelineTest, MatchesBruteForceExactJoin) {
+  Rng rng(53);
+  std::vector<Sphere> a;
+  std::vector<Sphere> b;
+  for (int i = 0; i < 300; ++i) {
+    a.emplace_back(Vec3(rng.NextFloat() * 200, rng.NextFloat() * 200,
+                        rng.NextFloat() * 200),
+                   0.5f + rng.NextFloat() * 2);
+    b.emplace_back(Vec3(rng.NextFloat() * 200, rng.NextFloat() * 200,
+                        rng.NextFloat() * 200),
+                   0.5f + rng.NextFloat() * 2);
+  }
+  constexpr double kEpsilon = 12.0;
+
+  PairSet expected;
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    for (uint32_t j = 0; j < b.size(); ++j) {
+      if (SpheresWithinDistance(a[i], b[j], kEpsilon)) expected.insert({i, j});
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  TouchJoin algorithm;
+  VectorCollector out;
+  JoinStats filter_stats;
+  const RefineStats stats =
+      SphereDistanceJoin(algorithm, a, b, kEpsilon, out, &filter_stats);
+  const PairSet got(out.pairs().begin(), out.pairs().end());
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(stats.confirmed, expected.size());
+  EXPECT_GE(stats.candidates, stats.confirmed);
+  EXPECT_EQ(filter_stats.results, stats.candidates);
+}
+
+TEST(CylinderPipelineTest, MatchesBruteForceExactJoinOnNeuroData) {
+  NeuroOptions opt;
+  opt.neurons = 6;
+  opt.segments_per_branch = 15;
+  const NeuroModel model = GenerateNeuroscience(opt, 61);
+  constexpr double kEpsilon = 5.0;
+
+  PairSet expected;
+  for (uint32_t i = 0; i < model.axons.size(); ++i) {
+    for (uint32_t j = 0; j < model.dendrites.size(); ++j) {
+      if (CylindersWithinDistance(model.axons[i], model.dendrites[j],
+                                  kEpsilon)) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+
+  TouchJoin algorithm;
+  VectorCollector out;
+  const RefineStats stats = CylinderDistanceJoin(
+      algorithm, model.axons, model.dendrites, kEpsilon, out);
+  const PairSet got(out.pairs().begin(), out.pairs().end());
+  EXPECT_EQ(got, expected);
+  EXPECT_GT(stats.Precision(), 0.0);
+  EXPECT_LE(stats.Precision(), 1.0);
+}
+
+TEST(CylinderPipelineTest, EveryFilterAlgorithmYieldsTheSameConfirmedSet) {
+  NeuroOptions opt;
+  opt.neurons = 4;
+  opt.segments_per_branch = 10;
+  const NeuroModel model = GenerateNeuroscience(opt, 67);
+  constexpr double kEpsilon = 8.0;
+
+  TouchJoin touch_join;
+  VectorCollector touch_out;
+  CylinderDistanceJoin(touch_join, model.axons, model.dendrites, kEpsilon,
+                       touch_out);
+  PairSet reference(touch_out.pairs().begin(), touch_out.pairs().end());
+
+  NestedLoopJoin nl;
+  VectorCollector nl_out;
+  CylinderDistanceJoin(nl, model.axons, model.dendrites, kEpsilon, nl_out);
+  EXPECT_EQ(PairSet(nl_out.pairs().begin(), nl_out.pairs().end()), reference);
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,139 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace touch {
+namespace {
+
+// Brute-force range query for comparison.
+std::vector<uint32_t> BruteForceQuery(const Dataset& boxes, const Box& query) {
+  std::vector<uint32_t> hits;
+  for (uint32_t i = 0; i < boxes.size(); ++i) {
+    if (Intersects(boxes[i], query)) hits.push_back(i);
+  }
+  return hits;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  const RTree tree({}, 8, 4);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.height(), 0);
+  JoinStats stats;
+  int hits = 0;
+  tree.Query({}, MakeBox(0, 0, 0, 1, 1, 1), [&](uint32_t) { ++hits; }, &stats);
+  EXPECT_EQ(hits, 0);
+}
+
+TEST(RTreeTest, SingleObjectTree) {
+  const Dataset boxes = {MakeBox(1, 1, 1, 2, 2, 2)};
+  const RTree tree(boxes, 8, 4);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  JoinStats stats;
+  std::vector<uint32_t> hits;
+  tree.Query(boxes, MakeBox(0, 0, 0, 5, 5, 5),
+             [&](uint32_t id) { hits.push_back(id); }, &stats);
+  EXPECT_EQ(hits, std::vector<uint32_t>{0});
+}
+
+TEST(RTreeTest, NodeMbrsEncloseChildren) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kClustered, 2000, 1);
+  const RTree tree(boxes, 16, 4);
+  for (const RTree::Node& node : tree.nodes()) {
+    if (node.IsLeaf()) {
+      for (uint32_t i = node.begin; i < node.begin + node.count; ++i) {
+        EXPECT_TRUE(Contains(node.mbr, boxes[tree.item_ids()[i]]));
+      }
+    } else {
+      for (uint32_t i = node.begin; i < node.begin + node.count; ++i) {
+        EXPECT_TRUE(
+            Contains(node.mbr, tree.nodes()[tree.child_ids()[i]].mbr));
+      }
+    }
+  }
+}
+
+TEST(RTreeTest, LeavesPartitionTheInput) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kUniform, 1000, 2);
+  const RTree tree(boxes, 16, 4);
+  std::vector<uint32_t> all(tree.item_ids().begin(), tree.item_ids().end());
+  std::sort(all.begin(), all.end());
+  for (uint32_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(RTreeTest, RootLevelMatchesHeight) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kUniform, 1000, 3);
+  const RTree tree(boxes, 8, 2);
+  EXPECT_EQ(tree.nodes()[tree.root()].level, tree.height() - 1);
+}
+
+TEST(RTreeTest, SmallerFanoutGivesTallerTree) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kUniform, 2000, 4);
+  const RTree tall(boxes, 8, 2);
+  const RTree flat(boxes, 8, 16);
+  EXPECT_GT(tall.height(), flat.height());
+}
+
+TEST(RTreeTest, QueryMatchesBruteForce) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kGaussian, 3000, 5);
+  const RTree tree(boxes, 16, 4);
+  Rng rng(99);
+  for (int q = 0; q < 50; ++q) {
+    const Box query = CenteredBox(
+        static_cast<float>(rng.Uniform(0, 1000)),
+        static_cast<float>(rng.Uniform(0, 1000)),
+        static_cast<float>(rng.Uniform(0, 1000)),
+        static_cast<float>(rng.Uniform(1, 50)));
+    JoinStats stats;
+    std::vector<uint32_t> hits;
+    tree.Query(boxes, query, [&](uint32_t id) { hits.push_back(id); }, &stats);
+    std::sort(hits.begin(), hits.end());
+    EXPECT_EQ(hits, BruteForceQuery(boxes, query)) << "query " << q;
+  }
+}
+
+TEST(RTreeTest, QueryCountsComparisons) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kUniform, 1000, 6);
+  const RTree tree(boxes, 16, 4);
+  JoinStats stats;
+  tree.Query(boxes, MakeBox(0, 0, 0, 1000, 1000, 1000), [](uint32_t) {}, &stats);
+  // A query covering everything must test every object and visit every node.
+  EXPECT_EQ(stats.comparisons, boxes.size());
+  EXPECT_GT(stats.node_comparisons, 0u);
+}
+
+TEST(RTreeTest, DisjointQueryPrunesEverything) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kUniform, 1000, 7);
+  const RTree tree(boxes, 16, 4);
+  JoinStats stats;
+  int hits = 0;
+  tree.Query(boxes, MakeBox(5000, 5000, 5000, 6000, 6000, 6000),
+             [&](uint32_t) { ++hits; }, &stats);
+  EXPECT_EQ(hits, 0);
+  // Pruned at the root: no object comparisons at all.
+  EXPECT_EQ(stats.comparisons, 0u);
+}
+
+TEST(RTreeTest, MemoryUsageGrowsWithInput) {
+  const Dataset small = GenerateSynthetic(Distribution::kUniform, 100, 8);
+  const Dataset large = GenerateSynthetic(Distribution::kUniform, 10000, 8);
+  EXPECT_LT(RTree(small, 16, 4).MemoryUsageBytes(),
+            RTree(large, 16, 4).MemoryUsageBytes());
+}
+
+TEST(RTreeTest, IdenticalBoxesAllFound) {
+  const Dataset boxes(500, MakeBox(5, 5, 5, 6, 6, 6));
+  const RTree tree(boxes, 8, 2);
+  JoinStats stats;
+  std::vector<uint32_t> hits;
+  tree.Query(boxes, MakeBox(5.5f, 5.5f, 5.5f, 5.6f, 5.6f, 5.6f),
+             [&](uint32_t id) { hits.push_back(id); }, &stats);
+  EXPECT_EQ(hits.size(), boxes.size());
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,119 @@
+#include "estimate/selectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "join/nested_loop.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+/// Measured result count of the epsilon-distance join (ground truth).
+uint64_t MeasuredResults(const Dataset& a, const Dataset& b, float epsilon) {
+  Dataset enlarged = a;
+  for (Box& box : enlarged) box = box.Enlarged(epsilon);
+  NestedLoopJoin join;
+  CountingCollector out;
+  join.Join(enlarged, b, out);
+  return out.count();
+}
+
+class SelectivityAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<Distribution, float>> {};
+
+TEST_P(SelectivityAccuracyTest, EstimateWithinFactorThreeOfMeasured) {
+  const auto [distribution, epsilon] = GetParam();
+  const Dataset a = GenerateSynthetic(distribution, 4000, 121);
+  const Dataset b = GenerateSynthetic(distribution, 8000, 122);
+
+  const uint64_t measured = MeasuredResults(a, b, epsilon);
+  ASSERT_GT(measured, 0u);
+
+  const SelectivityEstimator estimator(a, b);
+  const SelectivityEstimate estimate = estimator.Estimate(epsilon);
+  EXPECT_GT(estimate.expected_results, static_cast<double>(measured) / 3.0)
+      << "measured " << measured;
+  EXPECT_LT(estimate.expected_results, static_cast<double>(measured) * 3.0)
+      << "measured " << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistributionsAndEpsilons, SelectivityAccuracyTest,
+    ::testing::Combine(::testing::Values(Distribution::kUniform,
+                                         Distribution::kGaussian,
+                                         Distribution::kClustered),
+                       ::testing::Values(5.0f, 10.0f)),
+    [](const auto& info) {
+      return std::string(DistributionName(std::get<0>(info.param))) + "_eps" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+TEST(SelectivityEstimatorTest, MonotonicInEpsilon) {
+  const Dataset a = GenerateSynthetic(Distribution::kUniform, 3000, 123);
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 3000, 124);
+  const SelectivityEstimator estimator(a, b);
+  double previous = -1;
+  for (const float epsilon : {0.0f, 2.0f, 5.0f, 10.0f, 20.0f}) {
+    const double expected = estimator.Estimate(epsilon).expected_results;
+    EXPECT_GT(expected, previous) << "epsilon=" << epsilon;
+    previous = expected;
+  }
+}
+
+TEST(SelectivityEstimatorTest, SkewRaisesSelectivity) {
+  // Table 1's ordering: Gaussian > clustered > uniform at equal sizes. The
+  // estimator must reproduce at least Gaussian > uniform.
+  const size_t n = 5000;
+  const SelectivityEstimator uniform(
+      GenerateSynthetic(Distribution::kUniform, n, 125),
+      GenerateSynthetic(Distribution::kUniform, n, 126));
+  const SelectivityEstimator gaussian(
+      GenerateSynthetic(Distribution::kGaussian, n, 125),
+      GenerateSynthetic(Distribution::kGaussian, n, 126));
+  EXPECT_GT(gaussian.Estimate(5.0f).selectivity,
+            uniform.Estimate(5.0f).selectivity);
+}
+
+TEST(SelectivityEstimatorTest, DisjointDatasetsEstimateNearZero) {
+  Dataset a;
+  Dataset b;
+  for (int i = 0; i < 500; ++i) {
+    const float f = static_cast<float>(i % 50);
+    a.push_back(CenteredBox(f, f, 0.0f));
+    b.push_back(CenteredBox(900 + f, 900 + f, 900.0f));
+  }
+  const SelectivityEstimator estimator(a, b);
+  const uint64_t measured = MeasuredResults(a, b, 5.0f);
+  EXPECT_EQ(measured, 0u);
+  // The histogram can't prove zero, but the estimate must be tiny relative
+  // to |A|*|B| = 250k.
+  EXPECT_LT(estimator.Estimate(5.0f).expected_results, 500.0);
+}
+
+TEST(SelectivityEstimatorTest, EmptyInputsAreSafe) {
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 100, 127);
+  const SelectivityEstimator empty_a({}, b);
+  EXPECT_EQ(empty_a.Estimate(5.0f).expected_results, 0.0);
+  const SelectivityEstimator both_empty({}, {});
+  EXPECT_EQ(both_empty.Estimate(5.0f).selectivity, 0.0);
+}
+
+TEST(SelectivityEstimatorTest, SelectivityMatchesDefinition) {
+  const Dataset a = GenerateSynthetic(Distribution::kUniform, 1000, 128);
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 2000, 129);
+  const SelectivityEstimator estimator(a, b);
+  const SelectivityEstimate estimate = estimator.Estimate(5.0f);
+  EXPECT_NEAR(estimate.selectivity,
+              estimate.expected_results / (1000.0 * 2000.0), 1e-12);
+}
+
+TEST(SelectivityEstimatorTest, ShouldBuildOnSmallerDataset) {
+  const Dataset small = GenerateSynthetic(Distribution::kUniform, 100, 130);
+  const Dataset large = GenerateSynthetic(Distribution::kUniform, 1000, 131);
+  EXPECT_TRUE(SelectivityEstimator::ShouldBuildOnA(small, large));
+  EXPECT_FALSE(SelectivityEstimator::ShouldBuildOnA(large, small));
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,54 @@
+#ifndef TOUCH_TESTS_TEST_UTIL_H_
+#define TOUCH_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "join/algorithm.h"
+#include "join/nested_loop.h"
+
+namespace touch {
+
+using IdPair = std::pair<uint32_t, uint32_t>;
+
+/// Runs `algorithm` and returns its result pairs sorted (for set equality
+/// checks). `stats_out` may be null.
+inline std::vector<IdPair> RunJoinSorted(SpatialJoinAlgorithm& algorithm,
+                                         const Dataset& a, const Dataset& b,
+                                         JoinStats* stats_out = nullptr) {
+  VectorCollector collector;
+  JoinStats stats = algorithm.Join(a, b, collector);
+  if (stats_out != nullptr) *stats_out = stats;
+  std::vector<IdPair> pairs = collector.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+/// Ground truth via the nested loop join (sorted pairs).
+inline std::vector<IdPair> OracleJoin(const Dataset& a, const Dataset& b) {
+  NestedLoopJoin oracle;
+  return RunJoinSorted(oracle, a, b);
+}
+
+/// True when the pair list contains no duplicate entries (input unsorted).
+inline bool HasNoDuplicates(std::vector<IdPair> pairs) {
+  std::sort(pairs.begin(), pairs.end());
+  return std::adjacent_find(pairs.begin(), pairs.end()) == pairs.end();
+}
+
+/// Convenience box constructor from scalar corners.
+inline Box MakeBox(float x0, float y0, float z0, float x1, float y1,
+                   float z1) {
+  return Box(Vec3(x0, y0, z0), Vec3(x1, y1, z1));
+}
+
+/// A unit-ish box centered at (x, y, z) with half-extent h.
+inline Box CenteredBox(float x, float y, float z, float h = 0.5f) {
+  return Box(Vec3(x - h, y - h, z - h), Vec3(x + h, y + h, z + h));
+}
+
+}  // namespace touch
+
+#endif  // TOUCH_TESTS_TEST_UTIL_H_

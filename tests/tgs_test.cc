@@ -1,0 +1,104 @@
+#include "index/tgs.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/distributions.h"
+#include "index/rtree.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace touch {
+namespace {
+
+TEST(TgsPartitionTest, ProducesValidPermutationAndBucketSizes) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kGaussian, 1200, 141);
+  const StrPartitioning part = TgsPartition(boxes, 50);
+  ASSERT_EQ(part.order.size(), boxes.size());
+  std::vector<uint32_t> sorted = part.order;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < sorted.size(); ++i) EXPECT_EQ(sorted[i], i);
+  for (size_t b = 0; b < part.NumBuckets(); ++b) {
+    EXPECT_LE(part.Bucket(b).size(), 50u);
+    EXPECT_GT(part.Bucket(b).size(), 0u);
+  }
+}
+
+TEST(TgsPartitionTest, EmptySingleAndExactFit) {
+  EXPECT_EQ(TgsPartition({}, 8).NumBuckets(), 0u);
+
+  const Dataset one = {CenteredBox(1, 2, 3)};
+  ASSERT_EQ(TgsPartition(one, 8).NumBuckets(), 1u);
+
+  const Dataset exact = GenerateSynthetic(Distribution::kUniform, 64, 142);
+  const StrPartitioning part = TgsPartition(exact, 16);
+  EXPECT_EQ(part.NumBuckets(), 4u);
+  for (size_t b = 0; b < 4; ++b) EXPECT_EQ(part.Bucket(b).size(), 16u);
+}
+
+TEST(TgsPartitionTest, SeparatesObviousClusters) {
+  // Two well-separated blobs: the greedy cut must never mix them into one
+  // bucket (that would inflate the cost it minimizes).
+  Dataset boxes;
+  Rng rng(143);
+  for (int i = 0; i < 64; ++i) {
+    boxes.push_back(CenteredBox(rng.NextFloat() * 10, rng.NextFloat() * 10,
+                                rng.NextFloat() * 10));
+  }
+  for (int i = 0; i < 64; ++i) {
+    boxes.push_back(CenteredBox(900 + rng.NextFloat() * 10,
+                                900 + rng.NextFloat() * 10,
+                                900 + rng.NextFloat() * 10));
+  }
+  const StrPartitioning part = TgsPartition(boxes, 32);
+  for (size_t b = 0; b < part.NumBuckets(); ++b) {
+    const Box mbr = BucketMbr(boxes, part.Bucket(b));
+    EXPECT_LT(mbr.Extent().Length(), 100.0f)
+        << "bucket " << b << " spans both clusters";
+  }
+}
+
+TEST(TgsPartitionTest, HandlesExtremeAspectRatios) {
+  // The workload class TGS is known to win on (paper 2.2.1): long thin
+  // boxes. The partition must stay valid and reasonably tight.
+  Dataset boxes;
+  for (int i = 0; i < 500; ++i) {
+    const float y = static_cast<float>(i) * 2.0f;
+    boxes.push_back(MakeBox(0, y, 0, 800, y + 0.5f, 0.5f));
+  }
+  const StrPartitioning part = TgsPartition(boxes, 25);
+  ASSERT_EQ(part.NumBuckets(), 20u);
+  double total_volume = 0;
+  for (size_t b = 0; b < part.NumBuckets(); ++b) {
+    total_volume += BucketMbr(boxes, part.Bucket(b)).Volume();
+  }
+  // Slicing along y is the only sensible cut; each bucket then covers about
+  // 1/20th of the y-extent. Allow 2x slack over that ideal.
+  const double ideal = 800.0 * (500 * 2.0) * 0.5;
+  EXPECT_LT(total_volume, 2.0 * ideal);
+}
+
+TEST(TgsRTreeTest, QueriesMatchBruteForce) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kClustered, 2000, 144);
+  const RTree tree(boxes, 16, 4, BulkLoadMethod::kTgs);
+  EXPECT_EQ(tree.size(), boxes.size());
+  Rng rng(145);
+  for (int q = 0; q < 40; ++q) {
+    const Box query = CenteredBox(rng.NextFloat() * 1000.0f,
+                                  rng.NextFloat() * 1000.0f,
+                                  rng.NextFloat() * 1000.0f, 30.0f);
+    std::vector<uint32_t> expected;
+    for (uint32_t i = 0; i < boxes.size(); ++i) {
+      if (Intersects(boxes[i], query)) expected.push_back(i);
+    }
+    std::vector<uint32_t> got;
+    JoinStats stats;
+    tree.Query(boxes, query, [&](uint32_t id) { got.push_back(id); }, &stats);
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,104 @@
+// Tests of the multi-threaded TOUCH join phase: results and counters must be
+// independent of the thread count; only wall-clock and result order may vary.
+
+#include <gtest/gtest.h>
+
+#include "core/touch.h"
+#include "datagen/distributions.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+class TouchParallelTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    a_ = GenerateSynthetic(Distribution::kClustered, 3000, 111);
+    for (Box& box : a_) box = box.Enlarged(6.0f);
+    b_ = GenerateSynthetic(Distribution::kClustered, 6000, 112);
+  }
+  Dataset a_;
+  Dataset b_;
+};
+
+TEST_P(TouchParallelTest, ResultsMatchSequentialRun) {
+  TouchJoin sequential;
+  const auto expected = RunJoinSorted(sequential, a_, b_);
+
+  TouchOptions opt;
+  opt.threads = GetParam();
+  TouchJoin parallel(opt);
+  JoinStats stats;
+  EXPECT_EQ(RunJoinSorted(parallel, a_, b_, &stats), expected);
+  EXPECT_EQ(stats.results, expected.size());
+}
+
+TEST_P(TouchParallelTest, CountersMatchSequentialRun) {
+  TouchJoin sequential;
+  JoinStats seq_stats;
+  RunJoinSorted(sequential, a_, b_, &seq_stats);
+
+  TouchOptions opt;
+  opt.threads = GetParam();
+  TouchJoin parallel(opt);
+  JoinStats par_stats;
+  RunJoinSorted(parallel, a_, b_, &par_stats);
+  // The same local joins run, just on different threads.
+  EXPECT_EQ(par_stats.comparisons, seq_stats.comparisons);
+  EXPECT_EQ(par_stats.filtered, seq_stats.filtered);
+  EXPECT_EQ(par_stats.results, seq_stats.results);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, TouchParallelTest,
+                         ::testing::Values(2, 4, 8));
+
+TEST(TouchParallelEdgeTest, ParallelDistanceJoinMatches) {
+  const Dataset a = GenerateSynthetic(Distribution::kGaussian, 2000, 113);
+  const Dataset b = GenerateSynthetic(Distribution::kGaussian, 4000, 114);
+
+  TouchJoin sequential;
+  VectorCollector seq_out;
+  DistanceJoin(sequential, a, b, 7.5f, seq_out);
+  auto expected = seq_out.pairs();
+  std::sort(expected.begin(), expected.end());
+
+  TouchOptions opt;
+  opt.threads = 4;
+  TouchJoin parallel(opt);
+  VectorCollector par_out;
+  DistanceJoin(parallel, a, b, 7.5f, par_out);
+  auto got = par_out.pairs();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST(TouchParallelEdgeTest, TinyInputsWithManyThreads) {
+  Dataset a = {CenteredBox(5, 5, 5), CenteredBox(6, 5, 5)};
+  Dataset b = {CenteredBox(5, 5, 5)};
+  TouchOptions opt;
+  opt.threads = 16;
+  TouchJoin join(opt);
+  EXPECT_EQ(RunJoinSorted(join, a, b), OracleJoin(a, b));
+}
+
+TEST(TouchParallelEdgeTest, AllLocalJoinStrategiesParallelize) {
+  const Dataset a = GenerateSynthetic(Distribution::kUniform, 1500, 115);
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 2500, 116);
+  Dataset enlarged = a;
+  for (Box& box : enlarged) box = box.Enlarged(9.0f);
+  const auto oracle = OracleJoin(enlarged, b);
+
+  for (const LocalJoinStrategy strategy :
+       {LocalJoinStrategy::kGrid, LocalJoinStrategy::kPlaneSweep,
+        LocalJoinStrategy::kNestedLoop}) {
+    TouchOptions opt;
+    opt.threads = 4;
+    opt.local_join = strategy;
+    TouchJoin join(opt);
+    EXPECT_EQ(RunJoinSorted(join, enlarged, b), oracle)
+        << LocalJoinStrategyName(strategy);
+  }
+}
+
+}  // namespace
+}  // namespace touch

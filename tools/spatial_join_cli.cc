@@ -1,0 +1,274 @@
+// Command-line driver for the TOUCH spatial-join library.
+//
+// Runs any algorithm of the library on generated or loaded datasets and
+// prints a stats table, so the join can be exercised without writing code:
+//
+//   spatial_join_cli --algo=touch --dist=gaussian --na=100000 --nb=200000 \
+//       --epsilon=5
+//   spatial_join_cli --algo=pbsm-500,touch --a=axons.bin --b=dendrites.bin
+//   spatial_join_cli --generate=clustered --count=50000 --out=data.bin
+//
+// Exit code 0 on success, 1 on bad usage or I/O failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/partitioned.h"
+#include "datagen/distributions.h"
+#include "datagen/neuro.h"
+#include "io/dataset_io.h"
+
+namespace touch {
+namespace {
+
+struct CliOptions {
+  std::vector<std::string> algorithms = {"touch"};
+  std::string distribution = "uniform";
+  /// Neuroscience workload: axons vs dendrites grown from this many neurons
+  /// (0 = use the synthetic box distribution instead).
+  int neuro_neurons = 0;
+  size_t na = 100000;
+  size_t nb = 200000;
+  float epsilon = 5.0f;
+  uint64_t seed = 42;
+  std::string file_a;
+  std::string file_b;
+  // Generation mode.
+  std::string generate;
+  size_t count = 100000;
+  std::string out_path;
+  // Partitioned driver.
+  int partitions = 0;
+  int threads = 1;
+  bool csv = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::puts(
+      "spatial_join_cli - run in-memory spatial joins (TOUCH, SIGMOD'13)\n"
+      "\n"
+      "Join mode (default):\n"
+      "  --algo=NAME[,NAME...]  algorithms: nl ps pbsm-<res> s3 sssj inl\n"
+      "                         rtree rtree-hilbert rtree-tgs rtree-guttman\n"
+      "                         rtree-rstar rplus seeded octree nbps-<res>\n"
+      "                         touch, or 'all' (default: touch)\n"
+      "  --a=FILE --b=FILE      load datasets (.bin from --generate, or .csv)\n"
+      "  --dist=NAME            uniform|gaussian|clustered (default uniform)\n"
+      "  --neuro=N              neuroscience workload grown from N neurons\n"
+      "                         (axons as A, dendrites as B; overrides --dist)\n"
+      "  --na=N --nb=N          generated dataset sizes (default 100k/200k)\n"
+      "  --epsilon=E            distance threshold (default 5)\n"
+      "  --seed=S               RNG seed (default 42)\n"
+      "  --partitions=P         run through the partitioned driver\n"
+      "  --threads=T            worker threads for the partitioned driver\n"
+      "  --csv                  machine-readable output\n"
+      "\n"
+      "Generate mode:\n"
+      "  --generate=DIST --count=N --out=FILE[.csv]  write a dataset\n");
+}
+
+bool ParseFlag(const std::string& arg, const std::string& name,
+               std::string* value) {
+  const std::string prefix = "--" + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--csv") {
+      options->csv = true;
+    } else if (ParseFlag(arg, "algo", &value)) {
+      options->algorithms.clear();
+      std::stringstream stream(value);
+      std::string name;
+      while (std::getline(stream, name, ',')) {
+        options->algorithms.push_back(name);
+      }
+    } else if (ParseFlag(arg, "dist", &value)) {
+      options->distribution = value;
+    } else if (ParseFlag(arg, "neuro", &value)) {
+      options->neuro_neurons = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "na", &value)) {
+      options->na = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "nb", &value)) {
+      options->nb = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "epsilon", &value)) {
+      options->epsilon = std::strtof(value.c_str(), nullptr);
+    } else if (ParseFlag(arg, "seed", &value)) {
+      options->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "a", &value)) {
+      options->file_a = value;
+    } else if (ParseFlag(arg, "b", &value)) {
+      options->file_b = value;
+    } else if (ParseFlag(arg, "generate", &value)) {
+      options->generate = value;
+    } else if (ParseFlag(arg, "count", &value)) {
+      options->count = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(arg, "out", &value)) {
+      options->out_path = value;
+    } else if (ParseFlag(arg, "partitions", &value)) {
+      options->partitions = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "threads", &value)) {
+      options->threads = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+int RunGenerate(const CliOptions& options) {
+  Distribution distribution;
+  if (!ParseDistribution(options.generate, &distribution)) {
+    std::fprintf(stderr, "unknown distribution '%s'\n",
+                 options.generate.c_str());
+    return 1;
+  }
+  if (options.out_path.empty()) {
+    std::fprintf(stderr, "--generate requires --out=FILE\n");
+    return 1;
+  }
+  const Dataset boxes =
+      GenerateSynthetic(distribution, options.count, options.seed);
+  const IoStatus status = EndsWith(options.out_path, ".csv")
+                              ? WriteBoxesCsv(options.out_path, boxes)
+                              : WriteBoxesBinary(options.out_path, boxes);
+  if (!status.ok) {
+    std::fprintf(stderr, "%s\n", status.message.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s boxes to %s\n", boxes.size(),
+              DistributionName(distribution), options.out_path.c_str());
+  return 0;
+}
+
+bool LoadDataset(const std::string& path, Dataset* boxes) {
+  const IoStatus status = EndsWith(path, ".csv")
+                              ? ReadBoxesCsv(path, boxes)
+                              : ReadBoxesBinary(path, boxes);
+  if (!status.ok) std::fprintf(stderr, "%s\n", status.message.c_str());
+  return status.ok;
+}
+
+int RunJoin(const CliOptions& options) {
+  Dataset a;
+  Dataset b;
+  if (!options.file_a.empty() || !options.file_b.empty()) {
+    if (options.file_a.empty() || options.file_b.empty()) {
+      std::fprintf(stderr, "--a and --b must be given together\n");
+      return 1;
+    }
+    if (!LoadDataset(options.file_a, &a) || !LoadDataset(options.file_b, &b)) {
+      return 1;
+    }
+  } else if (options.neuro_neurons > 0) {
+    NeuroOptions neuro;
+    neuro.neurons = options.neuro_neurons;
+    const NeuroModel model = GenerateNeuroscience(neuro, options.seed);
+    a = CylinderMbrs(model.axons);
+    b = CylinderMbrs(model.dendrites);
+  } else {
+    Distribution distribution;
+    if (!ParseDistribution(options.distribution, &distribution)) {
+      std::fprintf(stderr, "unknown distribution '%s'\n",
+                   options.distribution.c_str());
+      return 1;
+    }
+    a = GenerateSynthetic(distribution, options.na, options.seed);
+    b = GenerateSynthetic(distribution, options.nb, options.seed + 1);
+  }
+
+  std::vector<std::string> algorithms = options.algorithms;
+  if (algorithms.size() == 1 && algorithms[0] == "all") {
+    algorithms = AllAlgorithmNames();
+  }
+
+  if (options.csv) {
+    std::puts(
+        "algorithm,results,comparisons,filtered,memory_bytes,total_s,"
+        "build_s,assign_s,join_s");
+  } else {
+    std::printf("|A| = %zu, |B| = %zu, epsilon = %g\n", a.size(), b.size(),
+                options.epsilon);
+    std::printf("%-14s %12s %15s %10s %11s %9s\n", "algorithm", "results",
+                "comparisons", "filtered", "memory(MB)", "time(s)");
+  }
+
+  for (const std::string& name : algorithms) {
+    JoinStats stats;
+    CountingCollector out;
+    if (options.partitions > 0) {
+      PartitionedOptions popt;
+      popt.partitions = options.partitions;
+      popt.threads = options.threads;
+      Dataset enlarged = a;
+      for (Box& box : enlarged) box = box.Enlarged(options.epsilon);
+      if (MakeAlgorithm(name) == nullptr) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+        return 1;
+      }
+      stats = PartitionedJoin([&] { return MakeAlgorithm(name); }, enlarged,
+                              b, popt, out);
+    } else {
+      std::unique_ptr<SpatialJoinAlgorithm> algorithm = MakeAlgorithm(name);
+      if (algorithm == nullptr) {
+        std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+        return 1;
+      }
+      stats = DistanceJoin(*algorithm, a, b, options.epsilon, out);
+    }
+    if (options.csv) {
+      std::printf("%s,%llu,%llu,%llu,%zu,%.6f,%.6f,%.6f,%.6f\n", name.c_str(),
+                  static_cast<unsigned long long>(stats.results),
+                  static_cast<unsigned long long>(stats.comparisons),
+                  static_cast<unsigned long long>(stats.filtered),
+                  stats.memory_bytes, stats.total_seconds, stats.build_seconds,
+                  stats.assign_seconds, stats.join_seconds);
+    } else {
+      std::printf("%-14s %12llu %15llu %10llu %11.2f %9.3f\n", name.c_str(),
+                  static_cast<unsigned long long>(stats.results),
+                  static_cast<unsigned long long>(stats.comparisons),
+                  static_cast<unsigned long long>(stats.filtered),
+                  static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0),
+                  stats.total_seconds);
+    }
+  }
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  CliOptions options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 1;
+  }
+  if (options.help) {
+    PrintUsage();
+    return 0;
+  }
+  if (!options.generate.empty()) return RunGenerate(options);
+  return RunJoin(options);
+}
+
+}  // namespace
+}  // namespace touch
+
+int main(int argc, char** argv) { return touch::Main(argc, argv); }
