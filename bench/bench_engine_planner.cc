@@ -1,0 +1,134 @@
+// Planner benchmark: what does cost-based auto-planning buy (or cost) versus
+// committing to one fixed algorithm for every workload?
+//
+// Three workload shapes with different best algorithms. For each, "auto_cold"
+// pays planning plus a cold index build, "auto_warm" shows the steady state
+// of a serving engine (index cache populated), and the fixed algorithms
+// bracket them between the best and worst static choice. The benchmark label
+// of the auto runs records which algorithm the planner picked.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engine/engine.h"
+
+namespace touch::bench {
+namespace {
+
+struct Workload {
+  std::string name;
+  Distribution dist_a;
+  size_t size_a;
+  Distribution dist_b;
+  size_t size_b;
+  float epsilon;
+};
+
+void RegisterWorkload(const Workload& workload) {
+  const SyntheticOptions opt = DensityMatchedOptions(
+      std::max(workload.size_a, workload.size_b), 1'600'000);
+  const Dataset& a =
+      CachedDataset(workload.dist_a, workload.size_a, 71, opt);
+  const Dataset& b =
+      CachedDataset(workload.dist_b, workload.size_b, 72, opt);
+  const std::string prefix = "engine_planner/" + workload.name + "/";
+
+  benchmark::RegisterBenchmark(
+      (prefix + "auto_cold").c_str(),
+      [=](benchmark::State& state) {
+        QueryEngine engine;
+        const DatasetHandle ha = engine.RegisterDataset("A", a);
+        const DatasetHandle hb = engine.RegisterDataset("B", b);
+        const JoinRequest request{ha, hb, workload.epsilon};
+        JoinResult last;
+        for (auto _ : state) {
+          engine.ClearIndexCache();
+          CountingCollector out;
+          last = engine.Execute(request, out);
+        }
+        state.SetLabel(last.plan.algorithm);
+        state.counters["results"] = static_cast<double>(last.stats.results);
+      })
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+  benchmark::RegisterBenchmark(
+      (prefix + "auto_warm").c_str(),
+      [=](benchmark::State& state) {
+        QueryEngine engine;
+        const DatasetHandle ha = engine.RegisterDataset("A", a);
+        const DatasetHandle hb = engine.RegisterDataset("B", b);
+        const JoinRequest request{ha, hb, workload.epsilon};
+        {
+          CountingCollector warmup;
+          engine.Execute(request, warmup);
+        }
+        JoinResult last;
+        for (auto _ : state) {
+          CountingCollector out;
+          last = engine.Execute(request, out);
+        }
+        state.SetLabel(last.plan.algorithm +
+                       (last.index_cache_hit ? " cached" : ""));
+        state.counters["results"] = static_cast<double>(last.stats.results);
+      })
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+  benchmark::RegisterBenchmark(
+      (prefix + "auto_tight_memory").c_str(),
+      [=](benchmark::State& state) {
+        EngineOptions options;
+        options.planner.memory_budget_bytes = 2 << 20;
+        QueryEngine engine(options);
+        const DatasetHandle ha = engine.RegisterDataset("A", a);
+        const DatasetHandle hb = engine.RegisterDataset("B", b);
+        const JoinRequest request{ha, hb, workload.epsilon};
+        JoinResult last;
+        for (auto _ : state) {
+          engine.ClearIndexCache();
+          CountingCollector out;
+          last = engine.Execute(request, out);
+        }
+        state.SetLabel(last.plan.algorithm);
+        state.counters["results"] = static_cast<double>(last.stats.results);
+        state.counters["memMB"] =
+            static_cast<double>(last.stats.memory_bytes) / (1024.0 * 1024.0);
+      })
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+  for (const std::string fixed : {"touch", "pbsm-100", "inl", "ps"}) {
+    benchmark::RegisterBenchmark(
+        (prefix + "fixed_" + fixed).c_str(),
+        [=](benchmark::State& state) {
+          RunDistanceJoin(state, fixed, a, b, workload.epsilon);
+        })
+        ->Unit(benchmark::kMillisecond)->Iterations(1);
+  }
+}
+
+void RegisterAll() {
+  const std::vector<Workload> workloads = {
+      // Near-uniform mid-size pair: PBSM territory.
+      {"uniform", Distribution::kUniform, Scaled(30'000),
+       Distribution::kUniform, Scaled(40'000), 5.0f},
+      // Skewed data: TOUCH territory.
+      {"clustered", Distribution::kClustered, Scaled(50'000),
+       Distribution::kClustered, Scaled(100'000), 5.0f},
+      // Skewed extreme cardinality asymmetry: INL territory (uniform
+      // asymmetric pairs go to PBSM instead).
+      {"asymmetric", Distribution::kClustered, Scaled(2'000),
+       Distribution::kClustered, Scaled(200'000), 2.0f},
+  };
+  for (const Workload& workload : workloads) RegisterWorkload(workload);
+}
+
+}  // namespace
+}  // namespace touch::bench
+
+int main(int argc, char** argv) {
+  touch::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

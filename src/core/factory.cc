@@ -69,4 +69,19 @@ std::vector<std::string> AllAlgorithmNames() {
           "nbps",         "touch"};
 }
 
+std::string AlgorithmNamesHelp() {
+  std::string help;
+  for (const std::string& name : AllAlgorithmNames()) {
+    if (!help.empty()) help += ", ";
+    help += name;
+  }
+  help += ", pbsm-<res>, nbps-<res>";
+  return help;
+}
+
+std::string UnknownAlgorithmMessage(const std::string& name) {
+  return "unknown algorithm '" + name + "' (accepted: " + AlgorithmNamesHelp() +
+         ")";
+}
+
 }  // namespace touch

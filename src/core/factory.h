@@ -45,6 +45,15 @@ std::unique_ptr<SpatialJoinAlgorithm> MakeAlgorithm(
 /// Names accepted by MakeAlgorithm, in the paper's presentation order.
 std::vector<std::string> AllAlgorithmNames();
 
+/// Comma-separated accepted names (including the parameterized forms), for
+/// usage text and error messages.
+std::string AlgorithmNamesHelp();
+
+/// Error message for a name MakeAlgorithm rejected: quotes the bad name and
+/// lists every accepted one, so callers can report it and exit instead of
+/// dereferencing the nullptr.
+std::string UnknownAlgorithmMessage(const std::string& name);
+
 }  // namespace touch
 
 #endif  // TOUCH_CORE_FACTORY_H_

@@ -1,0 +1,75 @@
+#include "engine/catalog.h"
+
+#include <algorithm>
+
+#include "geom/grid.h"
+
+namespace touch {
+
+double DatasetStats::HistogramSkew() const {
+  uint32_t max_count = 0;
+  uint64_t total = 0;
+  size_t occupied = 0;
+  for (const uint32_t cell : histogram) {
+    if (cell == 0) continue;
+    max_count = std::max(max_count, cell);
+    total += cell;
+    ++occupied;
+  }
+  if (occupied == 0) return 0;
+  const double mean = static_cast<double>(total) / static_cast<double>(occupied);
+  return static_cast<double>(max_count) / mean;
+}
+
+DatasetStats ComputeDatasetStats(std::span<const Box> boxes,
+                                 int histogram_resolution) {
+  DatasetStats stats;
+  stats.count = boxes.size();
+  if (boxes.empty()) return stats;
+
+  double sx = 0;
+  double sy = 0;
+  double sz = 0;
+  for (const Box& box : boxes) {
+    stats.extent.ExpandToContain(box);
+    const Vec3 e = box.Extent();
+    sx += e.x;
+    sy += e.y;
+    sz += e.z;
+  }
+  const double inv = 1.0 / static_cast<double>(boxes.size());
+  stats.avg_object_extent = Vec3(static_cast<float>(sx * inv),
+                                 static_cast<float>(sy * inv),
+                                 static_cast<float>(sz * inv));
+  const double volume = stats.extent.Volume();
+  stats.density = volume > 0 ? static_cast<double>(boxes.size()) / volume : 0;
+
+  const int res = std::max(1, histogram_resolution);
+  stats.histogram_resolution = res;
+  stats.histogram.assign(static_cast<size_t>(res) * res * res, 0);
+  const GridMapper grid(stats.extent, res);
+  for (const Box& box : boxes) {
+    const CellCoord c = grid.CellOf(box.Center());
+    ++stats.histogram[(static_cast<size_t>(c.x) * res + c.y) * res + c.z];
+  }
+  return stats;
+}
+
+DatasetHandle DatasetCatalog::Register(std::string name, Dataset boxes) {
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::move(name);
+  entry->stats = ComputeDatasetStats(boxes);
+  entry->boxes = std::move(boxes);
+  entries_.push_back(std::move(entry));
+  return static_cast<DatasetHandle>(entries_.size() - 1);
+}
+
+std::optional<DatasetHandle> DatasetCatalog::Find(
+    const std::string& name) const {
+  for (size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i]->name == name) return static_cast<DatasetHandle>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace touch

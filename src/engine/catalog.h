@@ -1,0 +1,86 @@
+#ifndef TOUCH_ENGINE_CATALOG_H_
+#define TOUCH_ENGINE_CATALOG_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "geom/box.h"
+#include "geom/vec3.h"
+
+namespace touch {
+
+/// Identifier of a dataset registered with a DatasetCatalog: a dense index,
+/// stable for the catalog's lifetime.
+using DatasetHandle = uint32_t;
+
+/// Statistics computed once at registration and consumed by the planner on
+/// every query, so planning never rescans the data it already knows about.
+struct DatasetStats {
+  size_t count = 0;
+  /// Tight bounding box of all objects.
+  Box extent = Box::Empty();
+  /// Average per-axis object extent.
+  Vec3 avg_object_extent{0, 0, 0};
+  /// Objects per unit volume of `extent` (0 when the extent is degenerate).
+  double density = 0;
+  /// Coarse center-count histogram over `extent` (resolution^3 cells,
+  /// x-major like SelectivityEstimator) — the planner's skew signal.
+  int histogram_resolution = 0;
+  std::vector<uint32_t> histogram;
+
+  /// Peak cell count divided by the mean count of *occupied* cells: near 1
+  /// for uniform data, large for clustered data. 0 for empty datasets.
+  double HistogramSkew() const;
+};
+
+/// Computes the stats of one dataset (exposed for tests and tools).
+DatasetStats ComputeDatasetStats(std::span<const Box> boxes,
+                                 int histogram_resolution = 16);
+
+/// Registry of named datasets with precomputed stats — the engine's notion
+/// of "a dataset the system serves queries against", as opposed to the
+/// anonymous spans the algorithm layer joins.
+///
+/// Registration moves the boxes in; the catalog owns them for its lifetime
+/// and hands out stable references (entries are heap-allocated), so callers
+/// may hold spans across later registrations. Lookup by name returns the
+/// most recently registered dataset of that name.
+class DatasetCatalog {
+ public:
+  DatasetHandle Register(std::string name, Dataset boxes);
+
+  size_t size() const { return entries_.size(); }
+  bool Contains(DatasetHandle handle) const { return handle < entries_.size(); }
+
+  const std::string& name(DatasetHandle handle) const {
+    return entries_[handle]->name;
+  }
+  const Dataset& boxes(DatasetHandle handle) const {
+    return entries_[handle]->boxes;
+  }
+  const DatasetStats& stats(DatasetHandle handle) const {
+    return entries_[handle]->stats;
+  }
+
+  /// Handle of the most recently registered dataset named `name`.
+  std::optional<DatasetHandle> Find(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Dataset boxes;
+    DatasetStats stats;
+  };
+
+  // unique_ptr keeps boxes/stats references stable across Register calls.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_ENGINE_CATALOG_H_

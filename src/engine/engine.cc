@@ -1,0 +1,201 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "core/factory.h"
+#include "core/touch.h"
+#include "util/timer.h"
+
+namespace touch {
+namespace {
+
+/// Flips pairs back to (a, b) order when a join ran with swapped inputs.
+class SwappedCollector : public ResultCollector {
+ public:
+  explicit SwappedCollector(ResultCollector& out) : out_(out) {}
+  void Emit(uint32_t a_id, uint32_t b_id) override { out_.Emit(b_id, a_id); }
+
+ private:
+  ResultCollector& out_;
+};
+
+Dataset EnlargedCopy(std::span<const Box> boxes, float epsilon) {
+  Dataset out;
+  out.reserve(boxes.size());
+  for (const Box& box : boxes) out.push_back(box.Enlarged(epsilon));
+  return out;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const EngineOptions& options)
+    : options_(options), planner_(options.planner), pool_(options.threads) {}
+
+DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes) {
+  return catalog_.Register(std::move(name), std::move(boxes));
+}
+
+JoinPlan QueryEngine::Plan(const JoinRequest& request) const {
+  return planner_.Plan(catalog_, request);
+}
+
+JoinResult QueryEngine::Execute(const JoinRequest& request,
+                                ResultCollector& out) {
+  if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
+    JoinResult result;
+    result.error = "invalid dataset handle (catalog has " +
+                   std::to_string(catalog_.size()) + " datasets)";
+    return result;
+  }
+  // Failures (e.g. an index build running out of memory) become per-request
+  // errors instead of escaping — a batch must not die for one bad join.
+  try {
+    return ExecutePlanned(Plan(request), request, out);
+  } catch (const std::exception& e) {
+    JoinResult result;
+    result.error = std::string("execution failed: ") + e.what();
+    return result;
+  }
+}
+
+JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
+                                     const JoinRequest& request,
+                                     ResultCollector& out) {
+  if (algorithm == "auto") return Execute(request, out);
+  if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
+    JoinResult result;
+    result.error = "invalid dataset handle (catalog has " +
+                   std::to_string(catalog_.size()) + " datasets)";
+    return result;
+  }
+  if (MakeAlgorithm(algorithm) == nullptr) {
+    JoinResult result;
+    result.error = UnknownAlgorithmMessage(algorithm);
+    return result;
+  }
+  JoinPlan plan;
+  plan.algorithm = algorithm;
+  plan.build_on_a =
+      catalog_.stats(request.a).count <= catalog_.stats(request.b).count;
+  plan.touch.join_order = plan.build_on_a ? TouchOptions::JoinOrder::kBuildOnA
+                                          : TouchOptions::JoinOrder::kBuildOnB;
+  plan.touch.threads = 1;
+  plan.rationale = "algorithm fixed by caller";
+  try {
+    return ExecutePlanned(std::move(plan), request, out);
+  } catch (const std::exception& e) {
+    JoinResult result;
+    result.error = std::string("execution failed: ") + e.what();
+    return result;
+  }
+}
+
+JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
+                                       const JoinRequest& request,
+                                       ResultCollector& out) {
+  if (plan.algorithm == "touch" && options_.cache_indexes) {
+    return ExecuteTouch(std::move(plan), request, out);
+  }
+
+  JoinResult result;
+  AlgorithmConfig config;
+  config.touch = plan.touch;
+  std::unique_ptr<SpatialJoinAlgorithm> algorithm =
+      MakeAlgorithm(plan.algorithm, config);
+  if (algorithm == nullptr) {
+    result.error = UnknownAlgorithmMessage(plan.algorithm);
+    return result;
+  }
+  const Dataset& a = catalog_.boxes(request.a);
+  const Dataset& b = catalog_.boxes(request.b);
+  // Orientation-sensitive algorithms (inl: index over the first input) get
+  // swapped inputs when the plan builds on B; "touch" orients itself through
+  // join_order instead, and the symmetric algorithms are always planned with
+  // build_on_a. A distance join may enlarge either side, so swapping keeps
+  // the same result set.
+  if (plan.build_on_a || plan.algorithm == "touch") {
+    result.stats = DistanceJoin(*algorithm, a, b, request.epsilon, out);
+  } else {
+    SwappedCollector swapped(out);
+    result.stats = DistanceJoin(*algorithm, b, a, request.epsilon, swapped);
+  }
+  result.plan = std::move(plan);
+  return result;
+}
+
+JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
+                                     ResultCollector& out) {
+  JoinResult result;
+  Timer total;
+  const Dataset& a = catalog_.boxes(request.a);
+  const Dataset& b = catalog_.boxes(request.b);
+  const DatasetHandle build_handle = plan.build_on_a ? request.a : request.b;
+  const Dataset& build_src = catalog_.boxes(build_handle);
+  // The distance join enlarges side A; when the tree is built over A the
+  // enlargement is baked into the cached index (and into its cache key).
+  const float build_epsilon = plan.build_on_a ? request.epsilon : 0.0f;
+
+  const TouchOptions& touch_options = plan.touch;
+  size_t leaf_capacity = touch_options.leaf_capacity;
+  if (leaf_capacity == 0) {
+    const size_t partitions = std::max<size_t>(1, touch_options.partitions);
+    leaf_capacity = (build_src.size() + partitions - 1) / partitions;
+  }
+  leaf_capacity = std::max<size_t>(1, leaf_capacity);
+
+  const IndexCacheKey key{build_handle, build_epsilon, leaf_capacity,
+                          touch_options.fanout};
+  bool missed = false;
+  const IndexCache::EntryPtr entry = cache_.GetOrBuild(key, [&] {
+    missed = true;
+    Timer build_timer;
+    Dataset boxes =
+        build_epsilon > 0 ? EnlargedCopy(build_src, build_epsilon) : Dataset{};
+    const std::span<const Box> tree_input =
+        boxes.empty() ? std::span<const Box>(build_src)
+                      : std::span<const Box>(boxes);
+    TouchTree tree(tree_input, leaf_capacity, touch_options.fanout);
+    return std::make_shared<CachedIndex>(CachedIndex{
+        std::move(boxes), std::move(tree), build_timer.Seconds()});
+  });
+  result.index_cache_hit = !missed;
+
+  const std::span<const Box> tree_boxes =
+      entry->boxes.empty() ? std::span<const Box>(build_src)
+                           : std::span<const Box>(entry->boxes);
+  TouchJoin join(touch_options);
+  if (plan.build_on_a) {
+    result.stats = join.JoinWithPrebuiltTree(entry->tree, tree_boxes, b, out);
+  } else {
+    const Dataset probe =
+        request.epsilon > 0 ? EnlargedCopy(a, request.epsilon) : Dataset{};
+    const std::span<const Box> probe_span =
+        probe.empty() ? std::span<const Box>(a) : std::span<const Box>(probe);
+    SwappedCollector swapped(out);
+    result.stats =
+        join.JoinWithPrebuiltTree(entry->tree, tree_boxes, probe_span, swapped);
+  }
+  // A miss pays the build it triggered; a hit reuses the cached tree for
+  // free — the productized section-4.3 shortcut.
+  result.stats.build_seconds = missed ? entry->build_seconds : 0.0;
+  result.stats.total_seconds = total.Seconds();
+  result.plan = std::move(plan);
+  return result;
+}
+
+std::vector<JoinResult> QueryEngine::ExecuteBatch(
+    std::span<const JoinRequest> requests) {
+  std::vector<JoinResult> results(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    pool_.Submit([this, &results, i, request = requests[i]] {
+      CountingCollector counter;
+      results[i] = Execute(request, counter);
+    });
+  }
+  pool_.WaitIdle();
+  return results;
+}
+
+}  // namespace touch

@@ -1,0 +1,94 @@
+#ifndef TOUCH_ENGINE_ENGINE_H_
+#define TOUCH_ENGINE_ENGINE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/catalog.h"
+#include "engine/index_cache.h"
+#include "engine/planner.h"
+#include "engine/worker_pool.h"
+#include "join/algorithm.h"
+
+namespace touch {
+
+struct EngineOptions {
+  /// Worker threads for batched execution; <= 0 uses hardware concurrency.
+  int threads = 0;
+  PlannerOptions planner;
+  /// Reuse built TOUCH trees across queries (the paper's prebuilt-index
+  /// ablation, productized). Off forces every query to build cold.
+  bool cache_indexes = true;
+};
+
+/// Outcome of one engine query.
+struct JoinResult {
+  JoinPlan plan;
+  JoinStats stats;
+  /// True when the join ran against a tree served from the index cache.
+  bool index_cache_hit = false;
+  /// Non-empty when the request could not run (unknown algorithm name, bad
+  /// dataset handle); plan and stats are meaningless then.
+  std::string error;
+};
+
+/// The adaptive spatial-join query engine: the layer that turns the
+/// algorithm library into a service. Datasets are registered once (stats
+/// precomputed), every join request is planned cost-based, built TOUCH trees
+/// are cached and reused across queries, and batches execute concurrently on
+/// a persistent worker pool.
+///
+/// Threading contract: RegisterDataset must not race with queries; Plan,
+/// Execute and ExecuteBatch may run concurrently with each other.
+class QueryEngine {
+ public:
+  explicit QueryEngine(const EngineOptions& options = {});
+
+  /// Registers a dataset (stats are computed here, once). The returned
+  /// handle is what join requests refer to.
+  DatasetHandle RegisterDataset(std::string name, Dataset boxes);
+
+  const DatasetCatalog& catalog() const { return catalog_; }
+
+  /// Plans without executing (the CLI's explain path).
+  JoinPlan Plan(const JoinRequest& request) const;
+
+  /// Plans and executes one join, emitting (a, b) pairs into `out`.
+  JoinResult Execute(const JoinRequest& request, ResultCollector& out);
+
+  /// Executes with a fixed algorithm ("auto" falls back to the planner).
+  /// Unknown names fill JoinResult::error — with the accepted list — and
+  /// execute nothing.
+  JoinResult ExecuteFixed(const std::string& algorithm,
+                          const JoinRequest& request, ResultCollector& out);
+
+  /// Plans and executes all requests concurrently on the worker pool.
+  /// Results are counted, not materialized (see stats.results); the output
+  /// order matches `requests`.
+  std::vector<JoinResult> ExecuteBatch(std::span<const JoinRequest> requests);
+
+  IndexCache::Stats cache_stats() const { return cache_.stats(); }
+  void ClearIndexCache() { cache_.Clear(); }
+
+  const EngineOptions& options() const { return options_; }
+
+  /// Actual worker-pool size (resolves the options' 0 = hardware default).
+  int threads() const { return pool_.thread_count(); }
+
+ private:
+  JoinResult ExecutePlanned(JoinPlan plan, const JoinRequest& request,
+                            ResultCollector& out);
+  JoinResult ExecuteTouch(JoinPlan plan, const JoinRequest& request,
+                          ResultCollector& out);
+
+  EngineOptions options_;
+  DatasetCatalog catalog_;
+  Planner planner_;
+  IndexCache cache_;
+  WorkerPool pool_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_ENGINE_ENGINE_H_

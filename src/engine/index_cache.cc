@@ -1,0 +1,62 @@
+#include "engine/index_cache.h"
+
+#include "util/memory.h"
+
+namespace touch {
+
+IndexCache::EntryPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
+                                            const Builder& build) {
+  std::promise<EntryPtr> promise;
+  std::shared_future<EntryPtr> future;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      future = it->second;
+      lock.unlock();
+      return future.get();  // blocks while another thread still builds
+    }
+    ++misses_;
+    future = promise.get_future().share();
+    entries_.emplace(key, future);
+  }
+
+  EntryPtr entry;
+  try {
+    entry = build();
+  } catch (...) {
+    // Un-poison the key so later requests can retry the build; waiters
+    // blocked on the future rethrow this exception.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  promise.set_value(entry);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bytes_ += entry->tree.MemoryUsageBytes() + VectorBytes(entry->boxes);
+  }
+  return entry;
+}
+
+IndexCache::Stats IndexCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = entries_.size();
+  stats.bytes = bytes_;
+  return stats;
+}
+
+void IndexCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace touch

@@ -1,0 +1,82 @@
+#ifndef TOUCH_ENGINE_INDEX_CACHE_H_
+#define TOUCH_ENGINE_INDEX_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "core/touch_tree.h"
+#include "datagen/dataset.h"
+#include "engine/catalog.h"
+
+namespace touch {
+
+/// Identity of one cached index: the dataset it was built over, the epsilon
+/// its boxes were enlarged by before building (0 when the probe side carries
+/// the enlargement), and the tree shape. Two queries that agree on all four
+/// can share the same built tree.
+struct IndexCacheKey {
+  DatasetHandle dataset = 0;
+  float epsilon = 0.0f;
+  size_t leaf_capacity = 0;
+  size_t fanout = 0;
+
+  bool operator<(const IndexCacheKey& other) const {
+    return std::tie(dataset, epsilon, leaf_capacity, fanout) <
+           std::tie(other.dataset, other.epsilon, other.leaf_capacity,
+                    other.fanout);
+  }
+};
+
+/// A built TOUCH tree plus the exact boxes it was built over. `boxes` is the
+/// enlarged copy when the key's epsilon is nonzero; it stays empty when the
+/// tree was built directly over the catalog's boxes (the caller then passes
+/// the catalog span to JoinWithPrebuiltTree instead).
+struct CachedIndex {
+  Dataset boxes;
+  TouchTree tree;
+  /// Wall-clock seconds the build cost (reported as build_seconds by the
+  /// query that missed; cache hits report 0, the productized form of the
+  /// paper's section-4.3 prebuilt-index shortcut).
+  double build_seconds = 0;
+};
+
+/// Thread-safe cache of built indexes, shared by all queries of an engine.
+/// Concurrent requests for the same key build once: the first miss installs
+/// a future the others block on. No eviction yet (ROADMAP open item) —
+/// Clear() drops everything.
+class IndexCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    size_t entries = 0;
+    /// Tree + box storage of all entries.
+    size_t bytes = 0;
+  };
+
+  using EntryPtr = std::shared_ptr<const CachedIndex>;
+  using Builder = std::function<EntryPtr()>;
+
+  /// Returns the index for `key`, invoking `build` on a miss. `build` runs
+  /// outside the cache lock, so independent keys build concurrently.
+  EntryPtr GetOrBuild(const IndexCacheKey& key, const Builder& build);
+
+  Stats stats() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<IndexCacheKey, std::shared_future<EntryPtr>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_ENGINE_INDEX_CACHE_H_

@@ -1,0 +1,185 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+#include "estimate/selectivity.h"
+
+namespace touch {
+namespace {
+
+/// Grid resolution whose cells stay ~4x larger than the average object (the
+/// paper's section-5.2.2 rule, also applied by the local join): finer grids
+/// pair objects the histogramming never sees together. `avg_edge` already
+/// includes any epsilon enlargement.
+int CellSizeCappedResolution(const Box& domain, float avg_edge, int max_res) {
+  if (avg_edge <= 0) return max_res;
+  const Vec3 extent = domain.Extent();
+  const float min_extent = std::min({extent.x, extent.y, extent.z});
+  const int cap = std::max(1, static_cast<int>(min_extent / (4.0f * avg_edge)));
+  return std::clamp(cap, 1, max_res);
+}
+
+float MaxComponent(const Vec3& v) { return std::max({v.x, v.y, v.z}); }
+
+std::string Format(const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace
+
+std::string JoinPlan::ToString() const {
+  std::string line;
+  if (algorithm == "touch") {
+    line = Format(
+        "algorithm=touch build=%s partitions=%zu grid=%d "
+        "expected_results=%.3g selectivity=%.3g",
+        build_on_a ? "A" : "B", touch.partitions, touch.grid_resolution,
+        expected_results, expected_selectivity);
+  } else {
+    line = Format("algorithm=%s build=%s expected_results=%.3g "
+                  "selectivity=%.3g",
+                  algorithm.c_str(), build_on_a ? "A" : "B", expected_results,
+                  expected_selectivity);
+  }
+  return line + "\n  reason: " + rationale;
+}
+
+JoinPlan Planner::Plan(const DatasetCatalog& catalog,
+                       const JoinRequest& request) const {
+  const DatasetStats& stats_a = catalog.stats(request.a);
+  const DatasetStats& stats_b = catalog.stats(request.b);
+  const size_t size_a = stats_a.count;
+  const size_t size_b = stats_b.count;
+  const size_t smaller = std::min(size_a, size_b);
+  const size_t larger = std::max(size_a, size_b);
+
+  JoinPlan plan;
+  plan.touch.threads = 1;  // batch-level parallelism belongs to the engine
+
+  if (smaller == 0) {
+    plan.algorithm = "nl";
+    plan.rationale = "an input is empty: nested loop (no result, no setup)";
+    return plan;
+  }
+  if (larger <= options_.nested_loop_max) {
+    plan.algorithm = "nl";
+    plan.rationale = Format(
+        "tiny inputs (max(|A|,|B|)=%zu <= %zu): nested loop beats any setup "
+        "cost",
+        larger, options_.nested_loop_max);
+    return plan;
+  }
+  if (larger <= options_.plane_sweep_max) {
+    plan.algorithm = "ps";
+    plan.rationale = Format(
+        "small inputs (max(|A|,|B|)=%zu <= %zu): plane sweep (sort only, no "
+        "index build)",
+        larger, options_.plane_sweep_max);
+    return plan;
+  }
+
+  // Beyond the tiny-input regime, plans are cost-based: estimate the output
+  // and inspect the per-dataset histograms registration already paid for.
+  const SelectivityEstimator estimator(catalog.boxes(request.a),
+                                       catalog.boxes(request.b),
+                                       options_.estimator_resolution);
+  const SelectivityEstimate estimate = estimator.Estimate(request.epsilon);
+  plan.expected_results = estimate.expected_results;
+  plan.expected_selectivity = estimate.selectivity;
+
+  const double skew =
+      std::max(stats_a.HistogramSkew(), stats_b.HistogramSkew());
+  Box joint = stats_a.extent;
+  joint.ExpandToContain(stats_b.extent);
+  // PBSM replicates the *enlarged* boxes into cells, so its cell-size rule
+  // must account for the epsilon bloat.
+  const float enlarged_edge =
+      std::max(MaxComponent(stats_a.avg_object_extent) + 2.0f * request.epsilon,
+               MaxComponent(stats_b.avg_object_extent));
+
+  // Coarse per-object footprint of the partitioning algorithms, calibrated
+  // against measured memMB counters (TOUCH ~50 B/object incl. tree + grids;
+  // PBSM ~2x for replication).
+  const size_t touch_bytes = 48 * (size_a + size_b);
+  const size_t pbsm_bytes = 96 * (size_a + size_b);
+  const size_t budget = options_.memory_budget_bytes;
+
+  // Per-dataset skew is measured over each dataset's *own* extent, so two
+  // individually-uniform datasets with very different extents still form a
+  // joint hotspot (all of the small one in a few cells of the joint grid).
+  // PBSM is only trusted when both extents fill a fair share of the joint
+  // domain; degenerate (zero-volume) joints skip the check.
+  const double joint_volume = joint.Volume();
+  const bool extents_comparable =
+      joint_volume <= 0 ||
+      std::min(stats_a.extent.Volume(), stats_b.extent.Volume()) >=
+          0.1 * joint_volume;
+
+  if (skew <= options_.pbsm_skew_max && extents_comparable &&
+      size_a + size_b <= options_.pbsm_max_objects &&
+      (budget == 0 || pbsm_bytes <= budget)) {
+    const int resolution = CellSizeCappedResolution(joint, enlarged_edge, 500);
+    plan.algorithm = Format("pbsm-%d", resolution);
+    plan.rationale = Format(
+        "near-uniform data (histogram skew %.2f <= %.2f) and %zu total "
+        "objects: PBSM, grid %d^3 (cells ~4x the %.2f-unit average enlarged "
+        "object)",
+        skew, options_.pbsm_skew_max, size_a + size_b, resolution,
+        enlarged_edge);
+    return plan;
+  }
+
+  if (budget > 0 && touch_bytes > budget) {
+    if (static_cast<double>(larger) >=
+        static_cast<double>(smaller) * options_.inl_asymmetry) {
+      plan.algorithm = "inl";
+      plan.build_on_a = size_a <= size_b;
+      plan.rationale = Format(
+          "memory budget %.1f MB below the ~%.1f MB partitioning estimate "
+          "and %zu:%zu cardinality asymmetry (>= %.0fx): indexed nested "
+          "loop, R-tree over only the smaller side (%s)",
+          budget / 1048576.0, touch_bytes / 1048576.0, larger, smaller,
+          options_.inl_asymmetry, plan.build_on_a ? "A" : "B");
+      return plan;
+    }
+    plan.algorithm = "ps";
+    plan.rationale = Format(
+        "memory budget %.1f MB below the ~%.1f MB partitioning estimate: "
+        "plane sweep (sort-only footprint)",
+        budget / 1048576.0, touch_bytes / 1048576.0);
+    return plan;
+  }
+
+  plan.algorithm = "touch";
+  plan.build_on_a = size_a <= size_b;  // == SelectivityEstimator::ShouldBuildOnA
+  const size_t build_count = plan.build_on_a ? size_a : size_b;
+  const size_t partitions = std::clamp<size_t>(
+      build_count / std::max<size_t>(1, options_.touch_leaf_target), 16, 8192);
+  plan.touch.partitions = partitions;
+  plan.touch.join_order = plan.build_on_a ? TouchOptions::JoinOrder::kBuildOnA
+                                          : TouchOptions::JoinOrder::kBuildOnB;
+  // TOUCH's local-join cells are keyed off the *raw* objects: the distance
+  // join bloats one side by epsilon, and sizing cells by the bloated average
+  // would make them an order of magnitude too coarse (see TouchOptions::
+  // cell_size_multiplier).
+  const float raw_edge = std::min(MaxComponent(stats_a.avg_object_extent),
+                                  MaxComponent(stats_b.avg_object_extent));
+  plan.touch.grid_resolution = CellSizeCappedResolution(joint, raw_edge, 500);
+  plan.rationale = Format(
+      "skewed or large workload (histogram skew %.2f, %zu+%zu objects): "
+      "TOUCH; tree on the sparser side (%s, %zu objects) per the paper's "
+      "join-order rule; %zu partitions (~%zu objects/leaf); local-join grid "
+      "capped at %d cells/axis",
+      skew, size_a, size_b, plan.build_on_a ? "A" : "B", build_count,
+      partitions, options_.touch_leaf_target, plan.touch.grid_resolution);
+  return plan;
+}
+
+}  // namespace touch

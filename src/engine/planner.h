@@ -1,0 +1,87 @@
+#ifndef TOUCH_ENGINE_PLANNER_H_
+#define TOUCH_ENGINE_PLANNER_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/touch.h"
+#include "engine/catalog.h"
+
+namespace touch {
+
+/// One join the engine is asked to run: two registered datasets and the
+/// distance threshold (0 = plain intersection join).
+struct JoinRequest {
+  DatasetHandle a = 0;
+  DatasetHandle b = 0;
+  float epsilon = 0.0f;
+};
+
+/// An executable, explainable plan for one join request. `algorithm` is a
+/// MakeAlgorithm name ("touch", "ps", "pbsm-<res>", ...); `rationale` records
+/// every decision the planner took, so a plan can always answer "why this?".
+struct JoinPlan {
+  std::string algorithm = "touch";
+  /// Index-building side for touch / inl: true builds over dataset A. The
+  /// executor flips emitted pairs back to (a, b) order when false.
+  bool build_on_a = true;
+  /// Fully resolved TOUCH configuration (meaningful when algorithm=="touch").
+  TouchOptions touch;
+  /// Planner's cost-model outputs (0 when planning skipped estimation).
+  double expected_results = 0;
+  double expected_selectivity = 0;
+  std::string rationale;
+
+  /// One line of settings plus the rationale, e.g. for the CLI's --algo=auto.
+  std::string ToString() const;
+};
+
+/// Thresholds of the planner's decision rules. Defaults are calibrated
+/// against the paper's measurements (sections 6.3-6.5): sort-based and
+/// partition-based joins only pay off once inputs outgrow the quadratic /
+/// sort regime, PBSM wins on uniform data, TOUCH on skewed or large data.
+struct PlannerOptions {
+  /// max(|A|, |B|) at or below this -> nested loop (no setup cost at all).
+  size_t nested_loop_max = 64;
+  /// max(|A|, |B|) at or below this -> plane sweep (sort only, no index).
+  size_t plane_sweep_max = 2000;
+  /// Ceiling on the auxiliary memory a plan may spend, in bytes (0 = no
+  /// limit). When the partitioning algorithms' estimated footprint exceeds
+  /// it, the planner falls back to the index-light INL (extreme cardinality
+  /// asymmetry) or the sort-only plane sweep.
+  size_t memory_budget_bytes = 0;
+  /// Under a violated memory budget: |larger| / |smaller| at or above this
+  /// -> indexed nested loop with the tree on the smaller side (its footprint
+  /// is just that small tree; measured ~1000x below TOUCH/PBSM grids).
+  double inl_asymmetry = 64.0;
+  /// Both datasets' histogram skew at or below this counts as uniform ->
+  /// PBSM eligible (space-oriented partitioning is only competitive without
+  /// hotspots, paper Figures 8-11). Checked before the INL asymmetry rule.
+  double pbsm_skew_max = 3.0;
+  /// PBSM is skipped beyond this many total objects (replication memory).
+  size_t pbsm_max_objects = 400000;
+  /// Target objects per TOUCH leaf; sets the partition count.
+  size_t touch_leaf_target = 96;
+  /// Resolution of the joint selectivity histogram built per Plan call.
+  int estimator_resolution = 32;
+};
+
+/// Cost-based planner: stats in, explainable plan out. Stateless apart from
+/// its options; safe to share across threads.
+class Planner {
+ public:
+  explicit Planner(const PlannerOptions& options = {}) : options_(options) {}
+
+  /// Chooses algorithm, join order, partition count and grid resolution for
+  /// `request`. Both handles must be valid in `catalog`.
+  JoinPlan Plan(const DatasetCatalog& catalog, const JoinRequest& request) const;
+
+  const PlannerOptions& options() const { return options_; }
+
+ private:
+  PlannerOptions options_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_ENGINE_PLANNER_H_

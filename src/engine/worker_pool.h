@@ -1,0 +1,49 @@
+#ifndef TOUCH_ENGINE_WORKER_POOL_H_
+#define TOUCH_ENGINE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace touch {
+
+/// Reusable fixed-size worker pool. Unlike the per-call thread spawning of
+/// PartitionedJoin, the engine keeps one pool alive across queries, so a
+/// steady stream of batches pays thread start-up once.
+class WorkerPool {
+ public:
+  /// `threads` <= 0 uses the hardware concurrency (at least 1).
+  explicit WorkerPool(int threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently running
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_ENGINE_WORKER_POOL_H_

@@ -1,0 +1,90 @@
+#include "engine/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "datagen/distributions.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+TEST(DatasetStatsTest, ComputesCountExtentAndAverages) {
+  Dataset boxes;
+  boxes.push_back(MakeBox(0, 0, 0, 2, 2, 2));
+  boxes.push_back(MakeBox(8, 8, 8, 12, 12, 12));
+
+  const DatasetStats stats = ComputeDatasetStats(boxes);
+  EXPECT_EQ(stats.count, 2u);
+  EXPECT_EQ(stats.extent, MakeBox(0, 0, 0, 12, 12, 12));
+  EXPECT_FLOAT_EQ(stats.avg_object_extent.x, 3.0f);  // (2 + 4) / 2
+  EXPECT_GT(stats.density, 0);
+}
+
+TEST(DatasetStatsTest, HistogramCountsEveryObjectOnce) {
+  const Dataset boxes = GenerateSynthetic(Distribution::kGaussian, 5000, 11);
+  const DatasetStats stats = ComputeDatasetStats(boxes);
+  const uint64_t total = std::accumulate(stats.histogram.begin(),
+                                         stats.histogram.end(), uint64_t{0});
+  EXPECT_EQ(total, boxes.size());
+  EXPECT_EQ(stats.histogram.size(),
+            static_cast<size_t>(stats.histogram_resolution) *
+                stats.histogram_resolution * stats.histogram_resolution);
+}
+
+TEST(DatasetStatsTest, SkewSeparatesUniformFromClustered) {
+  const DatasetStats uniform = ComputeDatasetStats(
+      GenerateSynthetic(Distribution::kUniform, 20000, 12));
+  const DatasetStats clustered = ComputeDatasetStats(
+      GenerateSynthetic(Distribution::kClustered, 20000, 13));
+  EXPECT_GT(clustered.HistogramSkew(), uniform.HistogramSkew());
+  EXPECT_LT(uniform.HistogramSkew(), 3.0);
+}
+
+TEST(DatasetStatsTest, EmptyDatasetIsWellDefined) {
+  const DatasetStats stats = ComputeDatasetStats(Dataset{});
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.HistogramSkew(), 0);
+}
+
+TEST(DatasetCatalogTest, RegisterAndLookup) {
+  DatasetCatalog catalog;
+  const DatasetHandle parcels = catalog.Register(
+      "parcels", GenerateSynthetic(Distribution::kUniform, 100, 1));
+  const DatasetHandle roads = catalog.Register(
+      "roads", GenerateSynthetic(Distribution::kUniform, 200, 2));
+
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_TRUE(catalog.Contains(parcels));
+  EXPECT_FALSE(catalog.Contains(99));
+  EXPECT_EQ(catalog.name(parcels), "parcels");
+  EXPECT_EQ(catalog.boxes(roads).size(), 200u);
+  EXPECT_EQ(catalog.stats(parcels).count, 100u);
+  EXPECT_EQ(catalog.Find("roads"), roads);
+  EXPECT_EQ(catalog.Find("missing"), std::nullopt);
+}
+
+TEST(DatasetCatalogTest, ReferencesStayStableAcrossRegistrations) {
+  DatasetCatalog catalog;
+  const DatasetHandle first = catalog.Register(
+      "first", GenerateSynthetic(Distribution::kUniform, 50, 3));
+  const Dataset* boxes = &catalog.boxes(first);
+  const DatasetStats* stats = &catalog.stats(first);
+  for (int i = 0; i < 20; ++i) {
+    catalog.Register("other", GenerateSynthetic(Distribution::kUniform, 50, i));
+  }
+  EXPECT_EQ(boxes, &catalog.boxes(first));
+  EXPECT_EQ(stats, &catalog.stats(first));
+}
+
+TEST(DatasetCatalogTest, DuplicateNamesResolveToLatest) {
+  DatasetCatalog catalog;
+  catalog.Register("data", GenerateSynthetic(Distribution::kUniform, 10, 4));
+  const DatasetHandle second = catalog.Register(
+      "data", GenerateSynthetic(Distribution::kUniform, 20, 5));
+  EXPECT_EQ(catalog.Find("data"), second);
+}
+
+}  // namespace
+}  // namespace touch

@@ -1,0 +1,177 @@
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/distributions.h"
+#include "join/nested_loop.h"
+#include "test_util.h"
+
+namespace touch {
+namespace {
+
+/// Ground truth for the engine's distance join: enlarge A, nested loop.
+std::vector<IdPair> DistanceOracle(const Dataset& a, const Dataset& b,
+                                   float epsilon) {
+  Dataset enlarged = a;
+  for (Box& box : enlarged) box = box.Enlarged(epsilon);
+  return OracleJoin(enlarged, b);
+}
+
+std::vector<IdPair> SortedPairs(VectorCollector& collector) {
+  std::vector<IdPair> pairs = collector.pairs();
+  std::sort(pairs.begin(), pairs.end());
+  return pairs;
+}
+
+class QueryEngineTest : public ::testing::Test {
+ protected:
+  // Clustered and big enough that the planner reaches the TOUCH branch.
+  Dataset small_ = GenerateSynthetic(Distribution::kClustered, 4000, 51);
+  Dataset large_ = GenerateSynthetic(Distribution::kClustered, 8000, 52);
+};
+
+TEST_F(QueryEngineTest, ColdAndCachedRunsProduceIdenticalPairs) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+  const JoinRequest request{a, b, 2.0f};
+  ASSERT_EQ(engine.Plan(request).algorithm, "touch");
+
+  VectorCollector cold;
+  const JoinResult cold_result = engine.Execute(request, cold);
+  ASSERT_TRUE(cold_result.error.empty());
+  EXPECT_FALSE(cold_result.index_cache_hit);
+  IndexCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  VectorCollector cached;
+  const JoinResult cached_result = engine.Execute(request, cached);
+  ASSERT_TRUE(cached_result.error.empty());
+  EXPECT_TRUE(cached_result.index_cache_hit);
+  EXPECT_EQ(cached_result.stats.build_seconds, 0.0);
+  stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  const std::vector<IdPair> oracle = DistanceOracle(small_, large_, 2.0f);
+  ASSERT_FALSE(oracle.empty());
+  EXPECT_EQ(SortedPairs(cold), oracle);
+  EXPECT_EQ(SortedPairs(cached), oracle);
+}
+
+// When A is the larger dataset the plan builds the tree on B and the engine
+// must still emit pairs in (a, b) order.
+TEST_F(QueryEngineTest, BuildOnBKeepsPairOrder) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("large", large_);
+  const DatasetHandle b = engine.RegisterDataset("small", small_);
+  const JoinRequest request{a, b, 2.0f};
+  const JoinPlan plan = engine.Plan(request);
+  ASSERT_EQ(plan.algorithm, "touch");
+  ASSERT_FALSE(plan.build_on_a);
+
+  VectorCollector out;
+  ASSERT_TRUE(engine.Execute(request, out).error.empty());
+  EXPECT_EQ(SortedPairs(out), DistanceOracle(large_, small_, 2.0f));
+
+  // The cached tree (built over raw B) is epsilon-independent: a second
+  // query with a different epsilon reuses it.
+  VectorCollector other;
+  const JoinResult second = engine.Execute({a, b, 4.0f}, other);
+  EXPECT_TRUE(second.index_cache_hit);
+  EXPECT_EQ(SortedPairs(other), DistanceOracle(large_, small_, 4.0f));
+}
+
+TEST_F(QueryEngineTest, BuildOnACacheDistinguishesEpsilon) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+
+  CountingCollector out;
+  EXPECT_FALSE(engine.Execute({a, b, 2.0f}, out).index_cache_hit);
+  // The enlargement is baked into the tree over A, so a new epsilon is a
+  // new index...
+  EXPECT_FALSE(engine.Execute({a, b, 4.0f}, out).index_cache_hit);
+  // ...while repeating either epsilon hits its entry.
+  EXPECT_TRUE(engine.Execute({a, b, 2.0f}, out).index_cache_hit);
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+}
+
+TEST_F(QueryEngineTest, DisabledCacheStillProducesIdenticalResults) {
+  EngineOptions options;
+  options.cache_indexes = false;
+  QueryEngine engine(options);
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+
+  VectorCollector out;
+  const JoinResult result = engine.Execute({a, b, 2.0f}, out);
+  ASSERT_TRUE(result.error.empty());
+  EXPECT_FALSE(result.index_cache_hit);
+  EXPECT_EQ(engine.cache_stats().misses, 0u);
+  EXPECT_EQ(SortedPairs(out), DistanceOracle(small_, large_, 2.0f));
+}
+
+TEST_F(QueryEngineTest, BatchMatchesIndividualExecution) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+  const std::vector<JoinRequest> requests = {
+      {a, b, 2.0f}, {b, a, 1.0f}, {a, a, 0.5f}, {a, b, 2.0f}};
+
+  QueryEngine reference;
+  const DatasetHandle ra = reference.RegisterDataset("small", small_);
+  const DatasetHandle rb = reference.RegisterDataset("large", large_);
+  const std::vector<JoinRequest> reference_requests = {
+      {ra, rb, 2.0f}, {rb, ra, 1.0f}, {ra, ra, 0.5f}, {ra, rb, 2.0f}};
+
+  const std::vector<JoinResult> batch = engine.ExecuteBatch(requests);
+  ASSERT_EQ(batch.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(batch[i].error.empty()) << i;
+    CountingCollector expected;
+    reference.Execute(reference_requests[i], expected);
+    EXPECT_EQ(batch[i].stats.results, expected.count()) << i;
+  }
+  // The duplicated request shares one index with its twin.
+  EXPECT_GE(engine.cache_stats().hits, 1u);
+}
+
+TEST_F(QueryEngineTest, ExecuteFixedRunsTheNamedAlgorithm) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+
+  VectorCollector out;
+  const JoinResult result = engine.ExecuteFixed("ps", {a, b, 2.0f}, out);
+  ASSERT_TRUE(result.error.empty());
+  EXPECT_EQ(result.plan.algorithm, "ps");
+  EXPECT_EQ(SortedPairs(out), DistanceOracle(small_, large_, 2.0f));
+}
+
+TEST_F(QueryEngineTest, ExecuteFixedReportsUnknownNames) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+
+  VectorCollector out;
+  const JoinResult result = engine.ExecuteFixed("bogus", {a, b, 1.0f}, out);
+  EXPECT_NE(result.error.find("unknown algorithm 'bogus'"), std::string::npos);
+  EXPECT_NE(result.error.find("accepted:"), std::string::npos);
+  EXPECT_TRUE(out.pairs().empty());
+}
+
+TEST_F(QueryEngineTest, InvalidHandlesAreRejected) {
+  QueryEngine engine;
+  CountingCollector out;
+  const JoinResult result = engine.Execute({0, 1, 1.0f}, out);
+  EXPECT_FALSE(result.error.empty());
+  EXPECT_EQ(out.count(), 0u);
+}
+
+}  // namespace
+}  // namespace touch

@@ -3,8 +3,8 @@
 // Runs any algorithm of the library on generated or loaded datasets and
 // prints a stats table, so the join can be exercised without writing code:
 //
-//   spatial_join_cli --algo=touch --dist=gaussian --na=100000 --nb=200000 \
-//       --epsilon=5
+//   spatial_join_cli --algo=touch --dist=gaussian --na=100000 --epsilon=5
+//   spatial_join_cli --algo=auto --a=axons.bin --b=dendrites.bin
 //   spatial_join_cli --algo=pbsm-500,touch --a=axons.bin --b=dendrites.bin
 //   spatial_join_cli --generate=clustered --count=50000 --out=data.bin
 //
@@ -21,6 +21,7 @@
 #include "core/partitioned.h"
 #include "datagen/distributions.h"
 #include "datagen/neuro.h"
+#include "engine/engine.h"
 #include "io/dataset_io.h"
 
 namespace touch {
@@ -57,7 +58,8 @@ void PrintUsage() {
       "  --algo=NAME[,NAME...]  algorithms: nl ps pbsm-<res> s3 sssj inl\n"
       "                         rtree rtree-hilbert rtree-tgs rtree-guttman\n"
       "                         rtree-rstar rplus seeded octree nbps-<res>\n"
-      "                         touch, or 'all' (default: touch)\n"
+      "                         touch, 'all', or 'auto' (cost-based planner;\n"
+      "                         prints the chosen plan) (default: touch)\n"
       "  --a=FILE --b=FILE      load datasets (.bin from --generate, or .csv)\n"
       "  --dist=NAME            uniform|gaussian|clustered (default uniform)\n"
       "  --neuro=N              neuroscience workload grown from N neurons\n"
@@ -212,17 +214,47 @@ int RunJoin(const CliOptions& options) {
                 "comparisons", "filtered", "memory(MB)", "time(s)");
   }
 
+  // Created lazily on the first "auto": the engine owns dataset copies with
+  // precomputed stats and keeps built indexes cached across repeated autos.
+  std::unique_ptr<QueryEngine> engine;
+  DatasetHandle handle_a = 0;
+  DatasetHandle handle_b = 0;
+
   for (const std::string& name : algorithms) {
     JoinStats stats;
     CountingCollector out;
-    if (options.partitions > 0) {
+    std::string display_name = name;
+    if (name == "auto") {
+      if (options.partitions > 0) {
+        std::fprintf(stderr,
+                     "note: --partitions does not apply to --algo=auto\n");
+      }
+      if (engine == nullptr) {
+        engine = std::make_unique<QueryEngine>();
+        handle_a = engine->RegisterDataset("A", a);
+        handle_b = engine->RegisterDataset("B", b);
+      }
+      const JoinRequest request{handle_a, handle_b, options.epsilon};
+      const JoinResult result = engine->Execute(request, out);
+      if (!result.error.empty()) {
+        std::fprintf(stderr, "%s\n", result.error.c_str());
+        return 1;
+      }
+      // Plans go to stderr in csv mode so stdout stays machine-readable.
+      std::fprintf(options.csv ? stderr : stdout, "plan: %s%s\n",
+                   result.plan.ToString().c_str(),
+                   result.index_cache_hit ? "\n  [index cache hit]" : "");
+      stats = result.stats;
+      display_name = "auto:" + result.plan.algorithm;
+    } else if (options.partitions > 0) {
       PartitionedOptions popt;
       popt.partitions = options.partitions;
       popt.threads = options.threads;
       Dataset enlarged = a;
       for (Box& box : enlarged) box = box.Enlarged(options.epsilon);
       if (MakeAlgorithm(name) == nullptr) {
-        std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+        std::fprintf(stderr, "%s; this CLI also accepts 'auto' and 'all'\n",
+                     UnknownAlgorithmMessage(name).c_str());
         return 1;
       }
       stats = PartitionedJoin([&] { return MakeAlgorithm(name); }, enlarged,
@@ -230,20 +262,23 @@ int RunJoin(const CliOptions& options) {
     } else {
       std::unique_ptr<SpatialJoinAlgorithm> algorithm = MakeAlgorithm(name);
       if (algorithm == nullptr) {
-        std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+        std::fprintf(stderr, "%s; this CLI also accepts 'auto' and 'all'\n",
+                     UnknownAlgorithmMessage(name).c_str());
         return 1;
       }
       stats = DistanceJoin(*algorithm, a, b, options.epsilon, out);
     }
     if (options.csv) {
-      std::printf("%s,%llu,%llu,%llu,%zu,%.6f,%.6f,%.6f,%.6f\n", name.c_str(),
+      std::printf("%s,%llu,%llu,%llu,%zu,%.6f,%.6f,%.6f,%.6f\n",
+                  display_name.c_str(),
                   static_cast<unsigned long long>(stats.results),
                   static_cast<unsigned long long>(stats.comparisons),
                   static_cast<unsigned long long>(stats.filtered),
                   stats.memory_bytes, stats.total_seconds, stats.build_seconds,
                   stats.assign_seconds, stats.join_seconds);
     } else {
-      std::printf("%-14s %12llu %15llu %10llu %11.2f %9.3f\n", name.c_str(),
+      std::printf("%-14s %12llu %15llu %10llu %11.2f %9.3f\n",
+                  display_name.c_str(),
                   static_cast<unsigned long long>(stats.results),
                   static_cast<unsigned long long>(stats.comparisons),
                   static_cast<unsigned long long>(stats.filtered),
