@@ -7,6 +7,7 @@
 // bracket them between the best and worst static choice. The benchmark label
 // of the auto runs records which algorithm the planner picked.
 
+#include <future>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,35 @@ void RegisterWorkload(const Workload& workload) {
         state.counters["results"] = static_cast<double>(last.stats.results);
         state.counters["memMB"] =
             static_cast<double>(last.stats.memory_bytes) / (1024.0 * 1024.0);
+      })
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+  // Async submission throughput: a warm engine answering a burst of
+  // repeated requests through per-request futures (the serving steady
+  // state) versus the same burst through the blocking wrapper one by one.
+  benchmark::RegisterBenchmark(
+      (prefix + "submit_burst").c_str(),
+      [=](benchmark::State& state) {
+        QueryEngine engine;
+        const DatasetHandle ha = engine.RegisterDataset("A", a);
+        const DatasetHandle hb = engine.RegisterDataset("B", b);
+        const std::vector<JoinRequest> burst(16,
+                                             JoinRequest{ha, hb,
+                                                         workload.epsilon});
+        {
+          CountingCollector warmup;
+          engine.Execute(burst[0], warmup);
+        }
+        uint64_t results = 0;
+        for (auto _ : state) {
+          std::vector<std::future<JoinResult>> futures =
+              engine.SubmitBatch(burst);
+          for (std::future<JoinResult>& future : futures) {
+            results = future.get().stats.results;
+          }
+        }
+        state.counters["results"] = static_cast<double>(results);
+        state.counters["requests"] = static_cast<double>(burst.size());
       })
       ->Unit(benchmark::kMillisecond)->Iterations(1);
 

@@ -13,14 +13,12 @@ std::unique_ptr<SpatialJoinAlgorithm> MakeAlgorithm(
     const std::string& name, const AlgorithmConfig& config) {
   if (name == "nl") return std::make_unique<NestedLoopJoin>();
   if (name == "ps") return std::make_unique<PlaneSweepJoin>();
-  if (name == "pbsm") return std::make_unique<PbsmJoin>(config.pbsm);
-  if (name.rfind("pbsm-", 0) == 0) {
-    const int resolution = std::atoi(name.c_str() + 5);
-    if (resolution <= 0) return nullptr;
+  if (int resolution = 0; ParsePbsmResolution(name, &resolution)) {
     PbsmOptions options = config.pbsm;
-    options.resolution = resolution;
+    if (name != "pbsm") options.resolution = resolution;
     return std::make_unique<PbsmJoin>(options);
   }
+  if (name.rfind("pbsm-", 0) == 0) return nullptr;  // bad <res>
   if (name == "s3") return std::make_unique<S3Join>(config.s3);
   if (name == "seeded") {
     return std::make_unique<SeededTreeJoin>(config.seeded);
@@ -58,6 +56,18 @@ std::unique_ptr<SpatialJoinAlgorithm> MakeAlgorithm(
   }
   if (name == "touch") return std::make_unique<TouchJoin>(config.touch);
   return nullptr;
+}
+
+bool ParsePbsmResolution(const std::string& name, int* resolution) {
+  if (name == "pbsm") {
+    *resolution = PbsmOptions{}.resolution;
+    return true;
+  }
+  if (name.rfind("pbsm-", 0) != 0) return false;
+  const int parsed = std::atoi(name.c_str() + 5);
+  if (parsed <= 0) return false;
+  *resolution = parsed;
+  return true;
 }
 
 std::vector<std::string> AllAlgorithmNames() {

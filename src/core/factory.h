@@ -42,6 +42,13 @@ struct AlgorithmConfig {
 std::unique_ptr<SpatialJoinAlgorithm> MakeAlgorithm(
     const std::string& name, const AlgorithmConfig& config = {});
 
+/// Parses a "pbsm"/"pbsm-<res>" algorithm name into its grid resolution
+/// ("pbsm" alone means the default). Returns false for every other name.
+/// The single source of truth for the PBSM name grammar, shared by
+/// MakeAlgorithm and the engine's cached-PBSM dispatch so the two paths
+/// can never disagree on what counts as a PBSM plan.
+bool ParsePbsmResolution(const std::string& name, int* resolution);
+
 /// Names accepted by MakeAlgorithm, in the paper's presentation order.
 std::vector<std::string> AllAlgorithmNames();
 

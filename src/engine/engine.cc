@@ -1,11 +1,16 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <cstring>
 #include <memory>
 #include <utility>
 
 #include "core/factory.h"
 #include "core/touch.h"
+#include "index/rtree.h"
+#include "join/pbsm.h"
+#include "join/rtree_join.h"
+#include "util/memory.h"
 #include "util/timer.h"
 
 namespace touch {
@@ -21,6 +26,17 @@ class SwappedCollector : public ResultCollector {
   ResultCollector& out_;
 };
 
+/// Adapts a caller-owned ResultCollector to the engine-owned sink model the
+/// async path runs on (the synchronous wrappers' bridge).
+class ForwardingSink : public ResultSink {
+ public:
+  explicit ForwardingSink(ResultCollector& out) : out_(out) {}
+  void Emit(uint32_t a_id, uint32_t b_id) override { out_.Emit(a_id, b_id); }
+
+ private:
+  ResultCollector& out_;
+};
+
 Dataset EnlargedCopy(std::span<const Box> boxes, float epsilon) {
   Dataset out;
   out.reserve(boxes.size());
@@ -28,10 +44,95 @@ Dataset EnlargedCopy(std::span<const Box> boxes, float epsilon) {
   return out;
 }
 
+// --- Cached artifact types (one per ArtifactKind) ---------------------------
+
+/// A built TOUCH tree plus the exact boxes it was built over. `boxes` is the
+/// enlarged copy when the key's epsilon is nonzero; it stays empty when the
+/// tree was built directly over the catalog's boxes (the executor then
+/// passes the catalog span to JoinWithPrebuiltTree instead).
+struct CachedTouchIndex : CachedArtifact {
+  Dataset boxes;
+  TouchTree tree;
+
+  CachedTouchIndex(Dataset boxes_in, TouchTree tree_in, double seconds)
+      : boxes(std::move(boxes_in)), tree(std::move(tree_in)) {
+    build_seconds = seconds;
+  }
+  size_t MemoryUsageBytes() const override {
+    return tree.MemoryUsageBytes() + VectorBytes(boxes);
+  }
+};
+
+/// A bulk-loaded STR R-tree for the indexed nested loop, same box-ownership
+/// convention as CachedTouchIndex.
+struct CachedInlIndex : CachedArtifact {
+  Dataset boxes;
+  RTree tree;
+
+  CachedInlIndex(Dataset boxes_in, RTree tree_in, double seconds)
+      : boxes(std::move(boxes_in)), tree(std::move(tree_in)) {
+    build_seconds = seconds;
+  }
+  size_t MemoryUsageBytes() const override {
+    return tree.MemoryUsageBytes() + VectorBytes(boxes);
+  }
+};
+
+/// One dataset's PBSM cell directory (key-sorted placements over a specific
+/// joint grid), same box-ownership convention as CachedTouchIndex. `domain`
+/// records the exact grid the placements were computed over, so a lookup
+/// can verify it got the grid it asked for (the cache key only carries a
+/// 64-bit signature of the domain).
+struct CachedPbsmDirectory : CachedArtifact {
+  Box domain = Box::Empty();
+  Dataset boxes;
+  std::vector<PbsmPlacement> placements;
+
+  size_t MemoryUsageBytes() const override {
+    return VectorBytes(placements) + VectorBytes(boxes);
+  }
+};
+
+/// Exact (bit-level intent, float ==) domain equality for the collision
+/// check above.
+bool SameDomain(const Box& x, const Box& y) {
+  return x.lo.x == y.lo.x && x.lo.y == y.lo.y && x.lo.z == y.lo.z &&
+         x.hi.x == y.hi.x && x.hi.y == y.hi.y && x.hi.z == y.hi.z;
+}
+
+/// Cache-key signature of a PBSM joint grid domain: directories are only
+/// interchangeable when they were placed over bit-identical grids, and the
+/// grid depends on the *partner* dataset's extent — hashing the domain into
+/// the key keeps directories built for different partners apart.
+size_t DomainSignature(const Box& domain) {
+  const float fields[6] = {domain.lo.x, domain.lo.y, domain.lo.z,
+                           domain.hi.x, domain.hi.y, domain.hi.z};
+  size_t hash = 0;
+  for (const float field : fields) {
+    uint32_t bits = 0;
+    std::memcpy(&bits, &field, sizeof(bits));
+    hash ^= bits + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+  }
+  return hash;
+}
+
 }  // namespace
 
+/// Everything one submitted request needs to execute and complete,
+/// reference-counted across the pool task and its completion notification.
+struct QueryEngine::RequestState {
+  JoinRequest request;
+  std::unique_ptr<ResultSink> sink;  // may be null (count-only)
+  CompletionCallback on_complete;    // may be null
+  std::promise<JoinResult> promise;
+  JoinResult result;
+};
+
 QueryEngine::QueryEngine(const EngineOptions& options)
-    : options_(options), planner_(options.planner), pool_(options.threads) {}
+    : options_(options),
+      planner_(options.planner),
+      cache_(options.max_cache_bytes),
+      pool_(options.threads) {}
 
 DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes) {
   return catalog_.Register(std::move(name), std::move(boxes));
@@ -41,23 +142,86 @@ JoinPlan QueryEngine::Plan(const JoinRequest& request) const {
   return planner_.Plan(catalog_, request);
 }
 
+// --- Asynchronous submission ------------------------------------------------
+
+std::future<JoinResult> QueryEngine::SubmitInternal(
+    const JoinRequest& request, std::unique_ptr<ResultSink> sink,
+    CompletionCallback on_complete) {
+  auto state = std::make_shared<RequestState>();
+  state->request = request;
+  state->sink = std::move(sink);
+  state->on_complete = std::move(on_complete);
+  std::future<JoinResult> future = state->promise.get_future();
+  // Pre-fill an error so that even an exception escaping ExecuteRequest's
+  // own catch blocks (e.g. bad_alloc while building the error string)
+  // completes the future as a *failure*, never as a silent empty success;
+  // a normal return overwrites it.
+  state->result.error = "execution failed: worker task aborted";
+  pool_.Submit(
+      [this, state] {
+        ResultSink null_sink;  // drops pairs; stats.results still counts
+        ResultCollector& out =
+            state->sink ? static_cast<ResultCollector&>(*state->sink)
+                        : null_sink;
+        state->result = ExecuteRequest(state->request, out);
+      },
+      // Delivery runs as the pool's completion notification so the future
+      // completes even if the task itself escaped: OnComplete first (the
+      // sink sees its final state before any waiter), then the callback,
+      // then the promise.
+      [state] {
+        try {
+          if (state->sink) state->sink->OnComplete(state->result);
+        } catch (...) {
+        }
+        try {
+          if (state->on_complete) state->on_complete(state->result);
+        } catch (...) {
+        }
+        state->promise.set_value(std::move(state->result));
+      });
+  return future;
+}
+
+std::future<JoinResult> QueryEngine::Submit(const JoinRequest& request,
+                                            std::unique_ptr<ResultSink> sink) {
+  return SubmitInternal(request, std::move(sink), nullptr);
+}
+
+void QueryEngine::Submit(const JoinRequest& request,
+                         std::unique_ptr<ResultSink> sink,
+                         CompletionCallback on_complete) {
+  SubmitInternal(request, std::move(sink), std::move(on_complete));
+}
+
+std::vector<std::future<JoinResult>> QueryEngine::SubmitBatch(
+    std::span<const JoinRequest> requests, const SinkFactory& make_sink) {
+  std::vector<std::future<JoinResult>> futures;
+  futures.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    futures.push_back(
+        SubmitInternal(requests[i], make_sink ? make_sink(i) : nullptr,
+                       nullptr));
+  }
+  return futures;
+}
+
+// --- Synchronous wrappers ---------------------------------------------------
+
 JoinResult QueryEngine::Execute(const JoinRequest& request,
                                 ResultCollector& out) {
-  if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
-    JoinResult result;
-    result.error = "invalid dataset handle (catalog has " +
-                   std::to_string(catalog_.size()) + " datasets)";
-    return result;
+  return Submit(request, std::make_unique<ForwardingSink>(out)).get();
+}
+
+std::vector<JoinResult> QueryEngine::ExecuteBatch(
+    std::span<const JoinRequest> requests) {
+  std::vector<std::future<JoinResult>> futures = SubmitBatch(requests);
+  std::vector<JoinResult> results;
+  results.reserve(futures.size());
+  for (std::future<JoinResult>& future : futures) {
+    results.push_back(future.get());
   }
-  // Failures (e.g. an index build running out of memory) become per-request
-  // errors instead of escaping — a batch must not die for one bad join.
-  try {
-    return ExecutePlanned(Plan(request), request, out);
-  } catch (const std::exception& e) {
-    JoinResult result;
-    result.error = std::string("execution failed: ") + e.what();
-    return result;
-  }
+  return results;
 }
 
 JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
@@ -92,11 +256,46 @@ JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
   }
 }
 
+// --- Execution core ---------------------------------------------------------
+
+JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
+                                       ResultCollector& out) {
+  if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
+    JoinResult result;
+    result.error = "invalid dataset handle (catalog has " +
+                   std::to_string(catalog_.size()) + " datasets)";
+    return result;
+  }
+  // Failures (e.g. an index build running out of memory) become per-request
+  // errors instead of escaping — a batch must not die for one bad join, and
+  // a submitted future must always complete with a result.
+  try {
+    return ExecutePlanned(Plan(request), request, out);
+  } catch (const std::exception& e) {
+    JoinResult result;
+    result.error = std::string("execution failed: ") + e.what();
+    return result;
+  } catch (...) {
+    JoinResult result;
+    result.error = "execution failed: unknown error";
+    return result;
+  }
+}
+
 JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
                                        const JoinRequest& request,
                                        ResultCollector& out) {
-  if (plan.algorithm == "touch" && options_.cache_indexes) {
-    return ExecuteTouch(std::move(plan), request, out);
+  if (options_.cache_indexes) {
+    if (plan.algorithm == "touch") {
+      return ExecuteTouch(std::move(plan), request, out);
+    }
+    if (plan.algorithm == "inl") {
+      return ExecuteInl(std::move(plan), request, out);
+    }
+    int resolution = 0;
+    if (ParsePbsmResolution(plan.algorithm, &resolution)) {
+      return ExecutePbsm(std::move(plan), request, resolution, out);
+    }
   }
 
   JoinResult result;
@@ -146,21 +345,24 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
   leaf_capacity = std::max<size_t>(1, leaf_capacity);
 
   const IndexCacheKey key{build_handle, build_epsilon, leaf_capacity,
-                          touch_options.fanout};
+                          touch_options.fanout, ArtifactKind::kTouchTree};
   bool missed = false;
-  const IndexCache::EntryPtr entry = cache_.GetOrBuild(key, [&] {
-    missed = true;
-    Timer build_timer;
-    Dataset boxes =
-        build_epsilon > 0 ? EnlargedCopy(build_src, build_epsilon) : Dataset{};
-    const std::span<const Box> tree_input =
-        boxes.empty() ? std::span<const Box>(build_src)
-                      : std::span<const Box>(boxes);
-    TouchTree tree(tree_input, leaf_capacity, touch_options.fanout);
-    return std::make_shared<CachedIndex>(CachedIndex{
-        std::move(boxes), std::move(tree), build_timer.Seconds()});
-  });
+  const IndexCache::ArtifactPtr artifact =
+      cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
+        missed = true;
+        Timer build_timer;
+        Dataset boxes = build_epsilon > 0
+                            ? EnlargedCopy(build_src, build_epsilon)
+                            : Dataset{};
+        const std::span<const Box> tree_input =
+            boxes.empty() ? std::span<const Box>(build_src)
+                          : std::span<const Box>(boxes);
+        TouchTree tree(tree_input, leaf_capacity, touch_options.fanout);
+        return std::make_shared<CachedTouchIndex>(
+            std::move(boxes), std::move(tree), build_timer.Seconds());
+      });
   result.index_cache_hit = !missed;
+  const auto* entry = static_cast<const CachedTouchIndex*>(artifact.get());
 
   const std::span<const Box> tree_boxes =
       entry->boxes.empty() ? std::span<const Box>(build_src)
@@ -185,17 +387,158 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
   return result;
 }
 
-std::vector<JoinResult> QueryEngine::ExecuteBatch(
-    std::span<const JoinRequest> requests) {
-  std::vector<JoinResult> results(requests.size());
-  for (size_t i = 0; i < requests.size(); ++i) {
-    pool_.Submit([this, &results, i, request = requests[i]] {
-      CountingCollector counter;
-      results[i] = Execute(request, counter);
-    });
+JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
+                                   ResultCollector& out) {
+  JoinResult result;
+  Timer total;
+  const Dataset& a = catalog_.boxes(request.a);
+  const Dataset& b = catalog_.boxes(request.b);
+  const DatasetHandle build_handle = plan.build_on_a ? request.a : request.b;
+  const Dataset& build_src = catalog_.boxes(build_handle);
+  // Side A carries the distance-join enlargement (same convention as the
+  // TOUCH path and the oracle): a tree over A bakes it into the cached
+  // index; a tree over B stays raw — and therefore epsilon-independent,
+  // reusable across thresholds — with the enlargement moved into each probe
+  // box (the intersection test is symmetric, so the result set is
+  // identical).
+  const float build_epsilon = plan.build_on_a ? request.epsilon : 0.0f;
+  const RTreeJoinOptions tree_options;  // defaults: the paper's best config
+
+  const IndexCacheKey key{build_handle, build_epsilon,
+                          tree_options.leaf_capacity, tree_options.fanout,
+                          ArtifactKind::kInlRTree};
+  bool missed = false;
+  const IndexCache::ArtifactPtr artifact =
+      cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
+        missed = true;
+        Timer build_timer;
+        Dataset boxes = build_epsilon > 0
+                            ? EnlargedCopy(build_src, build_epsilon)
+                            : Dataset{};
+        const std::span<const Box> tree_input =
+            boxes.empty() ? std::span<const Box>(build_src)
+                          : std::span<const Box>(boxes);
+        RTree tree(tree_input, tree_options.leaf_capacity, tree_options.fanout,
+                   tree_options.bulkload);
+        return std::make_shared<CachedInlIndex>(
+            std::move(boxes), std::move(tree), build_timer.Seconds());
+      });
+  result.index_cache_hit = !missed;
+  const auto* entry = static_cast<const CachedInlIndex*>(artifact.get());
+
+  const std::span<const Box> tree_boxes =
+      entry->boxes.empty() ? std::span<const Box>(build_src)
+                           : std::span<const Box>(entry->boxes);
+  JoinStats& stats = result.stats;
+  Timer join_timer;
+  if (plan.build_on_a) {
+    for (uint32_t b_id = 0; b_id < b.size(); ++b_id) {
+      entry->tree.Query(
+          tree_boxes, b[b_id],
+          [&](uint32_t a_id) {
+            ++stats.results;
+            out.Emit(a_id, b_id);
+          },
+          &stats);
+    }
+  } else {
+    for (uint32_t a_id = 0; a_id < a.size(); ++a_id) {
+      const Box query = request.epsilon > 0
+                            ? a[a_id].Enlarged(request.epsilon)
+                            : a[a_id];
+      entry->tree.Query(
+          tree_boxes, query,
+          [&](uint32_t b_id) {
+            ++stats.results;
+            out.Emit(a_id, b_id);
+          },
+          &stats);
+    }
   }
-  pool_.WaitIdle();
-  return results;
+  stats.join_seconds = join_timer.Seconds();
+  // Tree plus any owned enlarged copy — the same accounting the cache uses.
+  stats.memory_bytes = entry->MemoryUsageBytes();
+  stats.build_seconds = missed ? entry->build_seconds : 0.0;
+  stats.total_seconds = total.Seconds();
+  result.plan = std::move(plan);
+  return result;
+}
+
+JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
+                                    int resolution, ResultCollector& out) {
+  JoinResult result;
+  Timer total;
+  const Dataset& a = catalog_.boxes(request.a);
+  const Dataset& b = catalog_.boxes(request.b);
+  if (a.empty() || b.empty()) {
+    result.stats.total_seconds = total.Seconds();
+    result.plan = std::move(plan);
+    return result;
+  }
+  // The joint grid domain, derived from catalog stats instead of a rescan.
+  // This is bit-identical to PbsmJoin's internal joint MBR: the stats
+  // extents are exact, and enlarging the extent equals the extent of the
+  // enlarged boxes (subtracting/adding epsilon is monotone under rounding).
+  Box domain = catalog_.stats(request.a).extent.Enlarged(request.epsilon);
+  domain.ExpandToContain(catalog_.stats(request.b).extent);
+  const GridMapper grid(domain, resolution);
+  const size_t signature = DomainSignature(domain);
+
+  bool missed_a = false;
+  bool missed_b = false;
+  const auto build_directory = [&](float epsilon, const Dataset& src) {
+    Timer build_timer;
+    auto built = std::make_shared<CachedPbsmDirectory>();
+    built->domain = domain;
+    built->boxes = epsilon > 0 ? EnlargedCopy(src, epsilon) : Dataset{};
+    const std::span<const Box> input =
+        built->boxes.empty() ? std::span<const Box>(src)
+                             : std::span<const Box>(built->boxes);
+    built->placements = BuildPbsmPlacements(input, grid);
+    built->build_seconds = build_timer.Seconds();
+    return built;
+  };
+  const auto directory =
+      [&](DatasetHandle handle, float epsilon, const Dataset& src,
+          bool* missed) -> std::shared_ptr<const CachedPbsmDirectory> {
+    const IndexCacheKey key{handle, epsilon, static_cast<size_t>(resolution),
+                            signature, ArtifactKind::kPbsmDirectory};
+    const auto cached = std::static_pointer_cast<const CachedPbsmDirectory>(
+        cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
+          *missed = true;
+          return build_directory(epsilon, src);
+        }));
+    if (SameDomain(cached->domain, domain)) return cached;
+    // 64-bit signature collision: the cached placements were computed over
+    // a *different* joint grid that hashed alike. Merging them with this
+    // grid would silently drop or duplicate pairs, so serve this request
+    // from a private, uncached build instead.
+    *missed = true;
+    return build_directory(epsilon, src);
+  };
+  // A's directory carries the enlargement; B's is epsilon-independent. A
+  // self-join with epsilon 0 collapses both onto one cache entry.
+  const auto dir_a = directory(request.a, request.epsilon, a, &missed_a);
+  const auto dir_b = directory(request.b, 0.0f, b, &missed_b);
+  result.index_cache_hit = !missed_a && !missed_b;
+
+  const std::span<const Box> span_a =
+      dir_a->boxes.empty() ? std::span<const Box>(a)
+                           : std::span<const Box>(dir_a->boxes);
+  JoinStats& stats = result.stats;
+  Timer join_timer;
+  PbsmMergeJoin(span_a, dir_a->placements, b, dir_b->placements, grid,
+                LocalJoinStrategy::kPlaneSweep, &stats, out);
+  stats.join_seconds = join_timer.Seconds();
+  // Both resident directories (placements + owned enlarged copies), the
+  // cache's own accounting; unlike PbsmJoin::Join, no transient radix-sort
+  // scratch is in play on the cached path.
+  stats.memory_bytes = dir_a->MemoryUsageBytes() + dir_b->MemoryUsageBytes();
+  stats.build_seconds = (missed_a ? dir_a->build_seconds : 0.0) +
+                        (missed_b ? dir_b->build_seconds : 0.0);
+  stats.total_seconds = total.Seconds();
+  result.plan = std::move(plan);
+  return result;
 }
 
 }  // namespace touch

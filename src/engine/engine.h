@@ -1,6 +1,9 @@
 #ifndef TOUCH_ENGINE_ENGINE_H_
 #define TOUCH_ENGINE_ENGINE_H_
 
+#include <functional>
+#include <future>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -14,33 +17,78 @@
 namespace touch {
 
 struct EngineOptions {
-  /// Worker threads for batched execution; <= 0 uses hardware concurrency.
+  /// Worker threads for submitted requests; <= 0 uses hardware concurrency.
   int threads = 0;
   PlannerOptions planner;
-  /// Reuse built TOUCH trees across queries (the paper's prebuilt-index
-  /// ablation, productized). Off forces every query to build cold.
+  /// Reuse built index artifacts (TOUCH trees, INL R-trees, PBSM cell
+  /// directories) across queries (the paper's prebuilt-index ablation,
+  /// productized). Off forces every query to build cold.
   bool cache_indexes = true;
+  /// Byte cap on the index cache (0 = unbounded). Once resident artifacts
+  /// exceed it, least-recently-used ones are evicted; see IndexCache.
+  size_t max_cache_bytes = 0;
 };
 
 /// Outcome of one engine query.
 struct JoinResult {
   JoinPlan plan;
   JoinStats stats;
-  /// True when the join ran against a tree served from the index cache.
+  /// True when the join ran entirely against cached index artifacts.
   bool index_cache_hit = false;
   /// Non-empty when the request could not run (unknown algorithm name, bad
   /// dataset handle); plan and stats are meaningless then.
   std::string error;
 };
 
+/// Per-request result sink, owned by the engine for the lifetime of one
+/// submitted request.
+///
+/// Threading contract: the engine calls Emit from exactly one worker thread
+/// (the one executing the request; calls are never concurrent), then calls
+/// OnComplete exactly once — after the final Emit, from that same thread —
+/// and finally drops its reference. A sink is never shared between
+/// requests, so implementations need no synchronization of their own;
+/// anything a sink writes is visible to whoever observes the request's
+/// future or completion callback (completion happens-after OnComplete).
+class ResultSink : public ResultCollector {
+ public:
+  /// Default Emit drops pairs; result counts still arrive through
+  /// JoinResult::stats.results. Override to materialize or stream pairs.
+  void Emit(uint32_t, uint32_t) override {}
+
+  /// Called exactly once per request, also on failure (inspect
+  /// result.error). Must not block indefinitely and must not call back into
+  /// the engine's synchronous wrappers (they would wait on the very worker
+  /// executing this callback).
+  virtual void OnComplete(const JoinResult& result) { (void)result; }
+};
+
+/// Completion callback of the callback-flavored Submit; same threading
+/// contract as ResultSink::OnComplete (runs right after it).
+using CompletionCallback = std::function<void(const JoinResult&)>;
+
+/// Supplies the sink for requests[i] in SubmitBatch; may return null for
+/// count-only requests.
+using SinkFactory = std::function<std::unique_ptr<ResultSink>(size_t)>;
+
 /// The adaptive spatial-join query engine: the layer that turns the
 /// algorithm library into a service. Datasets are registered once (stats
-/// precomputed), every join request is planned cost-based, built TOUCH trees
-/// are cached and reused across queries, and batches execute concurrently on
-/// a persistent worker pool.
+/// precomputed), every join request is planned cost-based, built index
+/// artifacts (TOUCH trees, INL R-trees, PBSM cell directories) are cached
+/// with LRU eviction and reused across queries, and requests execute
+/// asynchronously on a persistent worker pool.
+///
+/// The primary surface is asynchronous submission: Submit returns a
+/// per-request std::future that completes independently of every other
+/// request (a slow join never delays a fast one's result), with an optional
+/// engine-owned ResultSink for pair delivery and a completion-callback
+/// overload. Execute/ExecuteBatch are thin synchronous wrappers over
+/// Submit/SubmitBatch.
 ///
 /// Threading contract: RegisterDataset must not race with queries; Plan,
-/// Execute and ExecuteBatch may run concurrently with each other.
+/// Submit, SubmitBatch and the synchronous wrappers may all run
+/// concurrently with each other. The synchronous wrappers block on worker
+/// capacity, so they must not be called from sink callbacks.
 class QueryEngine {
  public:
   explicit QueryEngine(const EngineOptions& options = {});
@@ -54,7 +102,35 @@ class QueryEngine {
   /// Plans without executing (the CLI's explain path).
   JoinPlan Plan(const JoinRequest& request) const;
 
-  /// Plans and executes one join, emitting (a, b) pairs into `out`.
+  // --- Asynchronous submission -------------------------------------------
+
+  /// Enqueues the request and returns a future that completes when the join
+  /// finishes — independently of any other request. `sink` (optional)
+  /// receives every result pair and then OnComplete; the engine owns it
+  /// until completion. Failures complete the future with
+  /// JoinResult::error set; the future never throws and always completes
+  /// (the engine's destructor drains outstanding requests).
+  std::future<JoinResult> Submit(const JoinRequest& request,
+                                 std::unique_ptr<ResultSink> sink = nullptr);
+
+  /// Completion-callback overload: `on_complete` runs on the worker thread
+  /// right after the sink's OnComplete, instead of a future.
+  void Submit(const JoinRequest& request, std::unique_ptr<ResultSink> sink,
+              CompletionCallback on_complete);
+
+  /// Submits every request at once; the returned futures (index-aligned
+  /// with `requests`) complete independently as each request finishes, so
+  /// callers stream results instead of waiting for the whole batch.
+  /// `make_sink(i)`, when given, supplies the engine-owned sink of
+  /// requests[i].
+  std::vector<std::future<JoinResult>> SubmitBatch(
+      std::span<const JoinRequest> requests, const SinkFactory& make_sink = {});
+
+  // --- Synchronous wrappers (implemented on Submit) ----------------------
+
+  /// Plans and executes one join, emitting (a, b) pairs into `out`; blocks
+  /// until done. Thin wrapper: Submit + future wait. `out` is only touched
+  /// by the single worker executing this request, never concurrently.
   JoinResult Execute(const JoinRequest& request, ResultCollector& out);
 
   /// Executes with a fixed algorithm ("auto" falls back to the planner).
@@ -63,10 +139,13 @@ class QueryEngine {
   JoinResult ExecuteFixed(const std::string& algorithm,
                           const JoinRequest& request, ResultCollector& out);
 
-  /// Plans and executes all requests concurrently on the worker pool.
-  /// Results are counted, not materialized (see stats.results); the output
-  /// order matches `requests`.
+  /// Plans and executes all requests concurrently on the worker pool,
+  /// blocking until every one finished. Results are counted, not
+  /// materialized (see stats.results); the output order matches `requests`.
+  /// Thin wrapper: SubmitBatch + wait on every future.
   std::vector<JoinResult> ExecuteBatch(std::span<const JoinRequest> requests);
+
+  // --- Introspection -----------------------------------------------------
 
   IndexCache::Stats cache_stats() const { return cache_.stats(); }
   void ClearIndexCache() { cache_.Clear(); }
@@ -77,10 +156,22 @@ class QueryEngine {
   int threads() const { return pool_.thread_count(); }
 
  private:
+  struct RequestState;
+
+  std::future<JoinResult> SubmitInternal(const JoinRequest& request,
+                                         std::unique_ptr<ResultSink> sink,
+                                         CompletionCallback on_complete);
+  /// The per-request core every path funnels into: validates, plans,
+  /// executes, converts failures into JoinResult::error.
+  JoinResult ExecuteRequest(const JoinRequest& request, ResultCollector& out);
   JoinResult ExecutePlanned(JoinPlan plan, const JoinRequest& request,
                             ResultCollector& out);
   JoinResult ExecuteTouch(JoinPlan plan, const JoinRequest& request,
                           ResultCollector& out);
+  JoinResult ExecuteInl(JoinPlan plan, const JoinRequest& request,
+                        ResultCollector& out);
+  JoinResult ExecutePbsm(JoinPlan plan, const JoinRequest& request,
+                         int resolution, ResultCollector& out);
 
   EngineOptions options_;
   DatasetCatalog catalog_;

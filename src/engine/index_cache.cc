@@ -1,46 +1,89 @@
 #include "engine/index_cache.h"
 
-#include "util/memory.h"
-
 namespace touch {
 
-IndexCache::EntryPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
-                                            const Builder& build) {
-  std::promise<EntryPtr> promise;
-  std::shared_future<EntryPtr> future;
+const char* ArtifactKindName(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kTouchTree:
+      return "touch";
+    case ArtifactKind::kInlRTree:
+      return "inl";
+    case ArtifactKind::kPbsmDirectory:
+      return "pbsm";
+  }
+  return "unknown";
+}
+
+IndexCache::ArtifactPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
+                                               const Builder& build) {
+  std::promise<ArtifactPtr> promise;
+  std::shared_future<ArtifactPtr> future;
+  uint64_t ticket = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
-      future = it->second;
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      future = it->second.future;
       lock.unlock();
       return future.get();  // blocks while another thread still builds
     }
     ++misses_;
+    ticket = next_ticket_++;
     future = promise.get_future().share();
-    entries_.emplace(key, future);
+    lru_.push_front(key);
+    Entry entry;
+    entry.future = future;
+    entry.ticket = ticket;
+    entry.lru_pos = lru_.begin();
+    entries_.emplace(key, std::move(entry));
   }
 
-  EntryPtr entry;
+  ArtifactPtr artifact;
   try {
-    entry = build();
+    artifact = build();
   } catch (...) {
     // Un-poison the key so later requests can retry the build; waiters
-    // blocked on the future rethrow this exception.
+    // blocked on the future rethrow this exception. The ticket check keeps
+    // us from erasing a fresh entry installed after a concurrent Clear().
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      entries_.erase(key);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.ticket == ticket) {
+        lru_.erase(it->second.lru_pos);
+        entries_.erase(it);
+      }
     }
     promise.set_exception(std::current_exception());
     throw;
   }
-  promise.set_value(entry);
+  promise.set_value(artifact);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    bytes_ += entry->tree.MemoryUsageBytes() + VectorBytes(entry->boxes);
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.ticket == ticket) {
+      it->second.bytes = artifact->MemoryUsageBytes();
+      it->second.ready = true;
+      bytes_ += it->second.bytes;
+      EvictOverCapLocked();
+    }
   }
-  return entry;
+  return artifact;
+}
+
+void IndexCache::EvictOverCapLocked() {
+  if (max_bytes_ == 0) return;
+  auto it = lru_.end();
+  while (bytes_ > max_bytes_ && it != lru_.begin()) {
+    --it;
+    auto entry = entries_.find(*it);
+    if (!entry->second.ready) continue;  // still building; never evicted
+    bytes_ -= entry->second.bytes;
+    ++evictions_;
+    entries_.erase(entry);
+    it = lru_.erase(it);
+  }
 }
 
 IndexCache::Stats IndexCache::stats() const {
@@ -48,14 +91,17 @@ IndexCache::Stats IndexCache::stats() const {
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;
+  stats.evictions = evictions_;
   stats.entries = entries_.size();
   stats.bytes = bytes_;
+  stats.capacity_bytes = max_bytes_;
   return stats;
 }
 
 void IndexCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
+  lru_.clear();
   bytes_ = 0;
 }
 

@@ -4,76 +4,149 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <tuple>
 
-#include "core/touch_tree.h"
-#include "datagen/dataset.h"
 #include "engine/catalog.h"
 
 namespace touch {
 
-/// Identity of one cached index: the dataset it was built over, the epsilon
-/// its boxes were enlarged by before building (0 when the probe side carries
-/// the enlargement), and the tree shape. Two queries that agree on all four
-/// can share the same built tree.
+/// What kind of build artifact a cache entry holds. Distinct kinds never
+/// share entries even when every other key field agrees: a TOUCH tree and an
+/// INL R-tree over the same dataset are different structures.
+enum class ArtifactKind : uint8_t {
+  /// A TouchTree (the paper's data-oriented partitioning hierarchy).
+  kTouchTree = 0,
+  /// A bulk-loaded STR R-tree for the indexed-nested-loop join.
+  kInlRTree = 1,
+  /// A PBSM cell directory: one dataset's sorted cell-placement list.
+  kPbsmDirectory = 2,
+};
+
+/// Short stable name ("touch", "inl", "pbsm") for logs and telemetry.
+const char* ArtifactKindName(ArtifactKind kind);
+
+/// Identity of one cached artifact: the dataset it was built over, the
+/// epsilon its boxes were enlarged by before building (0 when the probe side
+/// carries the enlargement), the artifact kind, and two kind-specific shape
+/// parameters:
+///   kTouchTree / kInlRTree: (leaf capacity, fanout)
+///   kPbsmDirectory:         (grid resolution, domain signature — a hash of
+///                            the joint grid domain, so directories built for
+///                            different partner datasets never alias)
+/// Two queries that agree on every field can share the same built artifact.
 struct IndexCacheKey {
   DatasetHandle dataset = 0;
   float epsilon = 0.0f;
-  size_t leaf_capacity = 0;
-  size_t fanout = 0;
+  size_t shape_a = 0;
+  size_t shape_b = 0;
+  ArtifactKind kind = ArtifactKind::kTouchTree;
 
   bool operator<(const IndexCacheKey& other) const {
-    return std::tie(dataset, epsilon, leaf_capacity, fanout) <
-           std::tie(other.dataset, other.epsilon, other.leaf_capacity,
-                    other.fanout);
+    return std::tie(dataset, epsilon, shape_a, shape_b, kind) <
+           std::tie(other.dataset, other.epsilon, other.shape_a, other.shape_b,
+                    other.kind);
+  }
+  bool operator==(const IndexCacheKey& other) const {
+    return !(*this < other) && !(other < *this);
   }
 };
 
-/// A built TOUCH tree plus the exact boxes it was built over. `boxes` is the
-/// enlarged copy when the key's epsilon is nonzero; it stays empty when the
-/// tree was built directly over the catalog's boxes (the caller then passes
-/// the catalog span to JoinWithPrebuiltTree instead).
-struct CachedIndex {
-  Dataset boxes;
-  TouchTree tree;
+/// Base class of everything the cache can hold. Concrete artifacts (the
+/// engine's CachedTouchIndex, CachedInlIndex, CachedPbsmDirectory) are
+/// defined next to their executor; the cache only needs a size and a
+/// virtual destructor. Artifacts are immutable once built and shared across
+/// threads, so implementations must be safe for concurrent const access.
+struct CachedArtifact {
+  virtual ~CachedArtifact() = default;
+
+  /// Exact bytes the artifact occupies (structures plus any owned box
+  /// copies). Drives the LRU byte accounting; must not change after the
+  /// builder returns.
+  virtual size_t MemoryUsageBytes() const = 0;
+
   /// Wall-clock seconds the build cost (reported as build_seconds by the
   /// query that missed; cache hits report 0, the productized form of the
   /// paper's section-4.3 prebuilt-index shortcut).
   double build_seconds = 0;
 };
 
-/// Thread-safe cache of built indexes, shared by all queries of an engine.
-/// Concurrent requests for the same key build once: the first miss installs
-/// a future the others block on. No eviction yet (ROADMAP open item) —
-/// Clear() drops everything.
+/// Thread-safe cache of built index artifacts, shared by all queries of an
+/// engine. Concurrent requests for the same key build once: the first miss
+/// installs a future the others block on.
+///
+/// Capacity: with `max_bytes > 0` the cache evicts least-recently-used
+/// *completed* entries once the total exceeds the cap (entries still being
+/// built are never evicted; an artifact larger than the whole cap is evicted
+/// immediately after being returned, so it serves its one query but is not
+/// retained). Eviction only drops the cache's reference — queries holding
+/// the shared_ptr keep using the artifact safely.
 class IndexCache {
  public:
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Entries dropped by the LRU capacity policy (Clear() is not counted).
+    uint64_t evictions = 0;
     size_t entries = 0;
-    /// Tree + box storage of all entries.
+    /// Bytes of all completed entries currently resident.
     size_t bytes = 0;
+    /// The configured cap (0 = unbounded).
+    size_t capacity_bytes = 0;
+
+    /// Hits over lookups, 0 when nothing was looked up yet.
+    double HitRate() const {
+      const uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+    }
   };
 
-  using EntryPtr = std::shared_ptr<const CachedIndex>;
-  using Builder = std::function<EntryPtr()>;
+  using ArtifactPtr = std::shared_ptr<const CachedArtifact>;
+  using Builder = std::function<ArtifactPtr()>;
 
-  /// Returns the index for `key`, invoking `build` on a miss. `build` runs
-  /// outside the cache lock, so independent keys build concurrently.
-  EntryPtr GetOrBuild(const IndexCacheKey& key, const Builder& build);
+  /// `max_bytes` caps resident artifact bytes (0 = unbounded).
+  explicit IndexCache(size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+
+  /// Returns the artifact for `key`, invoking `build` on a miss. `build`
+  /// runs outside the cache lock, so independent keys build concurrently.
+  /// The caller contract is that one key always maps to one artifact type;
+  /// callers downcast with static_pointer_cast keyed on `key.kind`.
+  ArtifactPtr GetOrBuild(const IndexCacheKey& key, const Builder& build);
 
   Stats stats() const;
   void Clear();
 
+  size_t max_bytes() const { return max_bytes_; }
+
  private:
+  struct Entry {
+    std::shared_future<ArtifactPtr> future;
+    /// MemoryUsageBytes() of the finished artifact; 0 while building.
+    size_t bytes = 0;
+    /// False while the builder is still running; such entries are skipped
+    /// by eviction and by the completion bookkeeping of stale builders.
+    bool ready = false;
+    /// Guards against a builder finishing after Clear() re-created its key:
+    /// completion bookkeeping only applies when the ticket still matches.
+    uint64_t ticket = 0;
+    std::list<IndexCacheKey>::iterator lru_pos;
+  };
+
+  /// Drops LRU completed entries until bytes_ <= max_bytes_. Lock held.
+  void EvictOverCapLocked();
+
+  const size_t max_bytes_;
   mutable std::mutex mutex_;
-  std::map<IndexCacheKey, std::shared_future<EntryPtr>> entries_;
+  std::map<IndexCacheKey, Entry> entries_;
+  /// Front = most recently used. Every map entry owns one list node.
+  std::list<IndexCacheKey> lru_;
+  uint64_t next_ticket_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
   size_t bytes_ = 0;
 };
 

@@ -25,9 +25,14 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::Submit(std::function<void()> task) {
+  Submit(std::move(task), nullptr);
+}
+
+void WorkerPool::Submit(std::function<void()> task,
+                        std::function<void()> on_done) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(Task{std::move(task), std::move(on_done)});
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -40,7 +45,7 @@ void WorkerPool::WaitIdle() {
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -51,10 +56,17 @@ void WorkerPool::WorkerLoop() {
     }
     // Tasks own their error reporting (the engine converts failures into
     // JoinResult::error); an escaping exception must not take down the pool
-    // thread or leave in_flight_ stuck for WaitIdle.
+    // thread or leave in_flight_ stuck for WaitIdle. on_done runs either
+    // way — completion must reach waiters even when the task failed.
     try {
-      task();
+      task.run();
     } catch (...) {
+    }
+    if (task.on_done) {
+      try {
+        task.on_done();
+      } catch (...) {
+      }
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);

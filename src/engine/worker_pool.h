@@ -29,16 +29,29 @@ class WorkerPool {
   /// Enqueues a task; returns immediately.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every task submitted so far has finished.
+  /// Enqueues a task with a per-task completion notification: `on_done`
+  /// runs on the worker thread immediately after `task` returns — or after
+  /// it throws, so completion is delivered even for failing tasks. This is
+  /// what lets the engine complete per-request futures without waiting for
+  /// a whole batch to drain.
+  void Submit(std::function<void()> task, std::function<void()> on_done);
+
+  /// Blocks until every task submitted so far has finished (tasks enqueued
+  /// by other threads while waiting extend the wait).
   void WaitIdle();
 
  private:
+  struct Task {
+    std::function<void()> run;
+    std::function<void()> on_done;  // may be null
+  };
+
   void WorkerLoop();
 
   std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   size_t in_flight_ = 0;  // queued + currently running
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -1,6 +1,8 @@
 #ifndef TOUCH_JOIN_ALGORITHM_H_
 #define TOUCH_JOIN_ALGORITHM_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -14,28 +16,90 @@ namespace touch {
 
 /// Sink for result pairs. Pair ids are indices into the two input spans, in
 /// (a, b) order regardless of any internal join-order swap an algorithm does.
+///
+/// Thread-safety contract: unless a collector documents otherwise, Emit
+/// calls must be externally serialized — the parallel joins (TOUCH with
+/// threads > 1, PartitionedJoin) take a mutex around the shared collector,
+/// and the engine drives each request's collector from a single worker
+/// thread. ConcurrentCountingCollector is the lock-free exception for
+/// count-only paths.
 class ResultCollector {
  public:
   virtual ~ResultCollector() = default;
   virtual void Emit(uint32_t a_id, uint32_t b_id) = 0;
 };
 
+/// Debug-only detector of unserialized Emit calls: an entry counter that
+/// must never observe a concurrent entry. Zero-size and no-op in NDEBUG
+/// builds. Serialized use from *different* threads (the parallel joins'
+/// mutex-guarded emission) passes; only genuinely concurrent calls — the
+/// ones that corrupt a non-atomic counter or vector — trip the assert.
+class SerialEmitCheck {
+ public:
+  void Enter() {
+#ifndef NDEBUG
+    [[maybe_unused]] const int prior =
+        in_emit_.fetch_add(1, std::memory_order_acquire);
+    assert(prior == 0 &&
+           "ResultCollector::Emit called concurrently; serialize calls or "
+           "use ConcurrentCountingCollector");
+#endif
+  }
+  void Exit() {
+#ifndef NDEBUG
+    in_emit_.fetch_sub(1, std::memory_order_release);
+#endif
+  }
+
+ private:
+#ifndef NDEBUG
+  std::atomic<int> in_emit_{0};
+#endif
+};
+
 /// Counts results without storing them (used by the benchmarks, where result
 /// sets of millions of pairs would distort memory measurements).
+///
+/// Not thread-safe: Emit calls must be serialized (asserted in debug
+/// builds); use ConcurrentCountingCollector when emitters race.
 class CountingCollector : public ResultCollector {
  public:
-  void Emit(uint32_t, uint32_t) override { ++count_; }
+  void Emit(uint32_t, uint32_t) override {
+    check_.Enter();
+    ++count_;
+    check_.Exit();
+  }
   uint64_t count() const { return count_; }
 
  private:
   uint64_t count_ = 0;
+  SerialEmitCheck check_;
+};
+
+/// Counts results with a relaxed atomic, safe for concurrent Emit from any
+/// number of threads (the engine's count-only batch paths). count() is only
+/// meaningful once the emitting join has completed.
+class ConcurrentCountingCollector : public ResultCollector {
+ public:
+  void Emit(uint32_t, uint32_t) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> count_{0};
 };
 
 /// Materializes result pairs (used by tests and examples).
+///
+/// Not thread-safe: Emit calls must be serialized (asserted in debug
+/// builds).
 class VectorCollector : public ResultCollector {
  public:
   void Emit(uint32_t a_id, uint32_t b_id) override {
+    check_.Enter();
     pairs_.emplace_back(a_id, b_id);
+    check_.Exit();
   }
   const std::vector<std::pair<uint32_t, uint32_t>>& pairs() const {
     return pairs_;
@@ -44,6 +108,7 @@ class VectorCollector : public ResultCollector {
 
  private:
   std::vector<std::pair<uint32_t, uint32_t>> pairs_;
+  SerialEmitCheck check_;
 };
 
 /// Common interface of every spatial join in this library (the filtering

@@ -2,18 +2,11 @@
 
 #include <algorithm>
 
-#include "geom/grid.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
 namespace touch {
 namespace {
-
-// One replicated placement: object `id` assigned to cell `key`.
-struct Placement {
-  uint64_t key;
-  uint32_t id;
-};
 
 // Joint MBR of both datasets; the grid must cover every object.
 Box JointDomain(std::span<const Box> a, std::span<const Box> b) {
@@ -27,7 +20,7 @@ Box JointDomain(std::span<const Box> a, std::span<const Box> b) {
 // keyed by the *dense* cell index (row-major) so the sort below can be a
 // radix sort over a compact key space.
 void AssignToCells(std::span<const Box> boxes, const GridMapper& grid,
-                   std::vector<Placement>* placements) {
+                   std::vector<PbsmPlacement>* placements) {
   const uint64_t stride_y = static_cast<uint64_t>(grid.res_z());
   const uint64_t stride_x = stride_y * static_cast<uint64_t>(grid.res_y());
   for (uint32_t id = 0; id < boxes.size(); ++id) {
@@ -38,7 +31,7 @@ void AssignToCells(std::span<const Box> boxes, const GridMapper& grid,
                               static_cast<uint64_t>(y) * stride_y;
         for (int z = range.lo.z; z <= range.hi.z; ++z) {
           placements->push_back(
-              Placement{base + static_cast<uint64_t>(z), id});
+              PbsmPlacement{base + static_cast<uint64_t>(z), id});
         }
       }
     }
@@ -49,15 +42,16 @@ void AssignToCells(std::span<const Box> boxes, const GridMapper& grid,
 // produce millions of placements; a comparison sort here dominated the whole
 // join. Returns the scratch buffer's footprint so PBSM's memory accounting
 // covers the true peak.
-size_t RadixSortByKey(std::vector<Placement>& placements, uint64_t max_key) {
+size_t RadixSortByKey(std::vector<PbsmPlacement>& placements,
+                      uint64_t max_key) {
   if (placements.size() < 2) return 0;
-  std::vector<Placement> scratch(placements.size());
+  std::vector<PbsmPlacement> scratch(placements.size());
   constexpr int kDigitBits = 16;
   constexpr size_t kBuckets = size_t{1} << kDigitBits;
   std::vector<size_t> counts(kBuckets);
   for (int shift = 0; (max_key >> shift) != 0; shift += kDigitBits) {
     std::fill(counts.begin(), counts.end(), 0);
-    for (const Placement& p : placements) {
+    for (const PbsmPlacement& p : placements) {
       ++counts[(p.key >> shift) & (kBuckets - 1)];
     }
     size_t offset = 0;
@@ -66,7 +60,7 @@ size_t RadixSortByKey(std::vector<Placement>& placements, uint64_t max_key) {
       counts[bucket] = offset;
       offset += count;
     }
-    for (const Placement& p : placements) {
+    for (const PbsmPlacement& p : placements) {
       scratch[counts[(p.key >> shift) & (kBuckets - 1)]++] = p;
     }
     placements.swap(scratch);
@@ -76,38 +70,26 @@ size_t RadixSortByKey(std::vector<Placement>& placements, uint64_t max_key) {
 
 }  // namespace
 
-JoinStats PbsmJoin::Join(std::span<const Box> a, std::span<const Box> b,
-                         ResultCollector& out) {
-  JoinStats stats;
-  Timer total;
-  if (a.empty() || b.empty()) {
-    stats.total_seconds = total.Seconds();
-    return stats;
-  }
+std::vector<PbsmPlacement> BuildPbsmPlacements(std::span<const Box> boxes,
+                                               const GridMapper& grid,
+                                               size_t* scratch_bytes) {
+  std::vector<PbsmPlacement> placements;
+  AssignToCells(boxes, grid, &placements);
+  const size_t scratch = RadixSortByKey(placements, grid.TotalCells());
+  if (scratch_bytes != nullptr) *scratch_bytes = scratch;
+  return placements;
+}
 
-  // Partitioning phase: multiple assignment of both datasets into flat
-  // placement lists, then a sort groups each cell's objects contiguously —
-  // the in-memory analogue of PBSM writing partition files. The placement
-  // lists ARE the replication cost the paper charges PBSM for.
-  Timer phase;
-  const Box domain = JointDomain(a, b);
-  const GridMapper grid(domain, options_.resolution);
-  std::vector<Placement> placements_a;
-  std::vector<Placement> placements_b;
-  AssignToCells(a, grid, &placements_a);
-  AssignToCells(b, grid, &placements_b);
-  const uint64_t max_key = grid.TotalCells();
-  size_t scratch_bytes = RadixSortByKey(placements_a, max_key);
-  scratch_bytes = std::max(scratch_bytes, RadixSortByKey(placements_b, max_key));
-  stats.build_seconds = phase.Seconds();
-  stats.memory_bytes =
-      VectorBytes(placements_a) + VectorBytes(placements_b) + scratch_bytes;
-
-  // Join phase: merge the two sorted runs on the cell key; every cell
-  // present in both sides gets a local join. Replication would report a pair
-  // once per shared cell, so only the cell containing the pair's reference
-  // point emits it (dedup during the join, no extra memory).
-  phase.Reset();
+void PbsmMergeJoin(std::span<const Box> a,
+                   std::span<const PbsmPlacement> placements_a,
+                   std::span<const Box> b,
+                   std::span<const PbsmPlacement> placements_b,
+                   const GridMapper& grid, LocalJoinStrategy local_join,
+                   JoinStats* stats, ResultCollector& out) {
+  // Merge the two sorted runs on the cell key; every cell present in both
+  // sides gets a local join. Replication would report a pair once per shared
+  // cell, so only the cell containing the pair's reference point emits it
+  // (dedup during the join, no extra memory).
   std::vector<uint32_t> ids_a;
   std::vector<uint32_t> ids_b;
   size_t ia = 0;
@@ -136,33 +118,63 @@ JoinStats PbsmJoin::Join(std::span<const Box> a, std::span<const Box> b,
     // Decode the dense key back into cell coordinates for the dedup test.
     const uint64_t stride_y = static_cast<uint64_t>(grid.res_z());
     const uint64_t stride_x = stride_y * static_cast<uint64_t>(grid.res_y());
-    const CellCoord coord{static_cast<int>(key / stride_x),
-                          static_cast<int>((key / stride_y) %
-                                           static_cast<uint64_t>(grid.res_y())),
-                          static_cast<int>(key % stride_y)};
+    const CellCoord coord{
+        static_cast<int>(key / stride_x),
+        static_cast<int>((key / stride_y) %
+                         static_cast<uint64_t>(grid.res_y())),
+        static_cast<int>(key % stride_y)};
     auto emit = [&](uint32_t a_id, uint32_t b_id) {
       const Vec3 ref = ReferencePoint(a[a_id], b[b_id]);
       const CellCoord home = grid.CellOf(ref);
       if (home.x == coord.x && home.y == coord.y && home.z == coord.z) {
-        ++stats.results;
+        ++stats->results;
         out.Emit(a_id, b_id);
       }
     };
-    switch (options_.local_join) {
+    switch (local_join) {
       case LocalJoinStrategy::kPlaneSweep:
       case LocalJoinStrategy::kGrid: {  // grid-in-grid is pointless; sweep.
         // Only cells occupied by both datasets reach this point, so the
         // x-sorting work is proportional to joinable cells, not replication.
         SortByXLow(a, ids_a);
         SortByXLow(b, ids_b);
-        LocalPlaneSweepSorted(a, ids_a, b, ids_b, &stats, emit);
+        LocalPlaneSweepSorted(a, ids_a, b, ids_b, stats, emit);
         break;
       }
       case LocalJoinStrategy::kNestedLoop:
-        LocalNestedLoop(a, ids_a, b, ids_b, &stats, emit);
+        LocalNestedLoop(a, ids_a, b, ids_b, stats, emit);
         break;
     }
   }
+}
+
+JoinStats PbsmJoin::Join(std::span<const Box> a, std::span<const Box> b,
+                         ResultCollector& out) {
+  JoinStats stats;
+  Timer total;
+  if (a.empty() || b.empty()) {
+    stats.total_seconds = total.Seconds();
+    return stats;
+  }
+
+  // Partitioning phase: build both cell directories over the joint grid.
+  Timer phase;
+  const Box domain = JointDomain(a, b);
+  const GridMapper grid(domain, options_.resolution);
+  size_t scratch_a = 0;
+  size_t scratch_b = 0;
+  const std::vector<PbsmPlacement> placements_a =
+      BuildPbsmPlacements(a, grid, &scratch_a);
+  const std::vector<PbsmPlacement> placements_b =
+      BuildPbsmPlacements(b, grid, &scratch_b);
+  stats.build_seconds = phase.Seconds();
+  stats.memory_bytes = VectorBytes(placements_a) + VectorBytes(placements_b) +
+                       std::max(scratch_a, scratch_b);
+
+  // Join phase.
+  phase.Reset();
+  PbsmMergeJoin(a, placements_a, b, placements_b, grid, options_.local_join,
+                &stats, out);
   stats.join_seconds = phase.Seconds();
   stats.total_seconds = total.Seconds();
   return stats;

@@ -1,6 +1,9 @@
 #ifndef TOUCH_JOIN_PBSM_H_
 #define TOUCH_JOIN_PBSM_H_
 
+#include <vector>
+
+#include "geom/grid.h"
 #include "join/algorithm.h"
 #include "join/local_join.h"
 
@@ -16,6 +19,36 @@ struct PbsmOptions {
   LocalJoinStrategy local_join = LocalJoinStrategy::kPlaneSweep;
 };
 
+/// One replicated placement: object `id` assigned to the cell with dense
+/// row-major index `key` (x-major, z fastest — see BuildPbsmPlacements).
+struct PbsmPlacement {
+  uint64_t key;
+  uint32_t id;
+};
+
+/// PBSM's partitioning phase for one dataset: multiple assignment of every
+/// object to every grid cell it overlaps, returned sorted by cell key — the
+/// in-memory analogue of PBSM's partition files, and the "cell directory"
+/// the engine caches per (dataset, epsilon, grid). The placement list IS the
+/// replication cost the paper charges PBSM for. `scratch_bytes`, when given,
+/// receives the radix sort's peak scratch footprint so memory accounting can
+/// cover the true peak.
+std::vector<PbsmPlacement> BuildPbsmPlacements(std::span<const Box> boxes,
+                                               const GridMapper& grid,
+                                               size_t* scratch_bytes = nullptr);
+
+/// PBSM's join phase: merges two key-sorted placement lists (both built over
+/// the SAME grid), running a local join in every cell occupied by both sides
+/// and deduplicating replicated pairs with the reference-point method. Fills
+/// stats->results/comparisons and emits into `out`; phase timings and memory
+/// are the caller's job.
+void PbsmMergeJoin(std::span<const Box> a,
+                   std::span<const PbsmPlacement> placements_a,
+                   std::span<const Box> b,
+                   std::span<const PbsmPlacement> placements_b,
+                   const GridMapper& grid, LocalJoinStrategy local_join,
+                   JoinStats* stats, ResultCollector& out);
+
 /// Partition Based Spatial-Merge join (Patel & DeWitt, SIGMOD'96; paper
 /// section 2.2.3), run fully in memory.
 ///
@@ -29,8 +62,10 @@ struct PbsmOptions {
 /// min-corner of the pair's intersection region, so no result memory or
 /// post-pass is needed.
 ///
-/// Only occupied cells are materialized (hash map keyed by packed cell
-/// coordinates), so resolution 500 in 3D does not allocate 500^3 cells.
+/// Only occupied cells are materialized (the sorted placement lists), so
+/// resolution 500 in 3D does not allocate 500^3 cells. Join() composes the
+/// two phases above; the engine calls them separately to reuse cached
+/// per-dataset placement lists.
 class PbsmJoin : public SpatialJoinAlgorithm {
  public:
   explicit PbsmJoin(const PbsmOptions& options = {}) : options_(options) {}

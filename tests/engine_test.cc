@@ -165,6 +165,128 @@ TEST_F(QueryEngineTest, ExecuteFixedReportsUnknownNames) {
   EXPECT_TRUE(out.pairs().empty());
 }
 
+// The INL R-tree is a cacheable artifact: build-on-A bakes the enlargement
+// into the cached tree (per-epsilon entries), build-on-B keeps the tree raw
+// and epsilon-independent.
+TEST_F(QueryEngineTest, InlIndexIsCachedAndMatchesOracle) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("large", large_);
+  const DatasetHandle b = engine.RegisterDataset("small", small_);
+
+  // |A| > |B| -> tree on B, built raw: different epsilons share the entry.
+  VectorCollector first;
+  const JoinResult cold = engine.ExecuteFixed("inl", {a, b, 2.0f}, first);
+  ASSERT_TRUE(cold.error.empty());
+  EXPECT_FALSE(cold.index_cache_hit);
+  ASSERT_FALSE(cold.plan.build_on_a);
+  EXPECT_EQ(SortedPairs(first), DistanceOracle(large_, small_, 2.0f));
+
+  VectorCollector second;
+  const JoinResult warm = engine.ExecuteFixed("inl", {a, b, 4.0f}, second);
+  EXPECT_TRUE(warm.index_cache_hit);
+  EXPECT_EQ(warm.stats.build_seconds, 0.0);
+  EXPECT_EQ(SortedPairs(second), DistanceOracle(large_, small_, 4.0f));
+  EXPECT_EQ(engine.cache_stats().entries, 1u);
+
+  // Reversed handles -> tree on A with the enlargement baked in: a new
+  // epsilon is a new entry.
+  VectorCollector reversed;
+  const JoinResult on_a = engine.ExecuteFixed("inl", {b, a, 2.0f}, reversed);
+  ASSERT_TRUE(on_a.plan.build_on_a);
+  EXPECT_FALSE(on_a.index_cache_hit);
+  EXPECT_EQ(SortedPairs(reversed), DistanceOracle(small_, large_, 2.0f));
+  EXPECT_FALSE(
+      engine.ExecuteFixed("inl", {b, a, 4.0f}, reversed).index_cache_hit);
+  EXPECT_TRUE(
+      engine.ExecuteFixed("inl", {b, a, 2.0f}, reversed).index_cache_hit);
+}
+
+// PBSM caches one cell directory per dataset; a repeat query reuses both.
+TEST_F(QueryEngineTest, PbsmDirectoriesAreCachedPerDataset) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+
+  VectorCollector cold;
+  const JoinResult cold_result =
+      engine.ExecuteFixed("pbsm-100", {a, b, 2.0f}, cold);
+  ASSERT_TRUE(cold_result.error.empty());
+  EXPECT_FALSE(cold_result.index_cache_hit);
+  EXPECT_EQ(engine.cache_stats().entries, 2u);  // one directory per side
+  EXPECT_EQ(SortedPairs(cold), DistanceOracle(small_, large_, 2.0f));
+
+  VectorCollector warm;
+  const JoinResult warm_result =
+      engine.ExecuteFixed("pbsm-100", {a, b, 2.0f}, warm);
+  EXPECT_TRUE(warm_result.index_cache_hit);
+  EXPECT_EQ(warm_result.stats.build_seconds, 0.0);
+  EXPECT_EQ(engine.cache_stats().entries, 2u);
+  EXPECT_EQ(SortedPairs(warm), SortedPairs(cold));
+
+  // A new epsilon moves the joint grid domain, so both directories rebuild
+  // (the domain signature in the key keeps stale grids from aliasing).
+  VectorCollector other;
+  const JoinResult other_eps =
+      engine.ExecuteFixed("pbsm-100", {a, b, 4.0f}, other);
+  EXPECT_FALSE(other_eps.index_cache_hit);
+  EXPECT_EQ(SortedPairs(other), DistanceOracle(small_, large_, 4.0f));
+}
+
+// TOUCH trees, INL R-trees and PBSM directories for the *same* dataset and
+// epsilon live side by side: kinds never collide.
+TEST_F(QueryEngineTest, MixedArtifactKindsNeverCollide) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+  const JoinRequest request{a, b, 2.0f};
+
+  VectorCollector touch_out;
+  VectorCollector inl_out;
+  VectorCollector pbsm_out;
+  ASSERT_TRUE(engine.ExecuteFixed("touch", request, touch_out).error.empty());
+  ASSERT_TRUE(engine.ExecuteFixed("inl", request, inl_out).error.empty());
+  ASSERT_TRUE(engine.ExecuteFixed("pbsm-100", request, pbsm_out).error.empty());
+  // 1 TOUCH tree + 1 INL tree + 2 PBSM directories.
+  EXPECT_EQ(engine.cache_stats().entries, 4u);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+
+  // Re-running each hits its own artifact and returns identical pairs.
+  VectorCollector again;
+  EXPECT_TRUE(engine.ExecuteFixed("touch", request, again).index_cache_hit);
+  EXPECT_TRUE(engine.ExecuteFixed("inl", request, again).index_cache_hit);
+  EXPECT_TRUE(engine.ExecuteFixed("pbsm-100", request, again).index_cache_hit);
+  const std::vector<IdPair> oracle = DistanceOracle(small_, large_, 2.0f);
+  EXPECT_EQ(SortedPairs(touch_out), oracle);
+  EXPECT_EQ(SortedPairs(inl_out), oracle);
+  EXPECT_EQ(SortedPairs(pbsm_out), oracle);
+}
+
+// max_cache_bytes caps the engine's cache: artifacts too big to retain are
+// evicted LRU-style, queries still answer correctly, telemetry records it.
+TEST_F(QueryEngineTest, MaxCacheBytesEvictsButNeverBreaksQueries) {
+  EngineOptions options;
+  options.max_cache_bytes = 1;  // nothing fits: every build evicts itself
+  QueryEngine engine(options);
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  const DatasetHandle b = engine.RegisterDataset("large", large_);
+  const JoinRequest request{a, b, 2.0f};
+
+  VectorCollector first;
+  VectorCollector second;
+  ASSERT_TRUE(engine.Execute(request, first).error.empty());
+  const JoinResult repeat = engine.Execute(request, second);
+  ASSERT_TRUE(repeat.error.empty());
+  EXPECT_FALSE(repeat.index_cache_hit);  // nothing was retained
+
+  const IndexCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_LE(stats.bytes, options.max_cache_bytes);
+  EXPECT_EQ(stats.capacity_bytes, 1u);
+  EXPECT_EQ(SortedPairs(first), SortedPairs(second));
+}
+
 TEST_F(QueryEngineTest, InvalidHandlesAreRejected) {
   QueryEngine engine;
   CountingCollector out;

@@ -1,0 +1,70 @@
+#include "engine/worker_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+
+namespace touch {
+namespace {
+
+TEST(WorkerPoolTest, RunsEverySubmittedTask) {
+  WorkerPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(WorkerPoolTest, CompletionNotificationRunsAfterItsTask) {
+  WorkerPool pool(2);
+  std::atomic<bool> task_ran{false};
+  std::promise<bool> order;
+  pool.Submit([&task_ran] { task_ran = true; },
+              [&] { order.set_value(task_ran.load()); });
+  // The notification fires per task — observable without WaitIdle.
+  EXPECT_TRUE(order.get_future().get());
+}
+
+TEST(WorkerPoolTest, CompletionNotificationRunsWhenTheTaskThrows) {
+  WorkerPool pool(1);
+  std::promise<void> done;
+  pool.Submit([]() -> void { throw std::runtime_error("task failed"); },
+              [&done] { done.set_value(); });
+  done.get_future().wait();  // hangs (and times out the test) if dropped
+  pool.WaitIdle();           // in_flight_ bookkeeping survived the throw
+}
+
+TEST(WorkerPoolTest, EveryTaskGetsItsOwnNotification) {
+  WorkerPool pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> notified{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([] {},
+                [&notified] { notified.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(notified.load(), kTasks);
+}
+
+TEST(WorkerPoolTest, DestructorDrainsPendingTasksAndNotifications) {
+  std::atomic<int> ran{0};
+  std::atomic<int> notified{0};
+  {
+    WorkerPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                  [&notified] {
+                    notified.fetch_add(1, std::memory_order_relaxed);
+                  });
+    }
+  }  // destructor joins after the queue drained
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_EQ(notified.load(), 50);
+}
+
+}  // namespace
+}  // namespace touch

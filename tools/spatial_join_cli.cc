@@ -10,8 +10,11 @@
 //
 // Exit code 0 on success, 1 on bad usage or I/O failure.
 
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -46,9 +49,37 @@ struct CliOptions {
   // Partitioned driver.
   int partitions = 0;
   int threads = 1;
+  /// Engine index-cache cap for --algo=auto (0 = unbounded).
+  size_t cache_bytes = 0;
   bool csv = false;
   bool help = false;
 };
+
+/// Parses a byte count with an optional k/m/g suffix ("64m" = 64 MiB).
+/// Returns false on garbage, a bad suffix, negative input (strtoull would
+/// silently wrap it), or a value that overflows size_t after the suffix.
+bool ParseByteCount(const std::string& value, size_t* bytes) {
+  if (value.empty() || !std::isdigit(static_cast<unsigned char>(value[0]))) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || errno == ERANGE) return false;
+  int shift = 0;
+  if (*end != '\0') {
+    switch (*end) {
+      case 'k': case 'K': shift = 10; break;
+      case 'm': case 'M': shift = 20; break;
+      case 'g': case 'G': shift = 30; break;
+      default: return false;
+    }
+    if (*(end + 1) != '\0') return false;
+  }
+  if (parsed > (std::numeric_limits<size_t>::max() >> shift)) return false;
+  *bytes = static_cast<size_t>(parsed) << shift;
+  return true;
+}
 
 void PrintUsage() {
   std::puts(
@@ -69,6 +100,8 @@ void PrintUsage() {
       "  --seed=S               RNG seed (default 42)\n"
       "  --partitions=P         run through the partitioned driver\n"
       "  --threads=T            worker threads for the partitioned driver\n"
+      "  --cache-bytes=N[kmg]   cap the --algo=auto index cache (LRU\n"
+      "                         eviction; default unbounded)\n"
       "  --csv                  machine-readable output\n"
       "\n"
       "Generate mode:\n"
@@ -124,6 +157,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->partitions = std::atoi(value.c_str());
     } else if (ParseFlag(arg, "threads", &value)) {
       options->threads = std::atoi(value.c_str());
+    } else if (ParseFlag(arg, "cache-bytes", &value)) {
+      if (!ParseByteCount(value, &options->cache_bytes)) {
+        std::fprintf(stderr, "bad --cache-bytes value: %s\n", value.c_str());
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -230,7 +268,9 @@ int RunJoin(const CliOptions& options) {
                      "note: --partitions does not apply to --algo=auto\n");
       }
       if (engine == nullptr) {
-        engine = std::make_unique<QueryEngine>();
+        EngineOptions engine_options;
+        engine_options.max_cache_bytes = options.cache_bytes;
+        engine = std::make_unique<QueryEngine>(engine_options);
         handle_a = engine->RegisterDataset("A", a);
         handle_b = engine->RegisterDataset("B", b);
       }
@@ -285,6 +325,21 @@ int RunJoin(const CliOptions& options) {
                   static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0),
                   stats.total_seconds);
     }
+  }
+  // Cache telemetry belongs to the auto plan report: hit rate and evictions
+  // show whether the cap (if any) is sized right for the query mix.
+  if (engine != nullptr) {
+    const IndexCache::Stats cache = engine->cache_stats();
+    std::fprintf(
+        options.csv ? stderr : stdout,
+        "index cache: %.0f%% hit rate (%llu/%llu), %llu evictions, "
+        "%zu entries, %.2f MB%s\n",
+        cache.HitRate() * 100.0,
+        static_cast<unsigned long long>(cache.hits),
+        static_cast<unsigned long long>(cache.hits + cache.misses),
+        static_cast<unsigned long long>(cache.evictions), cache.entries,
+        static_cast<double>(cache.bytes) / (1024.0 * 1024.0),
+        cache.capacity_bytes == 0 ? " (unbounded)" : "");
   }
   return 0;
 }
