@@ -97,6 +97,47 @@ void RegisterWorkload(const Workload& workload) {
       })
       ->Unit(benchmark::kMillisecond)->Iterations(1);
 
+  // Self-calibrating planning: the engine first *measures* every candidate
+  // family cold (ExecuteFixed runs are recorded as feedback, cache cleared
+  // between runs so each one pays its build), then plans the same request
+  // with the fitted cost models. The label shows whether the measured
+  // evidence overrode the static rule — the paper's "no single algorithm
+  // wins everywhere" claim, closed into a feedback loop. Compare against
+  // auto_cold (static rules, same cold execution).
+  benchmark::RegisterBenchmark(
+      (prefix + "auto_calibrated").c_str(),
+      [=](benchmark::State& state) {
+        QueryEngine engine;  // calibration enabled by default
+        const DatasetHandle ha = engine.RegisterDataset("A", a);
+        const DatasetHandle hb = engine.RegisterDataset("B", b);
+        const JoinRequest request{ha, hb, workload.epsilon};
+        const size_t seeds = engine.options().calibration.min_samples;
+        for (const std::string fixed : {"touch", "pbsm-100", "inl", "ps"}) {
+          for (size_t i = 0; i < seeds; ++i) {
+            engine.ClearIndexCache();
+            CountingCollector out;
+            engine.ExecuteFixed(fixed, request, out);
+          }
+        }
+        JoinResult last;
+        for (auto _ : state) {
+          engine.ClearIndexCache();
+          CountingCollector out;
+          last = engine.Execute(request, out);
+        }
+        std::string label =
+            (last.plan.calibrated ? "calibrated:" : "static:") +
+            last.plan.algorithm;
+        if (last.plan.calibrated &&
+            last.plan.static_algorithm != last.plan.algorithm) {
+          label += " (static rule: " + last.plan.static_algorithm + ")";
+        }
+        state.SetLabel(label);
+        state.counters["results"] = static_cast<double>(last.stats.results);
+        state.counters["predicted_ms"] = last.plan.predicted_seconds * 1e3;
+      })
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+
   // Async submission throughput: a warm engine answering a burst of
   // repeated requests through per-request futures (the serving steady
   // state) versus the same burst through the blocking wrapper one by one.

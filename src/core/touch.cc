@@ -121,14 +121,16 @@ JoinStats TouchJoin::Join(std::span<const Box> a, std::span<const Box> b,
 JoinStats TouchJoin::JoinWithPrebuiltTree(const TouchTree& tree,
                                           std::span<const Box> a,
                                           std::span<const Box> b,
-                                          ResultCollector& out) {
-  return JoinOriented(a, b, /*swapped=*/false, out, &tree);
+                                          ResultCollector& out,
+                                          float probe_epsilon) {
+  return JoinOriented(a, b, /*swapped=*/false, out, &tree, probe_epsilon);
 }
 
 JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
                                   std::span<const Box> probe, bool swapped,
                                   ResultCollector& out,
-                                  const TouchTree* prebuilt) {
+                                  const TouchTree* prebuilt,
+                                  float probe_epsilon) {
   JoinStats stats;
   Timer total;
   if (build.empty() || probe.empty()) {
@@ -136,6 +138,25 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     stats.total_seconds = total.Seconds();
     return stats;
   }
+
+  // The grid local join reads probe boxes through ProbeBox and needs no
+  // copy; the nested-loop / plane-sweep ablations take raw spans, so for
+  // them the enlargement is materialized once (and reported in
+  // memory_bytes).
+  std::vector<Box> enlarged_probe;
+  if (probe_epsilon > 0 &&
+      options_.local_join != LocalJoinStrategy::kGrid) {
+    enlarged_probe.reserve(probe.size());
+    for (const Box& box : probe) {
+      enlarged_probe.push_back(box.Enlarged(probe_epsilon));
+    }
+    probe = enlarged_probe;
+    probe_epsilon = 0;
+  }
+  const auto ProbeBox = [probe, probe_epsilon](uint32_t probe_id) {
+    return probe_epsilon > 0 ? probe[probe_id].Enlarged(probe_epsilon)
+                             : probe[probe_id];
+  };
 
   // ---- Phase 1: tree building (Algorithm 2) — skipped when the caller
   // supplies a prebuilt/converted tree (paper section 4.3). ----
@@ -158,7 +179,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
   const std::span<const TouchTree::Node> nodes = tree.nodes();
   const std::span<const uint32_t> child_ids = tree.child_ids();
   for (uint32_t probe_id = 0; probe_id < probe.size(); ++probe_id) {
-    const Box& box = probe[probe_id];
+    const Box box = ProbeBox(probe_id);
     uint32_t current = tree.root();
     ++stats.node_comparisons;
     if (!Intersects(box, nodes[current].mbr)) {
@@ -239,7 +260,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     // node's own hierarchy, pruning children by MBR, and is compared only
     // against the items of the leaves it reaches.
     const auto subtree_join = [&](uint32_t start_node, uint32_t probe_id) {
-      const Box& probe_box = probe[probe_id];
+      const Box probe_box = ProbeBox(probe_id);
       ctx.descent_stack.clear();
       ctx.descent_stack.push_back(start_node);
       while (!ctx.descent_stack.empty()) {
@@ -292,7 +313,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
       const uint64_t stride_x = stride_y * static_cast<uint64_t>(res[1]);
       ctx.cells.Reset(static_cast<uint64_t>(res[0]) * res[1] * res[2]);
       for (const uint32_t probe_id : node_entities) {
-        const CellRange range = grid.RangeOf(probe[probe_id]);
+        const CellRange range = grid.RangeOf(ProbeBox(probe_id));
         for (int x = range.lo.x; x <= range.hi.x; ++x) {
           for (int y = range.lo.y; y <= range.hi.y; ++y) {
             const uint64_t base = static_cast<uint64_t>(x) * stride_x +
@@ -315,9 +336,10 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
               for (const uint32_t probe_id :
                    ctx.cells.Occupants(base + static_cast<uint64_t>(z))) {
                 ++ctx.stats.comparisons;
-                if (!Intersects(build_box, probe[probe_id])) continue;
+                const Box probe_box = ProbeBox(probe_id);
+                if (!Intersects(build_box, probe_box)) continue;
                 const CellCoord home =
-                    grid.CellOf(ReferencePoint(build_box, probe[probe_id]));
+                    grid.CellOf(ReferencePoint(build_box, probe_box));
                 if (home.x == x && home.y == y && home.z == z) {
                   emit(build_id, probe_id);
                 }
@@ -403,8 +425,8 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
   }
   stats.join_seconds = phase.Seconds();
 
-  stats.memory_bytes = tree.MemoryUsageBytes() +
-                       NestedVectorBytes(entities) + max_grid_bytes;
+  stats.memory_bytes = tree.MemoryUsageBytes() + NestedVectorBytes(entities) +
+                       max_grid_bytes + VectorBytes(enlarged_probe);
   stats.total_seconds = total.Seconds();
   return stats;
 }

@@ -78,9 +78,18 @@ class TouchJoin : public SpatialJoinAlgorithm {
   /// the paper's section-4.3 shortcut for pre-indexed datasets. The tree's
   /// item ids must index into `a`. Join order is not swapped; build time is
   /// whatever the caller already paid.
+  ///
+  /// `probe_epsilon` enlarges every box of `b` on the fly (assignment and
+  /// local join read b[i].Enlarged(probe_epsilon)), equivalent to passing a
+  /// pre-enlarged copy of `b` but without materializing one — with the
+  /// default grid local join, no per-call probe copy exists at all, which is
+  /// what makes the engine's cached distance joins allocation-free. The
+  /// nested-loop / plane-sweep local-join ablations still materialize one
+  /// copy (and account for it in JoinStats::memory_bytes).
   JoinStats JoinWithPrebuiltTree(const TouchTree& tree,
                                  std::span<const Box> a,
-                                 std::span<const Box> b, ResultCollector& out);
+                                 std::span<const Box> b, ResultCollector& out,
+                                 float probe_epsilon = 0.0f);
 
   const TouchOptions& options() const { return options_; }
 
@@ -88,10 +97,13 @@ class TouchJoin : public SpatialJoinAlgorithm {
   /// Runs the three phases with `build` as the tree-building dataset and
   /// `probe` as the assigned dataset. `swapped` is true when build==B, in
   /// which case emitted pairs are flipped back to (a, b) order.
+  /// `probe_epsilon` enlarges probe boxes on the fly (see
+  /// JoinWithPrebuiltTree).
   JoinStats JoinOriented(std::span<const Box> build,
                          std::span<const Box> probe, bool swapped,
                          ResultCollector& out,
-                         const TouchTree* prebuilt = nullptr);
+                         const TouchTree* prebuilt = nullptr,
+                         float probe_epsilon = 0.0f);
 
   TouchOptions options_;
 };

@@ -1,23 +1,56 @@
 #include "engine/catalog.h"
 
 #include <algorithm>
+#include <cstring>
 
+#include "estimate/selectivity.h"
 #include "geom/grid.h"
 
 namespace touch {
 
 double DatasetStats::HistogramSkew() const {
-  uint32_t max_count = 0;
+  // Measure at (at most) 16 cells/axis regardless of storage resolution:
+  // finer grids see emptier, peakier cells, which would silently rescale
+  // every skew threshold. Finer histograms are block-aggregated down — an
+  // exact nested-grid aggregation when the resolution is a multiple of 16,
+  // and blocks differing by at most one fine cell otherwise (e.g. stats
+  // deserialized from a peer that histogrammed at an odd resolution).
+  constexpr int kSkewResolution = 16;
+  const int res = histogram_resolution;
+  uint64_t max_count = 0;
   uint64_t total = 0;
   size_t occupied = 0;
-  for (const uint32_t cell : histogram) {
-    if (cell == 0) continue;
+  const auto tally = [&](uint64_t cell) {
+    if (cell == 0) return;
     max_count = std::max(max_count, cell);
     total += cell;
     ++occupied;
+  };
+  if (res <= kSkewResolution) {
+    for (const uint32_t cell : histogram) tally(cell);
+  } else {
+    constexpr int kCoarse = kSkewResolution;
+    const auto coarse_of = [res](int fine) {
+      return fine * kCoarse / res;  // 16 groups, sizes differing by <= 1
+    };
+    std::vector<uint64_t> coarse(
+        static_cast<size_t>(kCoarse) * kCoarse * kCoarse, 0);
+    for (int x = 0; x < res; ++x) {
+      for (int y = 0; y < res; ++y) {
+        for (int z = 0; z < res; ++z) {
+          coarse[(static_cast<size_t>(coarse_of(x)) * kCoarse +
+                  coarse_of(y)) *
+                     kCoarse +
+                 coarse_of(z)] +=
+              histogram[(static_cast<size_t>(x) * res + y) * res + z];
+        }
+      }
+    }
+    for (const uint64_t cell : coarse) tally(cell);
   }
   if (occupied == 0) return 0;
-  const double mean = static_cast<double>(total) / static_cast<double>(occupied);
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(occupied);
   return static_cast<double>(max_count) / mean;
 }
 
@@ -53,6 +86,283 @@ DatasetStats ComputeDatasetStats(std::span<const Box> boxes,
     ++stats.histogram[(static_cast<size_t>(c.x) * res + c.y) * res + c.z];
   }
   return stats;
+}
+
+namespace {
+
+/// Per-axis fan-out of one source histogram cell onto the joint grid: the
+/// first overlapped target cell and the share of the source cell's extent
+/// falling into it and its successors. Shares sum to 1 per source cell, so
+/// resampling conserves total mass exactly.
+struct AxisSplit {
+  int first_target = 0;
+  std::vector<double> fractions;
+};
+
+std::vector<AxisSplit> SplitAxis(float src_lo, float src_hi, int src_res,
+                                 float dst_lo, float dst_hi, int dst_res) {
+  std::vector<AxisSplit> splits(static_cast<size_t>(src_res));
+  const double src_w =
+      (static_cast<double>(src_hi) - src_lo) / static_cast<double>(src_res);
+  const double dst_w =
+      (static_cast<double>(dst_hi) - dst_lo) / static_cast<double>(dst_res);
+  const auto dst_cell_of = [&](double x) {
+    if (dst_w <= 0) return 0;
+    return std::clamp(static_cast<int>((x - dst_lo) / dst_w), 0, dst_res - 1);
+  };
+  for (int i = 0; i < src_res; ++i) {
+    AxisSplit& split = splits[static_cast<size_t>(i)];
+    const double s0 = src_lo + i * src_w;
+    const double s1 = s0 + src_w;
+    if (src_w <= 0 || dst_w <= 0) {
+      // Degenerate source or target axis: all mass sits at one coordinate.
+      split.first_target = dst_cell_of(s0);
+      split.fractions.assign(1, 1.0);
+      continue;
+    }
+    const int j0 = dst_cell_of(s0);
+    const int j1 = std::max(j0, dst_cell_of(s1));
+    split.first_target = j0;
+    split.fractions.assign(static_cast<size_t>(j1 - j0 + 1), 0.0);
+    double total = 0;
+    for (int j = j0; j <= j1; ++j) {
+      const double t0 = dst_lo + j * dst_w;
+      const double overlap = std::min(s1, t0 + dst_w) - std::max(s0, t0);
+      if (overlap > 0) split.fractions[static_cast<size_t>(j - j0)] = overlap;
+      total += std::max(0.0, overlap);
+    }
+    if (total > 0) {
+      for (double& fraction : split.fractions) fraction /= total;
+    } else {
+      split.fractions.assign(1, 1.0);
+    }
+  }
+  return splits;
+}
+
+/// Spreads a dataset's center histogram (computed over its own extent at
+/// registration) onto `resolution`^3 cells of the joint `domain`, treating
+/// each source cell's count as uniformly distributed over the cell.
+std::vector<double> ResampleHistogram(const DatasetStats& stats,
+                                      const Box& domain, int resolution) {
+  std::vector<double> out(
+      static_cast<size_t>(resolution) * resolution * resolution, 0.0);
+  if (stats.count == 0 || stats.histogram.empty()) return out;
+  const int src_res = stats.histogram_resolution;
+  const std::vector<AxisSplit> sx =
+      SplitAxis(stats.extent.lo.x, stats.extent.hi.x, src_res, domain.lo.x,
+                domain.hi.x, resolution);
+  const std::vector<AxisSplit> sy =
+      SplitAxis(stats.extent.lo.y, stats.extent.hi.y, src_res, domain.lo.y,
+                domain.hi.y, resolution);
+  const std::vector<AxisSplit> sz =
+      SplitAxis(stats.extent.lo.z, stats.extent.hi.z, src_res, domain.lo.z,
+                domain.hi.z, resolution);
+  for (int x = 0; x < src_res; ++x) {
+    for (int y = 0; y < src_res; ++y) {
+      for (int z = 0; z < src_res; ++z) {
+        const uint32_t count =
+            stats.histogram[(static_cast<size_t>(x) * src_res + y) * src_res +
+                            z];
+        if (count == 0) continue;
+        for (size_t ix = 0; ix < sx[x].fractions.size(); ++ix) {
+          const double wx = count * sx[x].fractions[ix];
+          if (wx <= 0) continue;
+          const size_t jx = static_cast<size_t>(sx[x].first_target) + ix;
+          for (size_t iy = 0; iy < sy[y].fractions.size(); ++iy) {
+            const double wxy = wx * sy[y].fractions[iy];
+            if (wxy <= 0) continue;
+            const size_t jy = static_cast<size_t>(sy[y].first_target) + iy;
+            for (size_t iz = 0; iz < sz[z].fractions.size(); ++iz) {
+              const double wxyz = wxy * sz[z].fractions[iz];
+              if (wxyz <= 0) continue;
+              const size_t jz = static_cast<size_t>(sz[z].first_target) + iz;
+              out[(jx * resolution + jy) * resolution + jz] += wxyz;
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+PairEstimate CombineHistograms(const DatasetStats& a, const DatasetStats& b,
+                               float epsilon, int resolution) {
+  PairEstimate estimate;
+  if (a.count == 0 || b.count == 0) return estimate;
+  Box domain = a.extent;
+  domain.ExpandToContain(b.extent);
+  if (domain.IsEmpty()) return estimate;
+
+  // Same cell-size clamp as SelectivityEstimator: the within-cell uniformity
+  // assumption needs cells comfortably larger than the average object.
+  const Vec3 extent = domain.Extent();
+  const float max_avg =
+      std::max({a.avg_object_extent.x, a.avg_object_extent.y,
+                a.avg_object_extent.z, b.avg_object_extent.x,
+                b.avg_object_extent.y, b.avg_object_extent.z});
+  const int res =
+      CellSizeCappedResolution(std::min({extent.x, extent.y, extent.z}),
+                               max_avg, std::max(1, resolution));
+
+  const std::vector<double> ha = ResampleHistogram(a, domain, res);
+  const std::vector<double> hb = ResampleHistogram(b, domain, res);
+
+  const double cell_edge[3] = {extent.x / static_cast<double>(res),
+                               extent.y / static_cast<double>(res),
+                               extent.z / static_cast<double>(res)};
+  // The distance join enlarges A's boxes by epsilon on every side.
+  const double ea[3] = {a.avg_object_extent.x + 2.0 * epsilon,
+                        a.avg_object_extent.y + 2.0 * epsilon,
+                        a.avg_object_extent.z + 2.0 * epsilon};
+  const double eb[3] = {b.avg_object_extent.x, b.avg_object_extent.y,
+                        b.avg_object_extent.z};
+  AxisProbabilities p[3];
+  for (int axis = 0; axis < 3; ++axis) {
+    p[axis] = AxisOverlapProbabilities(ea[axis], eb[axis], cell_edge[axis]);
+  }
+
+  // Sum hA(c) * hB(c + d) over all cells and the 27 offsets d in {-1,0,1}^3,
+  // weighting each offset by the product of per-axis probabilities — the
+  // SelectivityEstimator model applied to the resampled (fractional) counts.
+  const auto b_count_at = [&](int x, int y, int z) -> double {
+    if (x < 0 || y < 0 || z < 0 || x >= res || y >= res || z >= res) return 0;
+    return hb[(static_cast<size_t>(x) * res + y) * res + z];
+  };
+  double expected = 0;
+  double peak = 0;
+  size_t occupied = 0;
+  for (int x = 0; x < res; ++x) {
+    for (int y = 0; y < res; ++y) {
+      for (int z = 0; z < res; ++z) {
+        const double a_count =
+            ha[(static_cast<size_t>(x) * res + y) * res + z];
+        if (a_count <= 0) continue;
+        double b_weighted = 0;
+        for (int dx = -1; dx <= 1; ++dx) {
+          const double px = dx == 0 ? p[0].same : p[0].adjacent;
+          for (int dy = -1; dy <= 1; ++dy) {
+            const double py = dy == 0 ? p[1].same : p[1].adjacent;
+            for (int dz = -1; dz <= 1; ++dz) {
+              const double pz = dz == 0 ? p[2].same : p[2].adjacent;
+              b_weighted += px * py * pz * b_count_at(x + dx, y + dy, z + dz);
+            }
+          }
+        }
+        const double contribution = a_count * b_weighted;
+        if (contribution <= 0) continue;
+        expected += contribution;
+        peak = std::max(peak, contribution);
+        ++occupied;
+      }
+    }
+  }
+
+  estimate.expected_results = expected;
+  estimate.selectivity =
+      expected / (static_cast<double>(a.count) * static_cast<double>(b.count));
+  if (occupied > 0 && expected > 0) {
+    estimate.pair_skew = peak / (expected / static_cast<double>(occupied));
+  }
+  return estimate;
+}
+
+namespace {
+
+constexpr uint32_t kStatsFormatVersion = 1;
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>* out, const T& value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  out->insert(out->end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+bool ConsumePod(std::span<const uint8_t>* bytes, T* value) {
+  if (bytes->size() < sizeof(T)) return false;
+  std::memcpy(value, bytes->data(), sizeof(T));
+  *bytes = bytes->subspan(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeDatasetStats(const DatasetStats& stats) {
+  std::vector<uint8_t> out;
+  out.reserve(64 + stats.histogram.size() * sizeof(uint32_t));
+  AppendPod(&out, kStatsFormatVersion);
+  AppendPod(&out, static_cast<uint64_t>(stats.count));
+  // Corner-by-corner floats, not the whole Box, so struct padding never
+  // leaks into (or varies) the wire format.
+  for (const float field :
+       {stats.extent.lo.x, stats.extent.lo.y, stats.extent.lo.z,
+        stats.extent.hi.x, stats.extent.hi.y, stats.extent.hi.z,
+        stats.avg_object_extent.x, stats.avg_object_extent.y,
+        stats.avg_object_extent.z}) {
+    AppendPod(&out, field);
+  }
+  AppendPod(&out, stats.density);
+  AppendPod(&out, static_cast<int32_t>(stats.histogram_resolution));
+  AppendPod(&out, static_cast<uint64_t>(stats.histogram.size()));
+  const size_t offset = out.size();
+  out.resize(offset + stats.histogram.size() * sizeof(uint32_t));
+  if (!stats.histogram.empty()) {
+    std::memcpy(out.data() + offset, stats.histogram.data(),
+                stats.histogram.size() * sizeof(uint32_t));
+  }
+  return out;
+}
+
+bool DeserializeDatasetStats(std::span<const uint8_t> bytes,
+                             DatasetStats* stats) {
+  uint32_t version = 0;
+  if (!ConsumePod(&bytes, &version) || version != kStatsFormatVersion) {
+    return false;
+  }
+  DatasetStats parsed;
+  uint64_t count = 0;
+  if (!ConsumePod(&bytes, &count)) return false;
+  parsed.count = static_cast<size_t>(count);
+  float fields[9] = {};
+  for (float& field : fields) {
+    if (!ConsumePod(&bytes, &field)) return false;
+  }
+  parsed.extent = Box(Vec3(fields[0], fields[1], fields[2]),
+                      Vec3(fields[3], fields[4], fields[5]));
+  parsed.avg_object_extent = Vec3(fields[6], fields[7], fields[8]);
+  int32_t resolution = 0;
+  uint64_t histogram_size = 0;
+  if (!ConsumePod(&bytes, &parsed.density) ||
+      !ConsumePod(&bytes, &resolution) ||
+      !ConsumePod(&bytes, &histogram_size)) {
+    return false;
+  }
+  // Stats may arrive from untrusted peers (a remote catalog shard), so the
+  // declared shape is validated against the actual payload *before* any
+  // arithmetic that could overflow or any allocation it would size: the
+  // resolution bound keeps res^3 far from uint64 wraparound, and the
+  // histogram size is compared against the real remaining byte count.
+  if (resolution < 0 || resolution > 4096) return false;
+  parsed.histogram_resolution = resolution;
+  const uint64_t expected_cells =
+      resolution == 0 ? 0
+                      : static_cast<uint64_t>(resolution) * resolution *
+                            resolution;
+  if (bytes.size() % sizeof(uint32_t) != 0 ||
+      bytes.size() / sizeof(uint32_t) != histogram_size ||
+      histogram_size != expected_cells) {
+    return false;
+  }
+  parsed.histogram.resize(static_cast<size_t>(histogram_size));
+  if (histogram_size > 0) {
+    std::memcpy(parsed.histogram.data(), bytes.data(),
+                parsed.histogram.size() * sizeof(uint32_t));
+  }
+  *stats = std::move(parsed);
+  return true;
 }
 
 DatasetHandle DatasetCatalog::Register(std::string name, Dataset boxes) {

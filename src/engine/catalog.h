@@ -28,19 +28,65 @@ struct DatasetStats {
   Vec3 avg_object_extent{0, 0, 0};
   /// Objects per unit volume of `extent` (0 when the extent is degenerate).
   double density = 0;
-  /// Coarse center-count histogram over `extent` (resolution^3 cells,
-  /// x-major like SelectivityEstimator) — the planner's skew signal.
+  /// Center-count histogram over `extent` (resolution^3 cells, x-major like
+  /// SelectivityEstimator) — the planner's skew signal and, pair-combined
+  /// with another dataset's histogram (CombineHistograms), its plan-time
+  /// selectivity estimate. The default resolution matches the planner's
+  /// combine grid so pair-combination loses no detail it could use.
   int histogram_resolution = 0;
   std::vector<uint32_t> histogram;
 
   /// Peak cell count divided by the mean count of *occupied* cells: near 1
   /// for uniform data, large for clustered data. 0 for empty datasets.
+  /// Always measured at (at most) 16 cells/axis — finer histograms, any
+  /// resolution, are block-aggregated down first — so the skew scale (and
+  /// the planner's pbsm_skew_max threshold) does not drift with histogram
+  /// resolution.
   double HistogramSkew() const;
 };
 
 /// Computes the stats of one dataset (exposed for tests and tools).
 DatasetStats ComputeDatasetStats(std::span<const Box> boxes,
-                                 int histogram_resolution = 16);
+                                 int histogram_resolution = 32);
+
+/// Join-level estimate derived purely from two datasets' precomputed
+/// histograms — the planner's plan-time replacement for rescanning raw
+/// geometry (see CombineHistograms).
+struct PairEstimate {
+  /// Expected number of result pairs of the epsilon-distance join.
+  double expected_results = 0;
+  /// expected_results / (|A| * |B|); 0 for empty inputs.
+  double selectivity = 0;
+  /// Peak-over-mean of the per-cell expected result contribution on the
+  /// joint grid: near 1 when the output is spread evenly, large when it is
+  /// concentrated in a few hotspots. 0 when nothing is expected to overlap.
+  double pair_skew = 0;
+};
+
+/// Pair-combines two datasets' registration-time histograms into a join
+/// estimate, without touching raw geometry: each per-dataset center
+/// histogram is resampled onto a shared grid over the joint extent (counts
+/// spread volume-proportionally across overlapping cells), then the same
+/// center-offset probability model as SelectivityEstimator
+/// (AxisOverlapProbabilities) turns co-located mass into expected results.
+/// A distance join enlarges side `a` by `epsilon`. `resolution` is the
+/// target joint-grid cells per axis, clamped so cells stay larger than the
+/// average object. O(resolution^3), independent of dataset sizes.
+PairEstimate CombineHistograms(const DatasetStats& a, const DatasetStats& b,
+                               float epsilon, int resolution = 32);
+
+/// Byte-serialization of DatasetStats, so stats can travel without their
+/// geometry (e.g. a future sharded catalog exchanging planning metadata
+/// between nodes). Fixed-width fields in native byte order — intended for
+/// same-architecture exchange and exact round-trips, not archival.
+std::vector<uint8_t> SerializeDatasetStats(const DatasetStats& stats);
+
+/// Inverse of SerializeDatasetStats. Returns false (leaving `stats`
+/// untouched) on truncated, overlong, or structurally inconsistent input —
+/// including histogram resolutions above 4096 cells/axis, which are
+/// rejected as implausible rather than allocated.
+bool DeserializeDatasetStats(std::span<const uint8_t> bytes,
+                             DatasetStats* stats);
 
 /// Registry of named datasets with precomputed stats — the engine's notion
 /// of "a dataset the system serves queries against", as opposed to the

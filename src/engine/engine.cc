@@ -132,6 +132,7 @@ QueryEngine::QueryEngine(const EngineOptions& options)
     : options_(options),
       planner_(options.planner),
       cache_(options.max_cache_bytes),
+      feedback_(options.calibration.max_outcomes),
       pool_(options.threads) {}
 
 DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes) {
@@ -139,7 +140,43 @@ DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes) {
 }
 
 JoinPlan QueryEngine::Plan(const JoinRequest& request) const {
+  if (options_.calibration.enabled) {
+    const CalibrationSnapshot snapshot =
+        feedback_.Snapshot(options_.calibration.min_samples);
+    return planner_.Plan(catalog_, request, &snapshot);
+  }
   return planner_.Plan(catalog_, request);
+}
+
+void QueryEngine::RecordOutcome(const JoinRequest& request,
+                                const JoinResult& result) {
+  if (!options_.calibration.enabled) return;
+  // Cache hits skipped (some of) the build the cost models are fitted
+  // against; the planner compares cold costs, so only fully cold runs are
+  // evidence. Partial hits (one PBSM directory warm, one built) would bias
+  // the family's fit downward.
+  if (!result.error.empty() || result.index_cache_hit ||
+      result.partial_index_cache_hit) {
+    return;
+  }
+  const DatasetStats& stats_a = catalog_.stats(request.a);
+  const DatasetStats& stats_b = catalog_.stats(request.b);
+  PlanOutcome outcome;
+  outcome.family = AlgorithmFamily(result.plan.algorithm);
+  outcome.objects = stats_a.count + stats_b.count;
+  outcome.results = result.stats.results;
+  // The fit feature is the planner's own estimate (recomputed here so
+  // fixed runs, whose plans skip estimation, get the same feature as auto
+  // runs) — see PlanOutcome::estimated_results.
+  outcome.estimated_results =
+      CombineHistograms(stats_a, stats_b, request.epsilon,
+                        options_.planner.estimator_resolution)
+          .expected_results;
+  outcome.build_seconds = result.stats.build_seconds;
+  outcome.probe_seconds =
+      result.stats.assign_seconds + result.stats.join_seconds;
+  outcome.total_seconds = result.stats.total_seconds;
+  feedback_.Record(outcome);
 }
 
 // --- Asynchronous submission ------------------------------------------------
@@ -248,7 +285,12 @@ JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
   plan.touch.threads = 1;
   plan.rationale = "algorithm fixed by caller";
   try {
-    return ExecutePlanned(std::move(plan), request, out);
+    // Fixed runs are evidence too — they are how callers (and the planner
+    // benchmark) teach the calibrator about families the static rules would
+    // never pick on a workload.
+    JoinResult result = ExecutePlanned(std::move(plan), request, out);
+    RecordOutcome(request, result);
+    return result;
   } catch (const std::exception& e) {
     JoinResult result;
     result.error = std::string("execution failed: ") + e.what();
@@ -270,7 +312,9 @@ JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
   // errors instead of escaping — a batch must not die for one bad join, and
   // a submitted future must always complete with a result.
   try {
-    return ExecutePlanned(Plan(request), request, out);
+    JoinResult result = ExecutePlanned(Plan(request), request, out);
+    RecordOutcome(request, result);
+    return result;
   } catch (const std::exception& e) {
     JoinResult result;
     result.error = std::string("execution failed: ") + e.what();
@@ -371,13 +415,12 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
   if (plan.build_on_a) {
     result.stats = join.JoinWithPrebuiltTree(entry->tree, tree_boxes, b, out);
   } else {
-    const Dataset probe =
-        request.epsilon > 0 ? EnlargedCopy(a, request.epsilon) : Dataset{};
-    const std::span<const Box> probe_span =
-        probe.empty() ? std::span<const Box>(a) : std::span<const Box>(probe);
+    // The tree was built raw over B, so side A carries the distance-join
+    // enlargement — applied on the fly per probe box (as the cached INL
+    // path does), never as an O(|A|) copy: cache hits are allocation-free.
     SwappedCollector swapped(out);
-    result.stats =
-        join.JoinWithPrebuiltTree(entry->tree, tree_boxes, probe_span, swapped);
+    result.stats = join.JoinWithPrebuiltTree(entry->tree, tree_boxes, a,
+                                             swapped, request.epsilon);
   }
   // A miss pays the build it triggered; a hit reuses the cached tree for
   // free — the productized section-4.3 shortcut.
@@ -521,6 +564,7 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
   const auto dir_a = directory(request.a, request.epsilon, a, &missed_a);
   const auto dir_b = directory(request.b, 0.0f, b, &missed_b);
   result.index_cache_hit = !missed_a && !missed_b;
+  result.partial_index_cache_hit = missed_a != missed_b;
 
   const std::span<const Box> span_a =
       dir_a->boxes.empty() ? std::span<const Box>(a)

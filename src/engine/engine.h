@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/calibration.h"
 #include "engine/catalog.h"
 #include "engine/index_cache.h"
 #include "engine/planner.h"
@@ -27,6 +28,12 @@ struct EngineOptions {
   /// Byte cap on the index cache (0 = unbounded). Once resident artifacts
   /// exceed it, least-recently-used ones are evicted; see IndexCache.
   size_t max_cache_bytes = 0;
+  /// Measured-run feedback: cold executions (including ExecuteFixed ones)
+  /// are recorded into the engine's PlanFeedback store, and planning
+  /// overrides the static rules with fitted per-family cost models once
+  /// enough evidence accumulates. Disabling restores the purely static
+  /// planner and records nothing. See CalibrationOptions.
+  CalibrationOptions calibration;
 };
 
 /// Outcome of one engine query.
@@ -35,6 +42,12 @@ struct JoinResult {
   JoinStats stats;
   /// True when the join ran entirely against cached index artifacts.
   bool index_cache_hit = false;
+  /// True when some but not all of the plan's artifacts were cached (PBSM
+  /// keeps one directory per side; one can hit while the other builds).
+  /// Such runs are neither free nor representative of a cold build —
+  /// build_seconds covers only the missing side — so they are excluded
+  /// from calibration evidence.
+  bool partial_index_cache_hit = false;
   /// Non-empty when the request could not run (unknown algorithm name, bad
   /// dataset handle); plan and stats are meaningless then.
   std::string error;
@@ -150,6 +163,18 @@ class QueryEngine {
   IndexCache::Stats cache_stats() const { return cache_.stats(); }
   void ClearIndexCache() { cache_.Clear(); }
 
+  /// The measured-run feedback store (see calibration.h). Exposed mutable so
+  /// tools and tests can inject or clear evidence; the engine itself records
+  /// every cold execution here when calibration is enabled.
+  PlanFeedback& feedback() { return feedback_; }
+  const PlanFeedback& feedback() const { return feedback_; }
+
+  /// Current fitted cost models at this engine's min_samples threshold (what
+  /// the next Plan call will consult when calibration is enabled).
+  CalibrationSnapshot calibration_snapshot() const {
+    return feedback_.Snapshot(options_.calibration.min_samples);
+  }
+
   const EngineOptions& options() const { return options_; }
 
   /// Actual worker-pool size (resolves the options' 0 = hardware default).
@@ -172,11 +197,15 @@ class QueryEngine {
                         ResultCollector& out);
   JoinResult ExecutePbsm(JoinPlan plan, const JoinRequest& request,
                          int resolution, ResultCollector& out);
+  /// Feeds one finished request's measurements into the feedback store
+  /// (cold runs only; no-op when calibration is disabled or the run failed).
+  void RecordOutcome(const JoinRequest& request, const JoinResult& result);
 
   EngineOptions options_;
   DatasetCatalog catalog_;
   Planner planner_;
   IndexCache cache_;
+  PlanFeedback feedback_;
   WorkerPool pool_;
 };
 

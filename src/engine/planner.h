@@ -9,6 +9,8 @@
 
 namespace touch {
 
+class CalibrationSnapshot;
+
 /// One join the engine is asked to run: two registered datasets and the
 /// distance threshold (0 = plain intersection join).
 struct JoinRequest {
@@ -30,6 +32,13 @@ struct JoinPlan {
   /// Planner's cost-model outputs (0 when planning skipped estimation).
   double expected_results = 0;
   double expected_selectivity = 0;
+  /// True when measured-run calibration decided (or confirmed) the
+  /// algorithm. `static_algorithm` then records what the static rules would
+  /// have chosen and `predicted_seconds` the winning cost prediction, so the
+  /// plan report can show the before/after.
+  bool calibrated = false;
+  std::string static_algorithm;
+  double predicted_seconds = 0;
   std::string rationale;
 
   /// One line of settings plus the rationale, e.g. for the CLI's --algo=auto.
@@ -40,6 +49,9 @@ struct JoinPlan {
 /// against the paper's measurements (sections 6.3-6.5): sort-based and
 /// partition-based joins only pay off once inputs outgrow the quadratic /
 /// sort regime, PBSM wins on uniform data, TOUCH on skewed or large data.
+/// With engine calibration enabled, measured runs override the soft rules
+/// (skew/size crossovers) once enough evidence accumulates; the hard
+/// constraints (memory budget, PBSM object ceiling) always hold.
 struct PlannerOptions {
   /// max(|A|, |B|) at or below this -> nested loop (no setup cost at all).
   size_t nested_loop_max = 64;
@@ -62,19 +74,39 @@ struct PlannerOptions {
   size_t pbsm_max_objects = 400000;
   /// Target objects per TOUCH leaf; sets the partition count.
   size_t touch_leaf_target = 96;
-  /// Resolution of the joint selectivity histogram built per Plan call.
+  /// Joint-grid cells per axis the per-dataset histograms are pair-combined
+  /// on at plan time (CombineHistograms; clamped so cells stay larger than
+  /// the average object). Planning never rescans raw geometry.
   int estimator_resolution = 32;
 };
 
 /// Cost-based planner: stats in, explainable plan out. Stateless apart from
 /// its options; safe to share across threads.
+///
+/// Planning consumes only registration-time DatasetStats (pair-combined
+/// histograms, extents, cardinalities) — never the datasets' geometry — so a
+/// plan costs O(estimator_resolution^3) regardless of dataset sizes. When a
+/// CalibrationSnapshot is supplied (the engine's measured-run feedback), the
+/// planner predicts each eligible candidate's cold cost from the fitted
+/// models and overrides the static choice once at least two families —
+/// including the statically chosen one — have enough measurements; the
+/// rationale records the before/after.
 class Planner {
  public:
   explicit Planner(const PlannerOptions& options = {}) : options_(options) {}
 
   /// Chooses algorithm, join order, partition count and grid resolution for
   /// `request`. Both handles must be valid in `catalog`.
-  JoinPlan Plan(const DatasetCatalog& catalog, const JoinRequest& request) const;
+  JoinPlan Plan(const DatasetCatalog& catalog, const JoinRequest& request,
+                const CalibrationSnapshot* calibration = nullptr) const;
+
+  /// Stats-only core of Plan: planning needs no raw geometry, and this
+  /// overload proves it by construction (it cannot reach any boxes). Also
+  /// the entry point for stats that arrived without geometry, e.g. from a
+  /// remote catalog shard via DeserializeDatasetStats.
+  JoinPlan Plan(const DatasetStats& stats_a, const DatasetStats& stats_b,
+                float epsilon,
+                const CalibrationSnapshot* calibration = nullptr) const;
 
   const PlannerOptions& options() const { return options_; }
 

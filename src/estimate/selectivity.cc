@@ -24,26 +24,22 @@ Vec3 AverageExtent(std::span<const Box> boxes) {
               static_cast<float>(sz * inv));
 }
 
-/// Per-axis overlap probabilities for centers in the same cell and in
-/// adjacent cells. Two intervals of lengths ea and eb overlap when their
-/// centers are within (ea+eb)/2 of each other; with s = min(1, (ea+eb)/2c)
-/// and centers uniform in cells of edge c:
-///   same cell      (x1, x2 ~ U(0,1)):  P(|x1-x2| <= s)   = 2s - s^2
-///   adjacent cells (x2 shifted by 1):  P(|x1-x2-1| <= s) = s^2 / 2
-/// Offsets of two or more cells contribute nothing once cells are at least
-/// as large as the combined object extents (which the constructor enforces).
-struct AxisProbabilities {
-  double same = 1.0;
-  double adjacent = 0.0;
-};
+}  // namespace
 
-AxisProbabilities AxisOverlapProbabilities(double ea, double eb, double c) {
-  if (c <= 0) return AxisProbabilities{1.0, 0.0};
-  const double s = std::min(1.0, (ea + eb) / (2.0 * c));
+AxisProbabilities AxisOverlapProbabilities(double ea, double eb,
+                                           double cell_edge) {
+  if (cell_edge <= 0) return AxisProbabilities{1.0, 0.0};
+  const double s = std::min(1.0, (ea + eb) / (2.0 * cell_edge));
   return AxisProbabilities{2.0 * s - s * s, s * s / 2.0};
 }
 
-}  // namespace
+int CellSizeCappedResolution(float min_extent, float max_avg_edge,
+                             int max_res) {
+  if (max_avg_edge <= 0) return max_res;
+  const float ratio = min_extent / (4.0f * max_avg_edge);
+  if (ratio >= static_cast<float>(max_res)) return max_res;
+  return std::clamp(static_cast<int>(ratio), 1, max_res);
+}
 
 SelectivityEstimator::SelectivityEstimator(std::span<const Box> a,
                                            std::span<const Box> b,
@@ -69,14 +65,8 @@ SelectivityEstimator::SelectivityEstimator(std::span<const Box> a,
   const float max_avg =
       std::max({avg_extent_a_.x, avg_extent_a_.y, avg_extent_a_.z,
                 avg_extent_b_.x, avg_extent_b_.y, avg_extent_b_.z});
-  int res = std::max(1, resolution);
-  if (max_avg > 0) {
-    const float min_extent = std::min({extent.x, extent.y, extent.z});
-    const int cap =
-        std::max(1, static_cast<int>(min_extent / (4.0f * max_avg)));
-    res = std::min(res, cap);
-  }
-  res_ = res;
+  res_ = CellSizeCappedResolution(std::min({extent.x, extent.y, extent.z}),
+                                  max_avg, std::max(1, resolution));
 
   cells_.assign(static_cast<size_t>(res_) * res_ * res_, CellCounts{});
   const GridMapper grid(domain_, res_);

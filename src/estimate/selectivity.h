@@ -17,6 +17,32 @@ struct SelectivityEstimate {
   double selectivity = 0;
 };
 
+/// Per-axis overlap probabilities for object centers in the same histogram
+/// cell and in adjacent cells. Two intervals of lengths ea and eb overlap
+/// when their centers are within (ea+eb)/2 of each other; with
+/// s = min(1, (ea+eb)/2c) and centers uniform in cells of edge c:
+///   same cell      (x1, x2 ~ U(0,1)):  P(|x1-x2| <= s)   = 2s - s^2
+///   adjacent cells (x2 shifted by 1):  P(|x1-x2-1| <= s) = s^2 / 2
+/// Offsets of two or more cells contribute nothing once cells are at least
+/// as large as the combined object extents. Shared by SelectivityEstimator
+/// and the catalog's histogram pair-combination (CombineHistograms).
+struct AxisProbabilities {
+  double same = 1.0;
+  double adjacent = 0.0;
+};
+
+AxisProbabilities AxisOverlapProbabilities(double ea, double eb,
+                                           double cell_edge);
+
+/// Grid resolution capped so cells stay ~4x larger than `max_avg_edge` on
+/// the domain's tightest axis (`min_extent`) — the paper's section-5.2.2
+/// rule, shared by the estimator, the catalog's histogram pair-combination,
+/// and the planner's grid sizing. Returns `max_res` when the edge is
+/// non-positive; the ratio is compared in float before any int conversion
+/// (tiny objects in a huge domain overflow int, which is UB).
+int CellSizeCappedResolution(float min_extent, float max_avg_edge,
+                             int max_res);
+
 /// Histogram-based selectivity estimator for spatial joins, in the spirit of
 /// the R-tree cost model the paper's selectivity metric references (Aref &
 /// Samet, GIS'94 [1]).

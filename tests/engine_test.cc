@@ -86,6 +86,43 @@ TEST_F(QueryEngineTest, BuildOnBKeepsPairOrder) {
   EXPECT_EQ(SortedPairs(other), DistanceOracle(large_, small_, 4.0f));
 }
 
+// Regression for the TOUCH cached path: a build-on-B distance join used to
+// materialize an O(|A|) enlarged probe copy on every query, cache hit or
+// not. The probe side is now enlarged on the fly (like the cached INL
+// path), so warm hits run allocation-free: TouchJoin's analytic footprint —
+// which counts any probe copy it owns — must be byte-identical between the
+// cold run and the hit, and the pairs must still match the oracle at every
+// epsilon sharing the raw cached tree.
+TEST_F(QueryEngineTest, CachedBuildOnBDistanceJoinIsAllocationFree) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("large", large_);
+  const DatasetHandle b = engine.RegisterDataset("small", small_);
+  const JoinRequest request{a, b, 2.0f};
+  const JoinPlan plan = engine.Plan(request);
+  ASSERT_EQ(plan.algorithm, "touch");
+  ASSERT_FALSE(plan.build_on_a);
+
+  VectorCollector cold;
+  const JoinResult cold_result = engine.Execute(request, cold);
+  ASSERT_TRUE(cold_result.error.empty());
+  ASSERT_FALSE(cold_result.index_cache_hit);
+  VectorCollector warm;
+  const JoinResult warm_result = engine.Execute(request, warm);
+  ASSERT_TRUE(warm_result.error.empty());
+  ASSERT_TRUE(warm_result.index_cache_hit);
+
+  EXPECT_EQ(SortedPairs(warm), SortedPairs(cold));
+  EXPECT_EQ(SortedPairs(warm), DistanceOracle(large_, small_, 2.0f));
+  EXPECT_EQ(warm_result.stats.memory_bytes, cold_result.stats.memory_bytes);
+
+  // A different epsilon still hits the same raw tree and still needs no
+  // probe copy.
+  VectorCollector wider;
+  const JoinResult wider_result = engine.Execute({a, b, 5.0f}, wider);
+  EXPECT_TRUE(wider_result.index_cache_hit);
+  EXPECT_EQ(SortedPairs(wider), DistanceOracle(large_, small_, 5.0f));
+}
+
 TEST_F(QueryEngineTest, BuildOnACacheDistinguishesEpsilon) {
   QueryEngine engine;
   const DatasetHandle a = engine.RegisterDataset("small", small_);

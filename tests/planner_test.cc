@@ -140,6 +140,29 @@ TEST_F(PlannerTest, EveryPlanExplainsItself) {
   }
 }
 
+// Planning consumes only registration-time stats: the stats-only overload —
+// which cannot reach any geometry by construction — must produce the very
+// same plans as planning through the catalog.
+TEST_F(PlannerTest, StatsOnlyOverloadMatchesCatalogPlanning) {
+  const DatasetHandle clustered = Add(Distribution::kClustered, 30000, 22);
+  const DatasetHandle uniform = Add(Distribution::kUniform, 40000, 23);
+  const DatasetHandle tiny = Add(Distribution::kUniform, 50, 24);
+  for (const JoinRequest& request :
+       {JoinRequest{clustered, uniform, 1.0f},
+        JoinRequest{uniform, uniform, 2.0f}, JoinRequest{tiny, clustered, 0.5f},
+        JoinRequest{clustered, clustered, 0.0f}}) {
+    const JoinPlan via_catalog = planner_.Plan(catalog_, request);
+    const JoinPlan via_stats =
+        planner_.Plan(catalog_.stats(request.a), catalog_.stats(request.b),
+                      request.epsilon);
+    EXPECT_EQ(via_catalog.algorithm, via_stats.algorithm);
+    EXPECT_EQ(via_catalog.build_on_a, via_stats.build_on_a);
+    EXPECT_EQ(via_catalog.touch.partitions, via_stats.touch.partitions);
+    EXPECT_EQ(via_catalog.rationale, via_stats.rationale);
+    EXPECT_DOUBLE_EQ(via_catalog.expected_results, via_stats.expected_results);
+  }
+}
+
 TEST_F(PlannerTest, LargerEpsilonRaisesTheEstimate) {
   const DatasetHandle a = Add(Distribution::kClustered, 30000, 16);
   const DatasetHandle b = Add(Distribution::kClustered, 60000, 17);

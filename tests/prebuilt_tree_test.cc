@@ -113,6 +113,85 @@ TEST_F(PrebuiltTreeTest, MatchesSelfBuiltTreeWhenShapesAgree) {
   EXPECT_EQ(stats_converted.comparisons, stats_direct.comparisons);
 }
 
+// The engine's cached build-on-B distance joins hinge on this: probing a
+// prebuilt tree with raw boxes plus probe_epsilon must equal probing with a
+// pre-enlarged copy — and with the default grid local join it must do so
+// without materializing that copy. TouchJoin's analytic memory accounting
+// includes any probe copy it owns (the non-grid ablations materialize one),
+// so byte-identical memory_bytes between the two runs is the regression
+// signal that the grid path stayed allocation-free.
+TEST_F(PrebuiltTreeTest, ProbeEpsilonMatchesEnlargedCopyWithoutAllocating) {
+  // The build side gets clearly smaller objects so that it dictates the
+  // local-join cell size in both runs (the raw-vs-enlarged probe average
+  // must not flip the min), keeping the two runs' grids — and therefore
+  // their comparison counts and analytic footprints — bit-identical.
+  SyntheticOptions small_objects;
+  small_objects.max_side = 0.5f;
+  SyntheticOptions large_objects;
+  large_objects.max_side = 2.0f;
+  const Dataset build =
+      GenerateSynthetic(Distribution::kClustered, 1500, 153, small_objects);
+  const Dataset probe =
+      GenerateSynthetic(Distribution::kClustered, 2500, 154, large_objects);
+  const float epsilon = 6.0f;
+  Dataset enlarged = probe;
+  for (Box& box : enlarged) box = box.Enlarged(epsilon);
+
+  const TouchTree tree(build, 32, 2);
+  TouchOptions options;
+  options.leaf_capacity = 32;
+  options.fanout = 2;
+  TouchJoin join(options);
+
+  VectorCollector copied;
+  const JoinStats copied_stats =
+      join.JoinWithPrebuiltTree(tree, build, enlarged, copied);
+  VectorCollector on_the_fly;
+  const JoinStats fly_stats =
+      join.JoinWithPrebuiltTree(tree, build, probe, on_the_fly, epsilon);
+
+  auto sorted = [](VectorCollector& collector) {
+    auto pairs = collector.pairs();
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+  ASSERT_FALSE(on_the_fly.pairs().empty());
+  EXPECT_EQ(sorted(on_the_fly), sorted(copied));
+  EXPECT_EQ(fly_stats.results, copied_stats.results);
+  EXPECT_EQ(fly_stats.comparisons, copied_stats.comparisons);
+  EXPECT_EQ(fly_stats.memory_bytes, copied_stats.memory_bytes)
+      << "the grid path must not own a probe copy";
+}
+
+// The materializing ablations (nested loop / plane sweep local joins) stay
+// correct with probe_epsilon; their one-off copy is visible in the analytic
+// footprint.
+TEST_F(PrebuiltTreeTest, ProbeEpsilonWorksWithEveryLocalJoinStrategy) {
+  const Dataset build = GenerateSynthetic(Distribution::kClustered, 1500, 155);
+  const Dataset probe = GenerateSynthetic(Distribution::kClustered, 2500, 156);
+  const float epsilon = 6.0f;
+  Dataset enlarged = probe;
+  for (Box& box : enlarged) box = box.Enlarged(epsilon);
+  const auto oracle = OracleJoin(build, enlarged);
+  ASSERT_FALSE(oracle.empty());
+
+  const TouchTree tree(build, 32, 2);
+  for (const LocalJoinStrategy strategy :
+       {LocalJoinStrategy::kGrid, LocalJoinStrategy::kNestedLoop,
+        LocalJoinStrategy::kPlaneSweep}) {
+    TouchOptions options;
+    options.leaf_capacity = 32;
+    options.fanout = 2;
+    options.local_join = strategy;
+    TouchJoin join(options);
+    VectorCollector out;
+    join.JoinWithPrebuiltTree(tree, build, probe, out, epsilon);
+    auto pairs = out.pairs();
+    std::sort(pairs.begin(), pairs.end());
+    EXPECT_EQ(pairs, oracle) << static_cast<int>(strategy);
+  }
+}
+
 TEST_F(PrebuiltTreeTest, EmptyIndexIsSafe) {
   const RTree index(Dataset{}, 32, 4);
   const TouchTree tree = TouchTree::FromRTree(index);

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Checks intra-repo markdown links (CI's docs job; stdlib only).
+
+Walks every tracked .md file, extracts inline links and images, and fails
+when a relative link points at a file that does not exist or at a heading
+anchor that no heading in the target file produces. External links
+(http/https/mailto) are deliberately not fetched: CI must not depend on the
+network, and the failure mode this guards against is repo refactors
+breaking our own references.
+
+Exit code 0 when every link resolves, 1 otherwise (one line per breakage).
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SKIP_DIRS = {".git", "build", "build-tsan", ".claude"}
+
+# Inline [text](target) and ![alt](target); target ends at the first
+# unescaped ')' (no nested parens in our docs).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def markdown_files():
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.lower().endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def github_anchor(heading):
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to dashes (good enough for the ASCII headings we write)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path, cache={}):
+    if path not in cache:
+        anchors = set()
+        counts = {}
+        in_fence = False
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                match = HEADING_RE.match(line)
+                if not match:
+                    continue
+                slug = github_anchor(match.group(1))
+                n = counts.get(slug, 0)
+                counts[slug] = n + 1
+                anchors.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = anchors
+    return cache[path]
+
+
+def check_file(md_path):
+    errors = []
+    in_fence = False
+    with open(md_path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto:, ...
+                path_part, _, anchor = target.partition("#")
+                if path_part:
+                    resolved = os.path.normpath(
+                        os.path.join(os.path.dirname(md_path), path_part))
+                else:
+                    resolved = md_path  # same-file anchor
+                rel = os.path.relpath(md_path, REPO_ROOT)
+                if not os.path.exists(resolved):
+                    errors.append(
+                        f"{rel}:{lineno}: broken link '{target}' "
+                        f"(no such file {os.path.relpath(resolved, REPO_ROOT)})")
+                    continue
+                if anchor and resolved.lower().endswith(".md"):
+                    if anchor not in anchors_of(resolved):
+                        errors.append(
+                            f"{rel}:{lineno}: broken anchor '{target}' "
+                            f"(no heading yields #{anchor})")
+    return errors
+
+
+def main():
+    all_errors = []
+    checked = 0
+    for md_path in markdown_files():
+        checked += 1
+        all_errors.extend(check_file(md_path))
+    for error in all_errors:
+        print(error)
+    print(f"checked {checked} markdown files: "
+          f"{'OK' if not all_errors else f'{len(all_errors)} broken link(s)'}")
+    return 1 if all_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,8 +10,10 @@
 //
 // Exit code 0 on success, 1 on bad usage or I/O failure.
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -51,9 +53,22 @@ struct CliOptions {
   int threads = 1;
   /// Engine index-cache cap for --algo=auto (0 = unbounded).
   size_t cache_bytes = 0;
+  /// --algo=auto: print histogram-based estimates vs measured actuals.
+  bool explain = false;
+  /// --algo=auto: measured-run feedback calibrating the planner.
+  bool calibration = true;
   bool csv = false;
   bool help = false;
 };
+
+std::string Format(const char* fmt, ...) {
+  char buffer[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
 
 /// Parses a byte count with an optional k/m/g suffix ("64m" = 64 MiB).
 /// Returns false on garbage, a bad suffix, negative input (strtoull would
@@ -102,6 +117,12 @@ void PrintUsage() {
       "  --threads=T            worker threads for the partitioned driver\n"
       "  --cache-bytes=N[kmg]   cap the --algo=auto index cache (LRU\n"
       "                         eviction; default unbounded)\n"
+      "  --explain              after each --algo=auto run, print the plan's\n"
+      "                         histogram-based estimates next to the\n"
+      "                         measured actuals\n"
+      "  --calibration=on|off   measured-run feedback: cold runs train the\n"
+      "                         planner's cost models, overriding its static\n"
+      "                         rules (default on)\n"
       "  --csv                  machine-readable output\n"
       "\n"
       "Generate mode:\n"
@@ -160,6 +181,19 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (ParseFlag(arg, "cache-bytes", &value)) {
       if (!ParseByteCount(value, &options->cache_bytes)) {
         std::fprintf(stderr, "bad --cache-bytes value: %s\n", value.c_str());
+        return false;
+      }
+    } else if (arg == "--explain") {
+      options->explain = true;
+    } else if (ParseFlag(arg, "calibration", &value)) {
+      if (value == "on" || value == "1") {
+        options->calibration = true;
+      } else if (value == "off" || value == "0") {
+        options->calibration = false;
+      } else {
+        std::fprintf(stderr,
+                     "bad --calibration value: %s (expected on|off)\n",
+                     value.c_str());
         return false;
       }
     } else {
@@ -240,6 +274,11 @@ int RunJoin(const CliOptions& options) {
   if (algorithms.size() == 1 && algorithms[0] == "all") {
     algorithms = AllAlgorithmNames();
   }
+  if (options.explain &&
+      std::find(algorithms.begin(), algorithms.end(), "auto") ==
+          algorithms.end()) {
+    std::fprintf(stderr, "note: --explain only applies to --algo=auto\n");
+  }
 
   if (options.csv) {
     std::puts(
@@ -252,27 +291,34 @@ int RunJoin(const CliOptions& options) {
                 "comparisons", "filtered", "memory(MB)", "time(s)");
   }
 
-  // Created lazily on the first "auto": the engine owns dataset copies with
-  // precomputed stats and keeps built indexes cached across repeated autos.
+  // Created eagerly when the list contains "auto": the engine owns dataset
+  // copies with precomputed stats and keeps built indexes cached across
+  // repeated autos. Fixed algorithms in a mixed list also run through it —
+  // as cold *teaching runs* (cache cleared first, so timings match the
+  // engineless path) whose measurements calibrate later autos.
   std::unique_ptr<QueryEngine> engine;
   DatasetHandle handle_a = 0;
   DatasetHandle handle_b = 0;
+  if (std::find(algorithms.begin(), algorithms.end(), "auto") !=
+      algorithms.end()) {
+    EngineOptions engine_options;
+    engine_options.max_cache_bytes = options.cache_bytes;
+    engine_options.calibration.enabled = options.calibration;
+    engine = std::make_unique<QueryEngine>(engine_options);
+    handle_a = engine->RegisterDataset("A", a);
+    handle_b = engine->RegisterDataset("B", b);
+  }
 
+  bool auto_ran = false;
   for (const std::string& name : algorithms) {
     JoinStats stats;
     CountingCollector out;
     std::string display_name = name;
     if (name == "auto") {
+      auto_ran = true;
       if (options.partitions > 0) {
         std::fprintf(stderr,
                      "note: --partitions does not apply to --algo=auto\n");
-      }
-      if (engine == nullptr) {
-        EngineOptions engine_options;
-        engine_options.max_cache_bytes = options.cache_bytes;
-        engine = std::make_unique<QueryEngine>(engine_options);
-        handle_a = engine->RegisterDataset("A", a);
-        handle_b = engine->RegisterDataset("B", b);
       }
       const JoinRequest request{handle_a, handle_b, options.epsilon};
       const JoinResult result = engine->Execute(request, out);
@@ -281,11 +327,69 @@ int RunJoin(const CliOptions& options) {
         return 1;
       }
       // Plans go to stderr in csv mode so stdout stays machine-readable.
-      std::fprintf(options.csv ? stderr : stdout, "plan: %s%s\n",
-                   result.plan.ToString().c_str(),
+      std::FILE* report = options.csv ? stderr : stdout;
+      std::fprintf(report, "plan: %s%s\n", result.plan.ToString().c_str(),
                    result.index_cache_hit ? "\n  [index cache hit]" : "");
+      if (options.explain) {
+        // Histogram-based estimates next to what the run actually measured:
+        // the planner's accuracy is inspectable per query.
+        const double measured = static_cast<double>(result.stats.results);
+        const double estimated = result.plan.expected_results;
+        std::fprintf(report,
+                     "explain: results estimated %.4g, measured %llu%s\n",
+                     estimated,
+                     static_cast<unsigned long long>(result.stats.results),
+                     measured > 0 && estimated > 0
+                         ? Format(" (%.2fx)", estimated / measured).c_str()
+                         : "");
+        if (result.plan.calibrated) {
+          std::string note = "calibrated";
+          if (result.plan.static_algorithm != result.plan.algorithm) {
+            note += ", static rule chose " + result.plan.static_algorithm;
+          }
+          std::fprintf(report,
+                       "explain: cost predicted %.4gs, measured %.4gs (%s)\n",
+                       result.plan.predicted_seconds,
+                       result.stats.total_seconds, note.c_str());
+        } else if (!engine->options().calibration.enabled) {
+          std::fprintf(report,
+                       "explain: calibration disabled (--calibration=off); "
+                       "static plan, no cost prediction\n");
+        } else {
+          std::fprintf(
+              report,
+              "explain: no calibrated cost prediction yet (%llu cold runs "
+              "recorded; families need %zu each, the static choice among "
+              "them)\n",
+              static_cast<unsigned long long>(
+                  engine->feedback().total_recorded()),
+              engine->options().calibration.min_samples);
+        }
+      }
       stats = result.stats;
       display_name = "auto:" + result.plan.algorithm;
+    } else if (engine != nullptr && options.partitions == 0) {
+      // Mixed --algo list: fixed runs are evidence for the calibrator. In
+      // the teaching phase (before the first auto) the cache is cleared so
+      // repeated fixed names each measure a cold build; once an auto has
+      // run, its cached artifacts are left alone — a later fixed run only
+      // records when it happens to be cold. Note the engine may orient a
+      // fixed join differently (build side, cache accounting) than the
+      // engineless fixed-only path, so rows are comparable within one
+      // invocation, not across the two modes.
+      if (MakeAlgorithm(name) == nullptr) {
+        std::fprintf(stderr, "%s; this CLI also accepts 'auto' and 'all'\n",
+                     UnknownAlgorithmMessage(name).c_str());
+        return 1;
+      }
+      if (!auto_ran) engine->ClearIndexCache();
+      const JoinRequest request{handle_a, handle_b, options.epsilon};
+      const JoinResult result = engine->ExecuteFixed(name, request, out);
+      if (!result.error.empty()) {
+        std::fprintf(stderr, "%s\n", result.error.c_str());
+        return 1;
+      }
+      stats = result.stats;
     } else if (options.partitions > 0) {
       PartitionedOptions popt;
       popt.partitions = options.partitions;
