@@ -156,10 +156,9 @@ void RegisterWorkload(const Workload& workload) {
         }
         uint64_t results = 0;
         for (auto _ : state) {
-          std::vector<std::future<JoinResult>> futures =
-              engine.SubmitBatch(burst);
-          for (std::future<JoinResult>& future : futures) {
-            results = future.get().stats.results;
+          BatchHandle handles = engine.SubmitBatch(burst);
+          for (RequestHandle& handle : handles.requests()) {
+            results = handle.Get().stats.results;
           }
         }
         state.counters["results"] = static_cast<double>(results);

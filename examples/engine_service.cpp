@@ -56,11 +56,11 @@ int main() {
   };
 
   Timer batch_timer;
-  std::vector<std::future<JoinResult>> futures = engine.SubmitBatch(batch);
+  BatchHandle handles = engine.SubmitBatch(batch);
 
   std::puts("\nbatch results (streamed as each future completes):");
-  for (size_t i = 0; i < futures.size(); ++i) {
-    const JoinResult result = futures[i].get();
+  for (size_t i = 0; i < handles.size(); ++i) {
+    const JoinResult result = handles[i].Get();
     if (!result.error.empty()) {
       std::printf("  [%zu] failed: %s\n", i, result.error.c_str());
       return 1;
@@ -75,6 +75,20 @@ int main() {
   }
   std::printf("batch of %zu joins in %.1f ms on %d threads\n", batch.size(),
               batch_timer.Seconds() * 1e3, engine.threads());
+
+  // --- Request lifecycle: a serving system abandons requests whose caller
+  // gave up (timeout, disconnect). Cancel() stops an executing join
+  // cooperatively within milliseconds; a request still queued completes
+  // immediately without ever occupying a worker. Cancel racing a fast join
+  // is benign — the future completes exactly once, as cancelled or, when
+  // the join won the race, with its full result. ---
+  RequestHandle doomed = engine.Submit({parcels, parcels, 2.0f});
+  doomed.Cancel();
+  const JoinResult abandoned = doomed.Get();
+  std::printf("\ncancelled request: status=%s, phase=%s%s\n",
+              RequestStatusName(abandoned.status),
+              RequestPhaseName(doomed.phase()),
+              abandoned.ok() ? "  (the join outraced the cancel)" : "");
 
   // --- Completion callbacks: fire-and-forget submission for callers that
   // push results onward instead of blocking on a future. ---

@@ -122,15 +122,18 @@ JoinStats TouchJoin::JoinWithPrebuiltTree(const TouchTree& tree,
                                           std::span<const Box> a,
                                           std::span<const Box> b,
                                           ResultCollector& out,
-                                          float probe_epsilon) {
-  return JoinOriented(a, b, /*swapped=*/false, out, &tree, probe_epsilon);
+                                          float probe_epsilon,
+                                          CancellationToken cancel) {
+  return JoinOriented(a, b, /*swapped=*/false, out, &tree, probe_epsilon,
+                      std::move(cancel));
 }
 
 JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
                                   std::span<const Box> probe, bool swapped,
                                   ResultCollector& out,
                                   const TouchTree* prebuilt,
-                                  float probe_epsilon) {
+                                  float probe_epsilon,
+                                  CancellationToken cancel) {
   JoinStats stats;
   Timer total;
   if (build.empty() || probe.empty()) {
@@ -179,6 +182,9 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
   const std::span<const TouchTree::Node> nodes = tree.nodes();
   const std::span<const uint32_t> child_ids = tree.child_ids();
   for (uint32_t probe_id = 0; probe_id < probe.size(); ++probe_id) {
+    // Cooperative cancellation, amortized over a power-of-two stride so the
+    // check costs one branch on the hot path.
+    if ((probe_id & 2047u) == 0 && cancel.stop_requested()) break;
     const Box box = ProbeBox(probe_id);
     uint32_t current = tree.root();
     ++stats.node_comparisons;
@@ -294,8 +300,9 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
         node_entities.size() >= options_.grid_min_entities &&
         node_entities.size() * 16 >= items.size();
     if (options_.local_join == LocalJoinStrategy::kGrid && !grid_pays) {
-      for (const uint32_t probe_id : node_entities) {
-        subtree_join(node_id, probe_id);
+      for (size_t i = 0; i < node_entities.size(); ++i) {
+        if ((i & 1023u) == 0 && cancel.stop_requested()) return;
+        subtree_join(node_id, node_entities[i]);
       }
       return;
     }
@@ -325,7 +332,9 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
           }
         }
       }
-      for (const uint32_t build_id : items) {
+      for (size_t item_index = 0; item_index < items.size(); ++item_index) {
+        if ((item_index & 4095u) == 0 && cancel.stop_requested()) return;
+        const uint32_t build_id = items[item_index];
         const Box& build_box = build[build_id];
         const CellRange range = grid.RangeOf(build_box);
         for (int x = range.lo.x; x <= range.hi.x; ++x) {
@@ -382,6 +391,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
       }
     };
     for (const uint32_t node_id : active_nodes) {
+      if (cancel.stop_requested()) break;
       join_node(node_id, ctx, emit);
     }
     stats.MergeCounters(ctx.stats);
@@ -404,6 +414,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
         }
       };
       while (true) {
+        if (cancel.stop_requested()) break;
         const size_t index = next_node.fetch_add(1);
         if (index >= active_nodes.size()) break;
         join_node(active_nodes[index], ctx, emit);

@@ -4,6 +4,7 @@
 #include "core/touch_tree.h"
 #include "join/algorithm.h"
 #include "join/local_join.h"
+#include "util/cancellation.h"
 
 namespace touch {
 
@@ -86,10 +87,17 @@ class TouchJoin : public SpatialJoinAlgorithm {
   /// what makes the engine's cached distance joins allocation-free. The
   /// nested-loop / plane-sweep local-join ablations still materialize one
   /// copy (and account for it in JoinStats::memory_bytes).
+  ///
+  /// `cancel` is polled cooperatively inside the assignment and local-join
+  /// loops (every few thousand objects / once per inner node): once it
+  /// fires, the join stops emitting and returns early with partial stats.
+  /// The caller decides what a partial run means (the engine flags the
+  /// request Cancelled); a default token makes every check free.
   JoinStats JoinWithPrebuiltTree(const TouchTree& tree,
                                  std::span<const Box> a,
                                  std::span<const Box> b, ResultCollector& out,
-                                 float probe_epsilon = 0.0f);
+                                 float probe_epsilon = 0.0f,
+                                 CancellationToken cancel = {});
 
   const TouchOptions& options() const { return options_; }
 
@@ -97,13 +105,14 @@ class TouchJoin : public SpatialJoinAlgorithm {
   /// Runs the three phases with `build` as the tree-building dataset and
   /// `probe` as the assigned dataset. `swapped` is true when build==B, in
   /// which case emitted pairs are flipped back to (a, b) order.
-  /// `probe_epsilon` enlarges probe boxes on the fly (see
-  /// JoinWithPrebuiltTree).
+  /// `probe_epsilon` enlarges probe boxes on the fly and `cancel` stops the
+  /// run early (see JoinWithPrebuiltTree).
   JoinStats JoinOriented(std::span<const Box> build,
                          std::span<const Box> probe, bool swapped,
                          ResultCollector& out,
                          const TouchTree* prebuilt = nullptr,
-                         float probe_epsilon = 0.0f);
+                         float probe_epsilon = 0.0f,
+                         CancellationToken cancel = {});
 
   TouchOptions options_;
 };

@@ -118,20 +118,168 @@ size_t DomainSignature(const Box& domain) {
 
 }  // namespace
 
+const char* RequestPhaseName(RequestPhase phase) {
+  switch (phase) {
+    case RequestPhase::kQueued:
+      return "queued";
+    case RequestPhase::kPlanning:
+      return "planning";
+    case RequestPhase::kBuildingIndex:
+      return "building-index";
+    case RequestPhase::kExecuting:
+      return "executing";
+    case RequestPhase::kCompleted:
+      return "completed";
+    case RequestPhase::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+const char* RequestStatusName(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kCancelled:
+      return "cancelled";
+    case RequestStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
 /// Everything one submitted request needs to execute and complete,
-/// reference-counted across the pool task and its completion notification.
-struct QueryEngine::RequestState {
+/// reference-counted across the handle, the pool task and its completion
+/// notification.
+struct internal::RequestState {
   JoinRequest request;
   std::unique_ptr<ResultSink> sink;  // may be null (count-only)
   CompletionCallback on_complete;    // may be null
   std::promise<JoinResult> promise;
   JoinResult result;
+  /// Advanced by the executing worker; the kQueued→kPlanning transition is
+  /// a CAS the worker and a prompt queued-cancel race for — exactly one of
+  /// them claims the request.
+  std::atomic<RequestPhase> phase{RequestPhase::kQueued};
+  CancellationSource cancel;
+  /// Exactly-once guard on result delivery (sink OnComplete + callback +
+  /// promise): the worker's completion notification and a prompt
+  /// queued-cancel both funnel through it.
+  std::atomic<bool> delivered{false};
 };
+
+namespace {
+
+using RequestStatePtr = std::shared_ptr<internal::RequestState>;
+
+JoinResult CancelledResult() {
+  JoinResult result;
+  result.status = RequestStatus::kCancelled;
+  return result;
+}
+
+JoinResult ErrorResult(std::string message) {
+  JoinResult result;
+  result.status = RequestStatus::kError;
+  result.error = std::move(message);
+  return result;
+}
+
+/// Delivers `result` exactly once: terminal phase, sink OnComplete,
+/// completion callback, promise — in that order. Idempotent; safe to call
+/// concurrently from the worker's completion notification and from a
+/// cancelling thread, because each caller passes a result it owns (the
+/// worker its task's state->result, a canceller a local CancelledResult) —
+/// shared request state is never mutated outside the delivery claim.
+void Deliver(const RequestStatePtr& state, JoinResult&& result) {
+  if (state->delivered.exchange(true, std::memory_order_acq_rel)) return;
+  state->phase.store(result.cancelled() ? RequestPhase::kCancelled
+                                        : RequestPhase::kCompleted,
+                     std::memory_order_release);
+  try {
+    if (state->sink) state->sink->OnComplete(result);
+  } catch (...) {
+  }
+  try {
+    if (state->on_complete) state->on_complete(result);
+  } catch (...) {
+  }
+  state->promise.set_value(std::move(result));
+  state->sink.reset();
+}
+
+/// RequestHandle::Cancel's core. Requests the cooperative stop; if the
+/// request is still queued, additionally claims it (the same CAS the worker
+/// would do) and delivers the Cancelled result right here — the future
+/// completes promptly and the pool will skip the task. The worker's
+/// completion notification may race this delivery; both sides pass their
+/// own result object and Deliver's exactly-once guard picks one.
+bool CancelRequest(const RequestStatePtr& state) {
+  if (state->delivered.load(std::memory_order_acquire)) return false;
+  const bool first = state->cancel.RequestStop();
+  RequestPhase expected = RequestPhase::kQueued;
+  if (state->phase.compare_exchange_strong(expected, RequestPhase::kCancelled,
+                                           std::memory_order_acq_rel)) {
+    Deliver(state, CancelledResult());
+  }
+  return first;
+}
+
+}  // namespace
+
+// --- RequestHandle / BatchHandle --------------------------------------------
+
+RequestHandle::RequestHandle() = default;
+RequestHandle::RequestHandle(RequestHandle&&) noexcept = default;
+RequestHandle& RequestHandle::operator=(RequestHandle&&) noexcept = default;
+RequestHandle::~RequestHandle() = default;
+
+RequestHandle::RequestHandle(std::shared_ptr<internal::RequestState> state,
+                             std::future<JoinResult> future)
+    : state_(std::move(state)), future_(std::move(future)) {}
+
+bool RequestHandle::Cancel() {
+  if (state_ == nullptr) return false;
+  return CancelRequest(state_);
+}
+
+bool RequestHandle::cancel_requested() const {
+  return state_ != nullptr && state_->cancel.stop_requested();
+}
+
+RequestPhase RequestHandle::phase() const {
+  if (state_ == nullptr) return RequestPhase::kCompleted;
+  return state_->phase.load(std::memory_order_acquire);
+}
+
+CancellationToken RequestHandle::token() const {
+  if (state_ == nullptr) return {};
+  return state_->cancel.token();
+}
+
+size_t BatchHandle::CancelAll() {
+  size_t cancelled = 0;
+  for (RequestHandle& request : requests_) {
+    if (request.Cancel()) ++cancelled;
+  }
+  return cancelled;
+}
+
+std::vector<JoinResult> BatchHandle::GetAll() {
+  std::vector<JoinResult> results;
+  results.reserve(requests_.size());
+  for (RequestHandle& request : requests_) results.push_back(request.Get());
+  return results;
+}
+
+// --- QueryEngine ------------------------------------------------------------
 
 QueryEngine::QueryEngine(const EngineOptions& options)
     : options_(options),
       planner_(options.planner),
-      cache_(options.max_cache_bytes),
+      cache_(IndexCacheOptions{options.max_cache_bytes,
+                               options.cache_admission,
+                               options.cache_ghost_entries}),
       feedback_(options.calibration.max_outcomes),
       pool_(options.threads) {}
 
@@ -154,8 +302,9 @@ void QueryEngine::RecordOutcome(const JoinRequest& request,
   // Cache hits skipped (some of) the build the cost models are fitted
   // against; the planner compares cold costs, so only fully cold runs are
   // evidence. Partial hits (one PBSM directory warm, one built) would bias
-  // the family's fit downward.
-  if (!result.error.empty() || result.index_cache_hit ||
+  // the family's fit downward — and cancelled runs stopped mid-flight, so
+  // their timings measure nothing the planner could compare.
+  if (!result.ok() || result.index_cache_hit ||
       result.partial_index_cache_hit) {
     return;
   }
@@ -181,10 +330,18 @@ void QueryEngine::RecordOutcome(const JoinRequest& request,
 
 // --- Asynchronous submission ------------------------------------------------
 
-std::future<JoinResult> QueryEngine::SubmitInternal(
-    const JoinRequest& request, std::unique_ptr<ResultSink> sink,
-    CompletionCallback on_complete) {
-  auto state = std::make_shared<RequestState>();
+void QueryEngine::EnterPhase(const ExecContext& ctx,
+                             RequestPhase phase) const {
+  if (ctx.state != nullptr) {
+    ctx.state->phase.store(phase, std::memory_order_release);
+  }
+  if (options_.phase_observer) options_.phase_observer(phase);
+}
+
+RequestHandle QueryEngine::SubmitInternal(const JoinRequest& request,
+                                          std::unique_ptr<ResultSink> sink,
+                                          CompletionCallback on_complete) {
+  auto state = std::make_shared<internal::RequestState>();
   state->request = request;
   state->sink = std::move(sink);
   state->on_complete = std::move(on_complete);
@@ -193,72 +350,76 @@ std::future<JoinResult> QueryEngine::SubmitInternal(
   // own catch blocks (e.g. bad_alloc while building the error string)
   // completes the future as a *failure*, never as a silent empty success;
   // a normal return overwrites it.
-  state->result.error = "execution failed: worker task aborted";
+  state->result = ErrorResult("execution failed: worker task aborted");
   pool_.Submit(
       [this, state] {
+        ExecContext ctx{state->cancel.token(), state.get()};
         ResultSink null_sink;  // drops pairs; stats.results still counts
         ResultCollector& out =
             state->sink ? static_cast<ResultCollector&>(*state->sink)
                         : null_sink;
-        state->result = ExecuteRequest(state->request, out);
+        state->result = ExecuteRequest(state->request, out, ctx);
       },
       // Delivery runs as the pool's completion notification so the future
-      // completes even if the task itself escaped: OnComplete first (the
-      // sink sees its final state before any waiter), then the callback,
-      // then the promise.
+      // completes even if the task itself escaped. A kCancelled phase here
+      // means the should_run claim below lost to a queued-cancel and the
+      // task never ran: state->result still holds the pre-filled error
+      // sentinel and may be racing the canceller's own delivery, so this
+      // side delivers a fresh Cancelled result instead of touching it
+      // (Deliver's exactly-once guard picks whichever side gets there
+      // first — both carry the same Cancelled content).
       [state] {
-        try {
-          if (state->sink) state->sink->OnComplete(state->result);
-        } catch (...) {
+        if (state->phase.load(std::memory_order_acquire) ==
+            RequestPhase::kCancelled) {
+          Deliver(state, CancelledResult());
+        } else {
+          Deliver(state, std::move(state->result));
         }
-        try {
-          if (state->on_complete) state->on_complete(state->result);
-        } catch (...) {
-        }
-        state->promise.set_value(std::move(state->result));
+      },
+      // Claiming the request is the worker's kQueued→kPlanning transition;
+      // losing the CAS means a queued-cancel already delivered the result,
+      // and the task is skipped without burning the worker.
+      [state] {
+        RequestPhase expected = RequestPhase::kQueued;
+        return state->phase.compare_exchange_strong(
+            expected, RequestPhase::kPlanning, std::memory_order_acq_rel);
       });
-  return future;
+  return RequestHandle(std::move(state), std::move(future));
 }
 
-std::future<JoinResult> QueryEngine::Submit(const JoinRequest& request,
-                                            std::unique_ptr<ResultSink> sink) {
+RequestHandle QueryEngine::Submit(const JoinRequest& request,
+                                  std::unique_ptr<ResultSink> sink) {
   return SubmitInternal(request, std::move(sink), nullptr);
 }
 
-void QueryEngine::Submit(const JoinRequest& request,
-                         std::unique_ptr<ResultSink> sink,
-                         CompletionCallback on_complete) {
-  SubmitInternal(request, std::move(sink), std::move(on_complete));
+RequestHandle QueryEngine::Submit(const JoinRequest& request,
+                                  std::unique_ptr<ResultSink> sink,
+                                  CompletionCallback on_complete) {
+  return SubmitInternal(request, std::move(sink), std::move(on_complete));
 }
 
-std::vector<std::future<JoinResult>> QueryEngine::SubmitBatch(
-    std::span<const JoinRequest> requests, const SinkFactory& make_sink) {
-  std::vector<std::future<JoinResult>> futures;
-  futures.reserve(requests.size());
+BatchHandle QueryEngine::SubmitBatch(std::span<const JoinRequest> requests,
+                                     const SinkFactory& make_sink) {
+  BatchHandle batch;
+  batch.requests_.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
-    futures.push_back(
+    batch.requests_.push_back(
         SubmitInternal(requests[i], make_sink ? make_sink(i) : nullptr,
                        nullptr));
   }
-  return futures;
+  return batch;
 }
 
 // --- Synchronous wrappers ---------------------------------------------------
 
 JoinResult QueryEngine::Execute(const JoinRequest& request,
                                 ResultCollector& out) {
-  return Submit(request, std::make_unique<ForwardingSink>(out)).get();
+  return Submit(request, std::make_unique<ForwardingSink>(out)).Get();
 }
 
 std::vector<JoinResult> QueryEngine::ExecuteBatch(
     std::span<const JoinRequest> requests) {
-  std::vector<std::future<JoinResult>> futures = SubmitBatch(requests);
-  std::vector<JoinResult> results;
-  results.reserve(futures.size());
-  for (std::future<JoinResult>& future : futures) {
-    results.push_back(future.get());
-  }
-  return results;
+  return SubmitBatch(requests).GetAll();
 }
 
 JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
@@ -266,15 +427,11 @@ JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
                                      ResultCollector& out) {
   if (algorithm == "auto") return Execute(request, out);
   if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
-    JoinResult result;
-    result.error = "invalid dataset handle (catalog has " +
-                   std::to_string(catalog_.size()) + " datasets)";
-    return result;
+    return ErrorResult("invalid dataset handle (catalog has " +
+                       std::to_string(catalog_.size()) + " datasets)");
   }
   if (MakeAlgorithm(algorithm) == nullptr) {
-    JoinResult result;
-    result.error = UnknownAlgorithmMessage(algorithm);
-    return result;
+    return ErrorResult(UnknownAlgorithmMessage(algorithm));
   }
   JoinPlan plan;
   plan.algorithm = algorithm;
@@ -287,58 +444,67 @@ JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
   try {
     // Fixed runs are evidence too — they are how callers (and the planner
     // benchmark) teach the calibrator about families the static rules would
-    // never pick on a workload.
-    JoinResult result = ExecutePlanned(std::move(plan), request, out);
+    // never pick on a workload. They run on the caller's thread with a
+    // default (never-cancelled) context.
+    const ExecContext ctx;
+    JoinResult result = ExecutePlanned(std::move(plan), request, out, ctx);
     RecordOutcome(request, result);
     return result;
   } catch (const std::exception& e) {
-    JoinResult result;
-    result.error = std::string("execution failed: ") + e.what();
-    return result;
+    return ErrorResult(std::string("execution failed: ") + e.what());
   }
 }
 
 // --- Execution core ---------------------------------------------------------
 
 JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
-                                       ResultCollector& out) {
+                                       ResultCollector& out,
+                                       const ExecContext& ctx) {
+  // Boundary check: cancelled while queued but claimed by the worker before
+  // the canceller could deliver promptly.
+  if (ctx.cancel.stop_requested()) return CancelledResult();
   if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
-    JoinResult result;
-    result.error = "invalid dataset handle (catalog has " +
-                   std::to_string(catalog_.size()) + " datasets)";
-    return result;
+    return ErrorResult("invalid dataset handle (catalog has " +
+                       std::to_string(catalog_.size()) + " datasets)");
   }
   // Failures (e.g. an index build running out of memory) become per-request
   // errors instead of escaping — a batch must not die for one bad join, and
   // a submitted future must always complete with a result.
   try {
-    JoinResult result = ExecutePlanned(Plan(request), request, out);
+    EnterPhase(ctx, RequestPhase::kPlanning);
+    JoinPlan plan = Plan(request);
+    // Boundary: planned → index build.
+    if (ctx.cancel.stop_requested()) return CancelledResult();
+    JoinResult result = ExecutePlanned(std::move(plan), request, out, ctx);
+    // One flag for every executor: a request whose cancel fired mid-run
+    // (the kernels bail cooperatively) or right at the end reports
+    // Cancelled — its sink may have seen partial pairs either way.
+    if (result.ok() && ctx.cancel.stop_requested()) {
+      result.status = RequestStatus::kCancelled;
+    }
     RecordOutcome(request, result);
     return result;
   } catch (const std::exception& e) {
-    JoinResult result;
-    result.error = std::string("execution failed: ") + e.what();
-    return result;
+    return ErrorResult(std::string("execution failed: ") + e.what());
   } catch (...) {
-    JoinResult result;
-    result.error = "execution failed: unknown error";
-    return result;
+    return ErrorResult("execution failed: unknown error");
   }
 }
 
 JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
                                        const JoinRequest& request,
-                                       ResultCollector& out) {
+                                       ResultCollector& out,
+                                       const ExecContext& ctx) {
   if (options_.cache_indexes) {
     if (plan.algorithm == "touch") {
-      return ExecuteTouch(std::move(plan), request, out);
+      return ExecuteTouch(std::move(plan), request, out, ctx);
     }
     if (plan.algorithm == "inl") {
-      return ExecuteInl(std::move(plan), request, out);
+      return ExecuteInl(std::move(plan), request, out, ctx);
     }
     int resolution = 0;
     if (ParsePbsmResolution(plan.algorithm, &resolution)) {
-      return ExecutePbsm(std::move(plan), request, resolution, out);
+      return ExecutePbsm(std::move(plan), request, resolution, out, ctx);
     }
   }
 
@@ -348,9 +514,13 @@ JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
   std::unique_ptr<SpatialJoinAlgorithm> algorithm =
       MakeAlgorithm(plan.algorithm, config);
   if (algorithm == nullptr) {
-    result.error = UnknownAlgorithmMessage(plan.algorithm);
-    return result;
+    return ErrorResult(UnknownAlgorithmMessage(plan.algorithm));
   }
+  // The uncached fallback path (nl, ps, the R-tree zoo) has no cooperative
+  // hooks: a cancel takes effect at the next phase boundary, i.e. after the
+  // join. The planner only sends small inputs here, so the latency gap is
+  // bounded by design.
+  EnterPhase(ctx, RequestPhase::kExecuting);
   const Dataset& a = catalog_.boxes(request.a);
   const Dataset& b = catalog_.boxes(request.b);
   // Orientation-sensitive algorithms (inl: index over the first input) get
@@ -369,7 +539,8 @@ JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
 }
 
 JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
-                                     ResultCollector& out) {
+                                     ResultCollector& out,
+                                     const ExecContext& ctx) {
   JoinResult result;
   Timer total;
   const Dataset& a = catalog_.boxes(request.a);
@@ -390,6 +561,7 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
 
   const IndexCacheKey key{build_handle, build_epsilon, leaf_capacity,
                           touch_options.fanout, ArtifactKind::kTouchTree};
+  EnterPhase(ctx, RequestPhase::kBuildingIndex);
   bool missed = false;
   const IndexCache::ArtifactPtr artifact =
       cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
@@ -406,6 +578,15 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
             std::move(boxes), std::move(tree), build_timer.Seconds());
       });
   result.index_cache_hit = !missed;
+  // Boundary: index build → execute. Builds are shared artifacts and always
+  // run to completion (the tree stays cached for other requests); a cancel
+  // that arrived mid-build takes effect here.
+  if (ctx.cancel.stop_requested()) {
+    result.status = RequestStatus::kCancelled;
+    result.plan = std::move(plan);
+    return result;
+  }
+  EnterPhase(ctx, RequestPhase::kExecuting);
   const auto* entry = static_cast<const CachedTouchIndex*>(artifact.get());
 
   const std::span<const Box> tree_boxes =
@@ -413,14 +594,16 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
                            : std::span<const Box>(entry->boxes);
   TouchJoin join(touch_options);
   if (plan.build_on_a) {
-    result.stats = join.JoinWithPrebuiltTree(entry->tree, tree_boxes, b, out);
+    result.stats = join.JoinWithPrebuiltTree(entry->tree, tree_boxes, b, out,
+                                             0.0f, ctx.cancel);
   } else {
     // The tree was built raw over B, so side A carries the distance-join
     // enlargement — applied on the fly per probe box (as the cached INL
     // path does), never as an O(|A|) copy: cache hits are allocation-free.
     SwappedCollector swapped(out);
     result.stats = join.JoinWithPrebuiltTree(entry->tree, tree_boxes, a,
-                                             swapped, request.epsilon);
+                                             swapped, request.epsilon,
+                                             ctx.cancel);
   }
   // A miss pays the build it triggered; a hit reuses the cached tree for
   // free — the productized section-4.3 shortcut.
@@ -431,7 +614,8 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
 }
 
 JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
-                                   ResultCollector& out) {
+                                   ResultCollector& out,
+                                   const ExecContext& ctx) {
   JoinResult result;
   Timer total;
   const Dataset& a = catalog_.boxes(request.a);
@@ -450,6 +634,7 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
   const IndexCacheKey key{build_handle, build_epsilon,
                           tree_options.leaf_capacity, tree_options.fanout,
                           ArtifactKind::kInlRTree};
+  EnterPhase(ctx, RequestPhase::kBuildingIndex);
   bool missed = false;
   const IndexCache::ArtifactPtr artifact =
       cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
@@ -467,6 +652,14 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
             std::move(boxes), std::move(tree), build_timer.Seconds());
       });
   result.index_cache_hit = !missed;
+  // Boundary: index build → execute (builds always run to completion and
+  // stay cached; see ExecuteTouch).
+  if (ctx.cancel.stop_requested()) {
+    result.status = RequestStatus::kCancelled;
+    result.plan = std::move(plan);
+    return result;
+  }
+  EnterPhase(ctx, RequestPhase::kExecuting);
   const auto* entry = static_cast<const CachedInlIndex*>(artifact.get());
 
   const std::span<const Box> tree_boxes =
@@ -476,6 +669,8 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
   Timer join_timer;
   if (plan.build_on_a) {
     for (uint32_t b_id = 0; b_id < b.size(); ++b_id) {
+      // Cooperative cancellation, amortized over a power-of-two stride.
+      if ((b_id & 1023u) == 0 && ctx.cancel.stop_requested()) break;
       entry->tree.Query(
           tree_boxes, b[b_id],
           [&](uint32_t a_id) {
@@ -486,6 +681,7 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
     }
   } else {
     for (uint32_t a_id = 0; a_id < a.size(); ++a_id) {
+      if ((a_id & 1023u) == 0 && ctx.cancel.stop_requested()) break;
       const Box query = request.epsilon > 0
                             ? a[a_id].Enlarged(request.epsilon)
                             : a[a_id];
@@ -508,7 +704,8 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
 }
 
 JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
-                                    int resolution, ResultCollector& out) {
+                                    int resolution, ResultCollector& out,
+                                    const ExecContext& ctx) {
   JoinResult result;
   Timer total;
   const Dataset& a = catalog_.boxes(request.a);
@@ -561,10 +758,19 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
   };
   // A's directory carries the enlargement; B's is epsilon-independent. A
   // self-join with epsilon 0 collapses both onto one cache entry.
+  EnterPhase(ctx, RequestPhase::kBuildingIndex);
   const auto dir_a = directory(request.a, request.epsilon, a, &missed_a);
   const auto dir_b = directory(request.b, 0.0f, b, &missed_b);
   result.index_cache_hit = !missed_a && !missed_b;
   result.partial_index_cache_hit = missed_a != missed_b;
+  // Boundary: index build → execute (directories always run to completion
+  // and stay cached; see ExecuteTouch).
+  if (ctx.cancel.stop_requested()) {
+    result.status = RequestStatus::kCancelled;
+    result.plan = std::move(plan);
+    return result;
+  }
+  EnterPhase(ctx, RequestPhase::kExecuting);
 
   const std::span<const Box> span_a =
       dir_a->boxes.empty() ? std::span<const Box>(a)
@@ -572,7 +778,7 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
   JoinStats& stats = result.stats;
   Timer join_timer;
   PbsmMergeJoin(span_a, dir_a->placements, b, dir_b->placements, grid,
-                LocalJoinStrategy::kPlaneSweep, &stats, out);
+                LocalJoinStrategy::kPlaneSweep, &stats, out, ctx.cancel);
   stats.join_seconds = join_timer.Seconds();
   // Both resident directories (placements + owned enlarged copies), the
   // cache's own accounting; unlike PbsmJoin::Join, no transient radix-sort

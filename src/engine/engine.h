@@ -14,8 +14,38 @@
 #include "engine/planner.h"
 #include "engine/worker_pool.h"
 #include "join/algorithm.h"
+#include "util/cancellation.h"
 
 namespace touch {
+
+/// Lifecycle phase of one submitted request, advanced by the worker thread
+/// executing it (terminal phases by whoever delivers the result). The
+/// cancellation flag is checked at every phase boundary and cooperatively
+/// inside the execution kernels, so `phase()` on a RequestHandle tells you
+/// where a cancel would currently take effect.
+enum class RequestPhase : uint8_t {
+  kQueued = 0,
+  kPlanning = 1,
+  kBuildingIndex = 2,
+  kExecuting = 3,
+  kCompleted = 4,
+  kCancelled = 5,
+};
+
+/// Short stable name ("queued", ..., "cancelled") for logs and telemetry.
+const char* RequestPhaseName(RequestPhase phase);
+
+/// Terminal status of one engine query.
+enum class RequestStatus : uint8_t {
+  kOk = 0,
+  /// The request was cancelled (handle, batch or CLI timeout) before it
+  /// finished. Stats are partial, pairs may have been partially emitted.
+  kCancelled = 1,
+  /// The request could not run; JoinResult::error says why.
+  kError = 2,
+};
+
+const char* RequestStatusName(RequestStatus status);
 
 struct EngineOptions {
   /// Worker threads for submitted requests; <= 0 uses hardware concurrency.
@@ -26,18 +56,33 @@ struct EngineOptions {
   /// productized). Off forces every query to build cold.
   bool cache_indexes = true;
   /// Byte cap on the index cache (0 = unbounded). Once resident artifacts
-  /// exceed it, least-recently-used ones are evicted; see IndexCache.
+  /// exceed it, the lowest build-cost-density ones are evicted (ties fall
+  /// back to LRU); see IndexCache.
   size_t max_cache_bytes = 0;
+  /// Ghost-list cache admission: an artifact is only retained after the
+  /// *second* build request for its key, so one-off queries cannot churn
+  /// the cache. Off (the default) admits every build. See IndexCacheOptions.
+  bool cache_admission = false;
+  /// Keys the admission ghost list remembers (only meaningful with
+  /// cache_admission on).
+  size_t cache_ghost_entries = 1024;
   /// Measured-run feedback: cold executions (including ExecuteFixed ones)
   /// are recorded into the engine's PlanFeedback store, and planning
   /// overrides the static rules with fitted per-family cost models once
   /// enough evidence accumulates. Disabling restores the purely static
   /// planner and records nothing. See CalibrationOptions.
   CalibrationOptions calibration;
+  /// Tracing/test hook: called on the executing thread as a request enters
+  /// each non-terminal phase (kPlanning, kBuildingIndex, kExecuting). Must
+  /// be fast and must not call back into the engine. Deterministic
+  /// cancellation tests park the worker here.
+  std::function<void(RequestPhase)> phase_observer;
 };
 
 /// Outcome of one engine query.
 struct JoinResult {
+  /// kOk, kCancelled (stats partial) or kError (see `error`).
+  RequestStatus status = RequestStatus::kOk;
   JoinPlan plan;
   JoinStats stats;
   /// True when the join ran entirely against cached index artifacts.
@@ -51,6 +96,9 @@ struct JoinResult {
   /// Non-empty when the request could not run (unknown algorithm name, bad
   /// dataset handle); plan and stats are meaningless then.
   std::string error;
+
+  bool ok() const { return status == RequestStatus::kOk; }
+  bool cancelled() const { return status == RequestStatus::kCancelled; }
 };
 
 /// Per-request result sink, owned by the engine for the lifetime of one
@@ -58,11 +106,14 @@ struct JoinResult {
 ///
 /// Threading contract: the engine calls Emit from exactly one worker thread
 /// (the one executing the request; calls are never concurrent), then calls
-/// OnComplete exactly once — after the final Emit, from that same thread —
-/// and finally drops its reference. A sink is never shared between
-/// requests, so implementations need no synchronization of their own;
-/// anything a sink writes is visible to whoever observes the request's
-/// future or completion callback (completion happens-after OnComplete).
+/// OnComplete exactly once — after the final Emit — and finally drops its
+/// reference. OnComplete normally runs on that same worker thread; the one
+/// exception is a request cancelled while still queued, whose Cancelled
+/// completion is delivered directly by the cancelling thread (the worker
+/// never touches the request). A sink is never shared between requests, so
+/// implementations need no synchronization of their own; anything a sink
+/// writes is visible to whoever observes the request's future or completion
+/// callback (completion happens-after OnComplete).
 class ResultSink : public ResultCollector {
  public:
   /// Default Emit drops pairs; result counts still arrive through
@@ -84,6 +135,89 @@ using CompletionCallback = std::function<void(const JoinResult&)>;
 /// count-only requests.
 using SinkFactory = std::function<std::unique_ptr<ResultSink>(size_t)>;
 
+namespace internal {
+struct RequestState;
+}  // namespace internal
+
+/// Handle of one submitted request: the result future plus the request's
+/// cancellation side. Move-only (it owns the future); safe to poll from any
+/// thread.
+///
+/// Cancellation semantics:
+///  - A request still *queued* completes immediately: Cancel() itself
+///    delivers the Cancelled result (sink OnComplete and completion
+///    callback run on the cancelling thread) and the worker pool skips the
+///    task entirely — a cancelled request never burns a worker.
+///  - A request already *executing* is stopped cooperatively: the flag is
+///    checked at every phase boundary and inside the partition/probe loops
+///    of the long local joins, so the future completes with kCancelled
+///    promptly (milliseconds) instead of after the full join.
+///  - Cancelling a *finished* request is a no-op returning false.
+/// Cancel racing completion is benign: the future completes exactly once,
+/// with either the full result or kCancelled.
+class RequestHandle {
+ public:
+  RequestHandle();
+  RequestHandle(RequestHandle&&) noexcept;
+  RequestHandle& operator=(RequestHandle&&) noexcept;
+  RequestHandle(const RequestHandle&) = delete;
+  RequestHandle& operator=(const RequestHandle&) = delete;
+  ~RequestHandle();
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// The result future (always completes; never throws engine errors —
+  /// failures arrive as JoinResult::status/error).
+  std::future<JoinResult>& future() { return future_; }
+
+  /// Blocks for and consumes the result: future().get().
+  JoinResult Get() { return future_.get(); }
+
+  /// Requests cancellation. Returns true when this call newly requested it
+  /// on a not-yet-finished request; false on repeats, finished requests and
+  /// invalid handles.
+  bool Cancel();
+
+  bool cancel_requested() const;
+
+  /// Where the request currently is (kCompleted for invalid handles).
+  RequestPhase phase() const;
+
+  /// The request's cancellation token — the same one the worker polls;
+  /// callers can hand it to their own cooperating code.
+  CancellationToken token() const;
+
+ private:
+  friend class QueryEngine;
+  RequestHandle(std::shared_ptr<internal::RequestState> state,
+                std::future<JoinResult> future);
+
+  std::shared_ptr<internal::RequestState> state_;
+  std::future<JoinResult> future_;
+};
+
+/// Handles of one submitted batch, index-aligned with the requests passed
+/// to SubmitBatch. Adds whole-batch cancellation on top of the per-request
+/// handles.
+class BatchHandle {
+ public:
+  size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+  RequestHandle& operator[](size_t i) { return requests_[i]; }
+  std::vector<RequestHandle>& requests() { return requests_; }
+
+  /// Cancels every request of the batch (each with RequestHandle::Cancel
+  /// semantics); returns how many were newly cancelled.
+  size_t CancelAll();
+
+  /// Blocks for every result, index-aligned; consumes the futures.
+  std::vector<JoinResult> GetAll();
+
+ private:
+  friend class QueryEngine;
+  std::vector<RequestHandle> requests_;
+};
+
 /// The adaptive spatial-join query engine: the layer that turns the
 /// algorithm library into a service. Datasets are registered once (stats
 /// precomputed), every join request is planned cost-based, built index
@@ -92,11 +226,20 @@ using SinkFactory = std::function<std::unique_ptr<ResultSink>(size_t)>;
 /// asynchronously on a persistent worker pool.
 ///
 /// The primary surface is asynchronous submission: Submit returns a
-/// per-request std::future that completes independently of every other
-/// request (a slow join never delays a fast one's result), with an optional
-/// engine-owned ResultSink for pair delivery and a completion-callback
-/// overload. Execute/ExecuteBatch are thin synchronous wrappers over
+/// RequestHandle — a per-request std::future that completes independently
+/// of every other request (a slow join never delays a fast one's result)
+/// plus the request's cancellation side — with an optional engine-owned
+/// ResultSink for pair delivery and a completion-callback overload.
+/// Execute/ExecuteBatch are thin synchronous wrappers over
 /// Submit/SubmitBatch.
+///
+/// Request lifecycle: queued → planning → building-index → executing →
+/// completed, with cancelled reachable from every non-terminal phase. The
+/// cancellation flag is checked at each boundary and cooperatively inside
+/// the partition/probe loops of the local joins; index builds are shared
+/// artifacts and always run to completion (a cancel arriving mid-build
+/// takes effect at the next boundary, and the artifact stays cached for
+/// other requests).
 ///
 /// Threading contract: RegisterDataset must not race with queries; Plan,
 /// Submit, SubmitBatch and the synchronous wrappers may all run
@@ -117,27 +260,31 @@ class QueryEngine {
 
   // --- Asynchronous submission -------------------------------------------
 
-  /// Enqueues the request and returns a future that completes when the join
-  /// finishes — independently of any other request. `sink` (optional)
-  /// receives every result pair and then OnComplete; the engine owns it
-  /// until completion. Failures complete the future with
-  /// JoinResult::error set; the future never throws and always completes
-  /// (the engine's destructor drains outstanding requests).
-  std::future<JoinResult> Submit(const JoinRequest& request,
-                                 std::unique_ptr<ResultSink> sink = nullptr);
+  /// Enqueues the request and returns a handle whose future completes when
+  /// the join finishes — independently of any other request — and whose
+  /// Cancel() abandons it (see RequestHandle for the lifecycle semantics).
+  /// `sink` (optional) receives every result pair and then OnComplete; the
+  /// engine owns it until completion. Failures complete the future with
+  /// JoinResult::status = kError; the future never throws and always
+  /// completes (the engine's destructor drains outstanding requests).
+  RequestHandle Submit(const JoinRequest& request,
+                       std::unique_ptr<ResultSink> sink = nullptr);
 
-  /// Completion-callback overload: `on_complete` runs on the worker thread
-  /// right after the sink's OnComplete, instead of a future.
-  void Submit(const JoinRequest& request, std::unique_ptr<ResultSink> sink,
-              CompletionCallback on_complete);
+  /// Completion-callback overload: `on_complete` runs on the delivering
+  /// thread right after the sink's OnComplete, in addition to the handle's
+  /// future.
+  RequestHandle Submit(const JoinRequest& request,
+                       std::unique_ptr<ResultSink> sink,
+                       CompletionCallback on_complete);
 
-  /// Submits every request at once; the returned futures (index-aligned
+  /// Submits every request at once; the returned handles (index-aligned
   /// with `requests`) complete independently as each request finishes, so
-  /// callers stream results instead of waiting for the whole batch.
+  /// callers stream results instead of waiting for the whole batch — and
+  /// can cancel individual requests or the whole batch (CancelAll).
   /// `make_sink(i)`, when given, supplies the engine-owned sink of
   /// requests[i].
-  std::vector<std::future<JoinResult>> SubmitBatch(
-      std::span<const JoinRequest> requests, const SinkFactory& make_sink = {});
+  BatchHandle SubmitBatch(std::span<const JoinRequest> requests,
+                          const SinkFactory& make_sink = {});
 
   // --- Synchronous wrappers (implemented on Submit) ----------------------
 
@@ -181,24 +328,36 @@ class QueryEngine {
   int threads() const { return pool_.thread_count(); }
 
  private:
-  struct RequestState;
+  /// Cancellation token plus (for submitted requests) the shared state the
+  /// phase transitions are published through; synchronous fixed runs use a
+  /// default-constructed context (never cancelled, no phase publishing).
+  struct ExecContext {
+    CancellationToken cancel;
+    internal::RequestState* state = nullptr;
+  };
 
-  std::future<JoinResult> SubmitInternal(const JoinRequest& request,
-                                         std::unique_ptr<ResultSink> sink,
-                                         CompletionCallback on_complete);
+  RequestHandle SubmitInternal(const JoinRequest& request,
+                               std::unique_ptr<ResultSink> sink,
+                               CompletionCallback on_complete);
+  /// Publishes a phase transition (request state + phase_observer).
+  void EnterPhase(const ExecContext& ctx, RequestPhase phase) const;
   /// The per-request core every path funnels into: validates, plans,
-  /// executes, converts failures into JoinResult::error.
-  JoinResult ExecuteRequest(const JoinRequest& request, ResultCollector& out);
+  /// executes, converts failures into JoinResult::error and cooperative
+  /// cancellation into status = kCancelled.
+  JoinResult ExecuteRequest(const JoinRequest& request, ResultCollector& out,
+                            const ExecContext& ctx);
   JoinResult ExecutePlanned(JoinPlan plan, const JoinRequest& request,
-                            ResultCollector& out);
+                            ResultCollector& out, const ExecContext& ctx);
   JoinResult ExecuteTouch(JoinPlan plan, const JoinRequest& request,
-                          ResultCollector& out);
+                          ResultCollector& out, const ExecContext& ctx);
   JoinResult ExecuteInl(JoinPlan plan, const JoinRequest& request,
-                        ResultCollector& out);
+                        ResultCollector& out, const ExecContext& ctx);
   JoinResult ExecutePbsm(JoinPlan plan, const JoinRequest& request,
-                         int resolution, ResultCollector& out);
+                         int resolution, ResultCollector& out,
+                         const ExecContext& ctx);
   /// Feeds one finished request's measurements into the feedback store
-  /// (cold runs only; no-op when calibration is disabled or the run failed).
+  /// (fully cold, successful runs only; cancelled runs have partial stats
+  /// and are never evidence).
   void RecordOutcome(const JoinRequest& request, const JoinResult& result);
 
   EngineOptions options_;

@@ -1,5 +1,8 @@
 #include "engine/index_cache.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace touch {
 
 const char* ArtifactKindName(ArtifactKind kind) {
@@ -14,6 +17,27 @@ const char* ArtifactKindName(ArtifactKind kind) {
   return "unknown";
 }
 
+bool IndexCache::AdmitMissLocked(const IndexCacheKey& key) {
+  if (!options_.admission) return true;
+  const auto ghost = ghost_index_.find(key);
+  if (ghost != ghost_index_.end()) {
+    // Second build request for this key: admit, and forget the ghost (a
+    // later re-miss after eviction starts the admission cycle over).
+    ghost_.erase(ghost->second);
+    ghost_index_.erase(ghost);
+    return true;
+  }
+  // First sighting: reject, but remember the key so the next request for it
+  // proves the artifact is not a one-off.
+  ghost_.push_front(key);
+  ghost_index_.emplace(key, ghost_.begin());
+  while (ghost_.size() > std::max<size_t>(1, options_.ghost_capacity)) {
+    ghost_index_.erase(ghost_.back());
+    ghost_.pop_back();
+  }
+  return false;
+}
+
 IndexCache::ArtifactPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
                                                const Builder& build) {
   std::promise<ArtifactPtr> promise;
@@ -24,18 +48,29 @@ IndexCache::ArtifactPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      // Only a hit on a *completed* entry saved its build time; a
+      // single-flight waiter on an in-flight build spends the build's
+      // wall-clock blocked on the future and saves nothing.
+      const bool was_ready = it->second.ready;
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       future = it->second.future;
       lock.unlock();
-      return future.get();  // blocks while another thread still builds
+      ArtifactPtr artifact = future.get();  // blocks while another builds
+      if (was_ready) {
+        std::lock_guard<std::mutex> relock(mutex_);
+        cost_saved_seconds_ += artifact->build_seconds;
+      }
+      return artifact;
     }
     ++misses_;
+    const bool admitted = AdmitMissLocked(key);
     ticket = next_ticket_++;
     future = promise.get_future().share();
     lru_.push_front(key);
     Entry entry;
     entry.future = future;
     entry.ticket = ticket;
+    entry.admitted = admitted;
     entry.lru_pos = lru_.begin();
     entries_.emplace(key, std::move(entry));
   }
@@ -63,26 +98,56 @@ IndexCache::ArtifactPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second.ticket == ticket) {
-      it->second.bytes = artifact->MemoryUsageBytes();
-      it->second.ready = true;
-      bytes_ += it->second.bytes;
-      EvictOverCapLocked();
+      if (!it->second.admitted) {
+        // Admission rejected this build at miss time: the entry existed
+        // only to single-flight concurrent requests. Waiters already hold
+        // the shared future (the value is set), so dropping the entry now
+        // serves everyone and retains nothing.
+        ++admission_rejects_;
+        lru_.erase(it->second.lru_pos);
+        entries_.erase(it);
+      } else {
+        it->second.bytes = artifact->MemoryUsageBytes();
+        it->second.cost_density =
+            artifact->build_seconds /
+            static_cast<double>(std::max<size_t>(1, it->second.bytes));
+        it->second.ready = true;
+        bytes_ += it->second.bytes;
+        EvictOverCapLocked();
+      }
     }
   }
   return artifact;
 }
 
 void IndexCache::EvictOverCapLocked() {
-  if (max_bytes_ == 0) return;
-  auto it = lru_.end();
-  while (bytes_ > max_bytes_ && it != lru_.begin()) {
-    --it;
-    auto entry = entries_.find(*it);
-    if (!entry->second.ready) continue;  // still building; never evicted
-    bytes_ -= entry->second.bytes;
+  if (options_.max_bytes == 0 || bytes_ <= options_.max_bytes) return;
+  // Victims: completed entries, cheapest-to-rebuild-per-byte first, ties
+  // least-recently-used first. One scan + one sort under the lock, however
+  // many entries the overshoot costs (an eviction burst must not rescan
+  // the table per victim while every lookup waits on the mutex).
+  struct Candidate {
+    double cost_density;
+    std::map<IndexCacheKey, Entry>::iterator entry;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(entries_.size());
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {  // LRU-tail first
+    const auto entry = entries_.find(*it);
+    if (entry->second.ready) {
+      candidates.push_back({entry->second.cost_density, entry});
+    }
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& x, const Candidate& y) {
+                     return x.cost_density < y.cost_density;
+                   });
+  for (const Candidate& victim : candidates) {
+    if (bytes_ <= options_.max_bytes) return;
+    bytes_ -= victim.entry->second.bytes;
     ++evictions_;
-    entries_.erase(entry);
-    it = lru_.erase(it);
+    lru_.erase(victim.entry->second.lru_pos);
+    entries_.erase(victim.entry);
   }
 }
 
@@ -92,9 +157,11 @@ IndexCache::Stats IndexCache::stats() const {
   stats.hits = hits_;
   stats.misses = misses_;
   stats.evictions = evictions_;
+  stats.admission_rejects = admission_rejects_;
   stats.entries = entries_.size();
   stats.bytes = bytes_;
-  stats.capacity_bytes = max_bytes_;
+  stats.capacity_bytes = options_.max_bytes;
+  stats.cost_saved_seconds = cost_saved_seconds_;
   return stats;
 }
 
@@ -102,6 +169,8 @@ void IndexCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   lru_.clear();
+  ghost_.clear();
+  ghost_index_.clear();
   bytes_ = 0;
 }
 

@@ -64,38 +64,71 @@ struct CachedArtifact {
   virtual ~CachedArtifact() = default;
 
   /// Exact bytes the artifact occupies (structures plus any owned box
-  /// copies). Drives the LRU byte accounting; must not change after the
-  /// builder returns.
+  /// copies). Drives the byte accounting and the eviction weight's
+  /// denominator; must not change after the builder returns.
   virtual size_t MemoryUsageBytes() const = 0;
 
   /// Wall-clock seconds the build cost (reported as build_seconds by the
   /// query that missed; cache hits report 0, the productized form of the
-  /// paper's section-4.3 prebuilt-index shortcut).
+  /// paper's section-4.3 prebuilt-index shortcut). Also the eviction
+  /// weight's numerator and the unit of Stats::cost_saved_seconds.
   double build_seconds = 0;
+};
+
+/// Retention policy of an IndexCache. The defaults reproduce the original
+/// admit-everything behavior; serving deployments with artifact churn turn
+/// `admission` on (EngineOptions::cache_admission).
+struct IndexCacheOptions {
+  /// Byte cap on resident completed artifacts (0 = unbounded).
+  size_t max_bytes = 0;
+  /// Ghost-list admission: a key's *first* build is served to its query but
+  /// not retained — only the second build request for the same key admits
+  /// the artifact. One-off queries (ad-hoc epsilon, never-repeated dataset
+  /// pairs) then cannot evict artifacts a steady workload keeps re-hitting.
+  bool admission = false;
+  /// Keys the ghost list remembers (the "seen once" set, FIFO-evicted).
+  /// A key must be re-requested while still remembered to be admitted.
+  size_t ghost_capacity = 1024;
 };
 
 /// Thread-safe cache of built index artifacts, shared by all queries of an
 /// engine. Concurrent requests for the same key build once: the first miss
 /// installs a future the others block on.
 ///
-/// Capacity: with `max_bytes > 0` the cache evicts least-recently-used
-/// *completed* entries once the total exceeds the cap (entries still being
-/// built are never evicted; an artifact larger than the whole cap is evicted
-/// immediately after being returned, so it serves its one query but is not
-/// retained). Eviction only drops the cache's reference — queries holding
-/// the shared_ptr keep using the artifact safely.
+/// Capacity: with `max_bytes > 0` the cache evicts *completed* entries once
+/// the total exceeds the cap (entries still being built are never evicted).
+/// The victim is the entry with the lowest build-cost density —
+/// `build_seconds / MemoryUsageBytes()`, i.e. the artifact that is cheapest
+/// to rebuild per byte it occupies — with ties broken least-recently-used
+/// first, so equal-cost artifacts degrade to plain byte-LRU. An artifact
+/// larger than the whole cap is evicted immediately after being returned:
+/// it serves its one query but is not retained. Eviction only drops the
+/// cache's reference — queries holding the shared_ptr keep using the
+/// artifact safely.
+///
+/// Admission: see IndexCacheOptions. A rejected build still gets
+/// single-flight treatment (concurrent requests for the key share the one
+/// build) and still serves every waiter; it is simply not retained
+/// afterwards, and the key is remembered in the ghost list so the next
+/// request for it is admitted.
 class IndexCache {
  public:
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
-    /// Entries dropped by the LRU capacity policy (Clear() is not counted).
+    /// Entries dropped by the capacity policy (Clear() is not counted).
     uint64_t evictions = 0;
+    /// Builds that completed but were not retained because their key had
+    /// not been seen before (admission policy; 0 with admission off).
+    uint64_t admission_rejects = 0;
     size_t entries = 0;
     /// Bytes of all completed entries currently resident.
     size_t bytes = 0;
     /// The configured cap (0 = unbounded).
     size_t capacity_bytes = 0;
+    /// Accumulated build_seconds of every hit: the wall-clock rebuild work
+    /// the cache saved its queries so far.
+    double cost_saved_seconds = 0;
 
     /// Hits over lookups, 0 when nothing was looked up yet.
     double HitRate() const {
@@ -107,8 +140,12 @@ class IndexCache {
   using ArtifactPtr = std::shared_ptr<const CachedArtifact>;
   using Builder = std::function<ArtifactPtr()>;
 
-  /// `max_bytes` caps resident artifact bytes (0 = unbounded).
-  explicit IndexCache(size_t max_bytes = 0) : max_bytes_(max_bytes) {}
+  /// `max_bytes` caps resident artifact bytes (0 = unbounded); admission
+  /// stays off — the historical constructor.
+  explicit IndexCache(size_t max_bytes = 0)
+      : IndexCache(IndexCacheOptions{max_bytes, false, 1024}) {}
+
+  explicit IndexCache(const IndexCacheOptions& options) : options_(options) {}
 
   /// Returns the artifact for `key`, invoking `build` on a miss. `build`
   /// runs outside the cache lock, so independent keys build concurrently.
@@ -117,36 +154,56 @@ class IndexCache {
   ArtifactPtr GetOrBuild(const IndexCacheKey& key, const Builder& build);
 
   Stats stats() const;
+
+  /// Drops every entry and the ghost list's memory of rejected keys.
   void Clear();
 
-  size_t max_bytes() const { return max_bytes_; }
+  size_t max_bytes() const { return options_.max_bytes; }
+  const IndexCacheOptions& options() const { return options_; }
 
  private:
   struct Entry {
     std::shared_future<ArtifactPtr> future;
     /// MemoryUsageBytes() of the finished artifact; 0 while building.
     size_t bytes = 0;
+    /// Eviction weight: build_seconds / bytes of the finished artifact.
+    double cost_density = 0;
     /// False while the builder is still running; such entries are skipped
     /// by eviction and by the completion bookkeeping of stale builders.
     bool ready = false;
+    /// False when the admission policy decided not to retain this build:
+    /// the entry exists only for single-flight and is erased on completion.
+    bool admitted = true;
     /// Guards against a builder finishing after Clear() re-created its key:
     /// completion bookkeeping only applies when the ticket still matches.
     uint64_t ticket = 0;
     std::list<IndexCacheKey>::iterator lru_pos;
   };
 
-  /// Drops LRU completed entries until bytes_ <= max_bytes_. Lock held.
+  /// Admission decision for a miss on `key`. True admits (key was in the
+  /// ghost list, or admission is off); false rejects and remembers the key.
+  /// Lock held.
+  bool AdmitMissLocked(const IndexCacheKey& key);
+
+  /// Drops lowest-cost-density completed entries until bytes_ <= max_bytes.
+  /// Lock held.
   void EvictOverCapLocked();
 
-  const size_t max_bytes_;
+  const IndexCacheOptions options_;
   mutable std::mutex mutex_;
   std::map<IndexCacheKey, Entry> entries_;
   /// Front = most recently used. Every map entry owns one list node.
   std::list<IndexCacheKey> lru_;
+  /// Ghost list: keys whose first build was rejected. Front = newest;
+  /// ghost_index_ maps a key to its list node for O(log n) membership.
+  std::list<IndexCacheKey> ghost_;
+  std::map<IndexCacheKey, std::list<IndexCacheKey>::iterator> ghost_index_;
   uint64_t next_ticket_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  uint64_t admission_rejects_ = 0;
+  double cost_saved_seconds_ = 0;
   size_t bytes_ = 0;
 };
 

@@ -29,10 +29,12 @@ void WorkerPool::Submit(std::function<void()> task) {
 }
 
 void WorkerPool::Submit(std::function<void()> task,
-                        std::function<void()> on_done) {
+                        std::function<void()> on_done,
+                        std::function<bool()> should_run) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(Task{std::move(task), std::move(on_done)});
+    queue_.push_back(
+        Task{std::move(task), std::move(on_done), std::move(should_run)});
     ++in_flight_;
   }
   work_available_.notify_one();
@@ -57,9 +59,10 @@ void WorkerPool::WorkerLoop() {
     // Tasks own their error reporting (the engine converts failures into
     // JoinResult::error); an escaping exception must not take down the pool
     // thread or leave in_flight_ stuck for WaitIdle. on_done runs either
-    // way — completion must reach waiters even when the task failed.
+    // way — completion must reach waiters even when the task failed or was
+    // skipped by its should_run condition.
     try {
-      task.run();
+      if (!task.should_run || task.should_run()) task.run();
     } catch (...) {
     }
     if (task.on_done) {

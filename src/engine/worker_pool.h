@@ -34,7 +34,14 @@ class WorkerPool {
   /// it throws, so completion is delivered even for failing tasks. This is
   /// what lets the engine complete per-request futures without waiting for
   /// a whole batch to drain.
-  void Submit(std::function<void()> task, std::function<void()> on_done);
+  ///
+  /// `should_run` (optional) makes the task conditional: the worker calls
+  /// it once, right before running the task, outside the queue lock. When
+  /// it returns false the task body is skipped entirely and the worker goes
+  /// straight to `on_done` — a task obsoleted while queued (a cancelled
+  /// request) costs the pool a function call, not an execution.
+  void Submit(std::function<void()> task, std::function<void()> on_done,
+              std::function<bool()> should_run = nullptr);
 
   /// Blocks until every task submitted so far has finished (tasks enqueued
   /// by other threads while waiting extend the wait).
@@ -43,7 +50,8 @@ class WorkerPool {
  private:
   struct Task {
     std::function<void()> run;
-    std::function<void()> on_done;  // may be null
+    std::function<void()> on_done;     // may be null
+    std::function<bool()> should_run;  // may be null (always run)
   };
 
   void WorkerLoop();

@@ -85,7 +85,8 @@ void PbsmMergeJoin(std::span<const Box> a,
                    std::span<const Box> b,
                    std::span<const PbsmPlacement> placements_b,
                    const GridMapper& grid, LocalJoinStrategy local_join,
-                   JoinStats* stats, ResultCollector& out) {
+                   JoinStats* stats, ResultCollector& out,
+                   CancellationToken cancel) {
   // Merge the two sorted runs on the cell key; every cell present in both
   // sides gets a local join. Replication would report a pair once per shared
   // cell, so only the cell containing the pair's reference point emits it
@@ -94,7 +95,11 @@ void PbsmMergeJoin(std::span<const Box> a,
   std::vector<uint32_t> ids_b;
   size_t ia = 0;
   size_t ib = 0;
+  uint64_t merge_steps = 0;
   while (ia < placements_a.size() && ib < placements_b.size()) {
+    // Cooperative cancellation on the cheap skip-advance fast path is
+    // amortized over a power-of-two stride (one branch per step).
+    if ((merge_steps++ & 4095u) == 0 && cancel.stop_requested()) return;
     const uint64_t key_a = placements_a[ia].key;
     const uint64_t key_b = placements_b[ib].key;
     if (key_a < key_b) {
@@ -105,6 +110,10 @@ void PbsmMergeJoin(std::span<const Box> a,
       ++ib;
       continue;
     }
+    // Every joined cell runs a full local join — the expensive step — so
+    // it polls unamortized: cancel latency is bounded by one cell's join,
+    // not 4096 of them.
+    if (cancel.stop_requested()) return;
     const uint64_t key = key_a;
     ids_a.clear();
     ids_b.clear();

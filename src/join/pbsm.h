@@ -6,6 +6,7 @@
 #include "geom/grid.h"
 #include "join/algorithm.h"
 #include "join/local_join.h"
+#include "util/cancellation.h"
 
 namespace touch {
 
@@ -41,13 +42,16 @@ std::vector<PbsmPlacement> BuildPbsmPlacements(std::span<const Box> boxes,
 /// the SAME grid), running a local join in every cell occupied by both sides
 /// and deduplicating replicated pairs with the reference-point method. Fills
 /// stats->results/comparisons and emits into `out`; phase timings and memory
-/// are the caller's job.
+/// are the caller's job. `cancel` is polled once per joined cell: when it
+/// fires the merge returns early with whatever it had emitted so far (the
+/// engine flags such runs Cancelled).
 void PbsmMergeJoin(std::span<const Box> a,
                    std::span<const PbsmPlacement> placements_a,
                    std::span<const Box> b,
                    std::span<const PbsmPlacement> placements_b,
                    const GridMapper& grid, LocalJoinStrategy local_join,
-                   JoinStats* stats, ResultCollector& out);
+                   JoinStats* stats, ResultCollector& out,
+                   CancellationToken cancel = {});
 
 /// Partition Based Spatial-Merge join (Patel & DeWitt, SIGMOD'96; paper
 /// section 2.2.3), run fully in memory.

@@ -1,0 +1,68 @@
+#ifndef TOUCH_UTIL_CANCELLATION_H_
+#define TOUCH_UTIL_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace touch {
+
+namespace internal {
+struct CancelFlag {
+  std::atomic<bool> requested{false};
+};
+}  // namespace internal
+
+/// std::stop_token-style cooperative cancellation flag, shared between the
+/// issuer (CancellationSource) and any number of observers. Tokens are
+/// cheap value types (one shared_ptr); a default-constructed token can
+/// never be cancelled — stop_requested() is a null check — so hot loops can
+/// take a token unconditionally and pay nothing when cancellation is not in
+/// play. Long-running kernels poll it at loop strides (every few thousand
+/// iterations) and bail out early; whatever they produced so far stays
+/// valid but incomplete.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  /// True once the owning source requested cancellation. Monotonic: never
+  /// resets to false.
+  bool stop_requested() const {
+    return flag_ != nullptr &&
+           flag_->requested.load(std::memory_order_acquire);
+  }
+
+  /// False for default-constructed tokens, which can never be cancelled.
+  bool stop_possible() const { return flag_ != nullptr; }
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<const internal::CancelFlag> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const internal::CancelFlag> flag_;
+};
+
+/// The issuing side: owns the flag, hands out tokens, flips the flag once.
+class CancellationSource {
+ public:
+  CancellationSource() : flag_(std::make_shared<internal::CancelFlag>()) {}
+
+  CancellationToken token() const { return CancellationToken(flag_); }
+
+  /// Requests cancellation; returns true when this call was the first to do
+  /// so (idempotent afterwards).
+  bool RequestStop() {
+    return !flag_->requested.exchange(true, std::memory_order_acq_rel);
+  }
+
+  bool stop_requested() const {
+    return flag_->requested.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<internal::CancelFlag> flag_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_UTIL_CANCELLATION_H_

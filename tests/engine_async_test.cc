@@ -69,10 +69,12 @@ TEST_F(QueryEngineAsyncTest, SubmitFutureDeliversSameResultAsExecute) {
   const JoinRequest request{a, b, 2.0f};
 
   SinkLog log;
-  std::future<JoinResult> future =
+  RequestHandle handle =
       engine.Submit(request, std::make_unique<RecordingSink>(&log));
-  const JoinResult async_result = future.get();
+  const JoinResult async_result = handle.Get();
   ASSERT_TRUE(async_result.error.empty());
+  EXPECT_TRUE(async_result.ok());
+  EXPECT_EQ(handle.phase(), RequestPhase::kCompleted);
 
   VectorCollector sync;
   const JoinResult sync_result = engine.Execute(request, sync);
@@ -112,20 +114,20 @@ TEST_F(QueryEngineAsyncTest, SlowRequestDoesNotBlockAFastOnesFuture) {
   };
 
   std::promise<void> release;
-  std::future<JoinResult> slow = engine.Submit(
+  RequestHandle slow = engine.Submit(
       {a, b, 2.0f},
       std::make_unique<BlockingSink>(release.get_future().share()));
 
   // The fast request completes while the slow one is still parked.
-  std::future<JoinResult> fast = engine.Submit({a, a, 0.5f});
-  EXPECT_EQ(fast.wait_for(std::chrono::seconds(30)),
+  RequestHandle fast = engine.Submit({a, a, 0.5f});
+  EXPECT_EQ(fast.future().wait_for(std::chrono::seconds(30)),
             std::future_status::ready);
-  EXPECT_TRUE(fast.get().error.empty());
-  EXPECT_EQ(slow.wait_for(std::chrono::milliseconds(0)),
+  EXPECT_TRUE(fast.Get().error.empty());
+  EXPECT_EQ(slow.future().wait_for(std::chrono::milliseconds(0)),
             std::future_status::timeout);
 
   release.set_value();
-  EXPECT_TRUE(slow.get().error.empty());
+  EXPECT_TRUE(slow.Get().error.empty());
 }
 
 TEST_F(QueryEngineAsyncTest, CallbackOverloadRunsAfterSinkCompletion) {
@@ -153,10 +155,10 @@ TEST_F(QueryEngineAsyncTest, SubmitBatchFuturesAreIndexAligned) {
       {a, b, 2.0f}, {b, a, 1.0f}, {a, a, 0.5f}, {a, b, 2.0f}};
 
   std::vector<SinkLog> logs(requests.size());
-  std::vector<std::future<JoinResult>> futures = engine.SubmitBatch(
+  BatchHandle batch = engine.SubmitBatch(
       requests,
       [&logs](size_t i) { return std::make_unique<RecordingSink>(&logs[i]); });
-  ASSERT_EQ(futures.size(), requests.size());
+  ASSERT_EQ(batch.size(), requests.size());
 
   QueryEngine reference;
   const DatasetHandle ra = reference.RegisterDataset("small", small_);
@@ -164,7 +166,7 @@ TEST_F(QueryEngineAsyncTest, SubmitBatchFuturesAreIndexAligned) {
   const std::vector<JoinRequest> reference_requests = {
       {ra, rb, 2.0f}, {rb, ra, 1.0f}, {ra, ra, 0.5f}, {ra, rb, 2.0f}};
   for (size_t i = 0; i < requests.size(); ++i) {
-    const JoinResult result = futures[i].get();
+    const JoinResult result = batch[i].Get();
     ASSERT_TRUE(result.error.empty()) << i;
     CountingCollector expected;
     reference.Execute(reference_requests[i], expected);

@@ -11,14 +11,18 @@
 namespace touch {
 namespace {
 
-/// Minimal artifact for cache-policy tests: a fixed byte size and a payload
-/// identifying which build produced it.
+/// Minimal artifact for cache-policy tests: a fixed byte size, a payload
+/// identifying which build produced it, and an optional build cost driving
+/// the cost-aware eviction weight.
 struct TestArtifact : CachedArtifact {
   size_t bytes;
   int payload;
 
-  TestArtifact(size_t bytes_in, int payload_in)
-      : bytes(bytes_in), payload(payload_in) {}
+  TestArtifact(size_t bytes_in, int payload_in, double build_seconds_in = 0) {
+    bytes = bytes_in;
+    payload = payload_in;
+    build_seconds = build_seconds_in;
+  }
   size_t MemoryUsageBytes() const override { return bytes; }
 };
 
@@ -28,10 +32,11 @@ IndexCacheKey Key(DatasetHandle dataset, float epsilon = 0.0f,
   return IndexCacheKey{dataset, epsilon, shape_a, shape_b, kind};
 }
 
-IndexCache::Builder Build(size_t bytes, int payload, int* builds = nullptr) {
+IndexCache::Builder Build(size_t bytes, int payload, int* builds = nullptr,
+                          double build_seconds = 0) {
   return [=]() -> IndexCache::ArtifactPtr {
     if (builds != nullptr) ++*builds;
-    return std::make_shared<TestArtifact>(bytes, payload);
+    return std::make_shared<TestArtifact>(bytes, payload, build_seconds);
   };
 }
 
@@ -177,6 +182,98 @@ TEST(IndexCacheTest, ConcurrentGetOrBuildKeepsByteAccountingExact) {
             static_cast<uint64_t>(kThreads) * kIterations);
   // Evictions happened (8 keys cannot fit in 4 slots) and are counted.
   EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(IndexCacheTest, CostAwareEvictionKeepsExpensiveBuildsOverRecentCheapOnes) {
+  // Same bytes, different build cost. Pure LRU would evict the *expensive*
+  // artifact (it is the least recently used); the cost-aware weight
+  // (build_seconds / bytes) evicts the cheap one instead — it can be
+  // rebuilt for free, the expensive one cannot.
+  IndexCache cache(/*max_bytes=*/250);
+  cache.GetOrBuild(Key(0), Build(100, 0, nullptr, /*build_seconds=*/1.0));
+  cache.GetOrBuild(Key(1), Build(100, 1, nullptr, /*build_seconds=*/0.0));
+  cache.GetOrBuild(Key(1), Build(100, -1));  // touch: key 0 is now LRU
+
+  cache.GetOrBuild(Key(2), Build(100, 2, nullptr, /*build_seconds=*/0.5));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  int builds_0 = 0;
+  int builds_1 = 0;
+  // The expensive key 0 survived despite being least recently used...
+  EXPECT_EQ(Payload(cache.GetOrBuild(Key(0), Build(100, -1, &builds_0))), 0);
+  EXPECT_EQ(builds_0, 0);
+  // ...and the zero-cost key 1 was the victim.
+  EXPECT_EQ(Payload(cache.GetOrBuild(Key(1), Build(100, 11, &builds_1))), 11);
+  EXPECT_EQ(builds_1, 1);
+}
+
+TEST(IndexCacheTest, HitsAccumulateCostSavedTelemetry) {
+  IndexCache cache;
+  cache.GetOrBuild(Key(0), Build(100, 0, nullptr, /*build_seconds=*/2.0));
+  EXPECT_DOUBLE_EQ(cache.stats().cost_saved_seconds, 0.0);
+  cache.GetOrBuild(Key(0), Build(100, -1));
+  cache.GetOrBuild(Key(0), Build(100, -1));
+  EXPECT_DOUBLE_EQ(cache.stats().cost_saved_seconds, 4.0);
+}
+
+TEST(IndexCacheTest, AdmissionRejectsFirstBuildAndAdmitsSecond) {
+  IndexCache cache(IndexCacheOptions{0, /*admission=*/true, 16});
+  int builds = 0;
+
+  // First request: served, counted as a rejected admission, not retained.
+  EXPECT_EQ(Payload(cache.GetOrBuild(Key(0), Build(50, 1, &builds))), 1);
+  EXPECT_EQ(builds, 1);
+  IndexCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(stats.admission_rejects, 1u);
+
+  // Second request: the ghost list remembers the key — build again, retain.
+  EXPECT_EQ(Payload(cache.GetOrBuild(Key(0), Build(50, 2, &builds))), 2);
+  EXPECT_EQ(builds, 2);
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 50u);
+  EXPECT_EQ(stats.admission_rejects, 1u);
+
+  // Third request: a plain hit.
+  EXPECT_EQ(Payload(cache.GetOrBuild(Key(0), Build(50, 3, &builds))), 2);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(IndexCacheTest, GhostListForgetsKeysBeyondItsCapacity) {
+  IndexCache cache(IndexCacheOptions{0, /*admission=*/true,
+                                     /*ghost_capacity=*/2});
+  int builds = 0;
+  cache.GetOrBuild(Key(0), Build(10, 0, &builds));  // ghost: [0]
+  cache.GetOrBuild(Key(1), Build(10, 1, &builds));  // ghost: [1, 0]
+  cache.GetOrBuild(Key(2), Build(10, 2, &builds));  // ghost: [2, 1] — 0 evicted
+  EXPECT_EQ(cache.stats().entries, 0u);
+
+  // Key 0 fell off the ghost list: its next request is a "first" again,
+  // re-remembered at the expense of the oldest ghost (key 1).
+  cache.GetOrBuild(Key(0), Build(10, 0, &builds));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().admission_rejects, 4u);
+  // Key 2 is still remembered and gets admitted.
+  cache.GetOrBuild(Key(2), Build(10, 22, &builds));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(builds, 5);
+}
+
+TEST(IndexCacheTest, ClearResetsGhostListMemory) {
+  IndexCache cache(IndexCacheOptions{0, /*admission=*/true, 16});
+  int builds = 0;
+  cache.GetOrBuild(Key(0), Build(10, 0, &builds));  // rejected, remembered
+  cache.Clear();
+  // The ghost memory is gone: this is a first sighting again.
+  cache.GetOrBuild(Key(0), Build(10, 0, &builds));
+  EXPECT_EQ(cache.stats().entries, 0u);
+  // And the cycle restarts cleanly.
+  cache.GetOrBuild(Key(0), Build(10, 0, &builds));
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(builds, 3);
 }
 
 TEST(IndexCacheTest, ClearDropsEverythingWithoutCountingEvictions) {

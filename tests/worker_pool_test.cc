@@ -50,6 +50,36 @@ TEST(WorkerPoolTest, EveryTaskGetsItsOwnNotification) {
   EXPECT_EQ(notified.load(), kTasks);
 }
 
+TEST(WorkerPoolTest, ShouldRunFalseSkipsTheTaskButStillNotifies) {
+  WorkerPool pool(1);
+  std::atomic<bool> task_ran{false};
+  std::promise<void> done;
+  pool.Submit([&task_ran] { task_ran = true; },
+              [&done] { done.set_value(); },
+              [] { return false; });
+  done.get_future().wait();
+  EXPECT_FALSE(task_ran.load());
+  pool.WaitIdle();  // in_flight_ bookkeeping covered the skipped task
+}
+
+TEST(WorkerPoolTest, ShouldRunIsConsultedOncePerTaskAtPopTime) {
+  WorkerPool pool(2);
+  constexpr int kTasks = 100;
+  std::atomic<int> consulted{0};
+  std::atomic<int> ran{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); },
+                nullptr,
+                [&consulted, i] {
+                  consulted.fetch_add(1, std::memory_order_relaxed);
+                  return i % 2 == 0;  // every odd task is obsolete
+                });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(consulted.load(), kTasks);
+  EXPECT_EQ(ran.load(), kTasks / 2);
+}
+
 TEST(WorkerPoolTest, DestructorDrainsPendingTasksAndNotifications) {
   std::atomic<int> ran{0};
   std::atomic<int> notified{0};

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Gate benchmark results against a checked-in baseline.
+
+Usage:
+    compare_bench.py bench/baseline.json BENCH_pr.json \
+        [--max-slowdown 1.25] [--min-ms 0.5] [--normalize median|none]
+
+Both files use the touch-bench-v1 schema written by tools/bench_to_json.py.
+Exit code 0 when no benchmark regressed, 1 when any did (the CI gate).
+
+Machine-speed normalization: CI runners and the machine that produced the
+baseline differ in absolute speed, so raw per-benchmark ratios shift
+uniformly. With --normalize median (the default) every ratio is divided by
+the median ratio across all compared benchmarks before gating — a uniform
+slowdown cancels out, while a benchmark that regressed *relative to the
+rest* still trips the gate. That is exactly the class of regression a code
+change causes (an injected 2x slowdown in one benchmark yields a relative
+ratio ~2 and fails). Use --normalize none on hardware identical to the
+baseline's to also catch across-the-board drift.
+
+Benchmarks below --min-ms in the baseline are reported but never gate:
+sub-millisecond timings are scheduler noise. Benchmarks present on only one
+side are listed as added/removed and never gate either (refreshing the
+baseline is how renames land).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "touch-bench-v1":
+        raise SystemExit(f"{path}: not a touch-bench-v1 document "
+                         "(produce it with tools/bench_to_json.py)")
+    return doc["benchmarks"]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regressed versus a baseline.")
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--max-slowdown", type=float, default=1.25,
+                        help="fail above this (normalized) ratio "
+                             "(default: 1.25 = +25%%)")
+    parser.add_argument("--min-ms", type=float, default=0.5,
+                        help="ignore benchmarks faster than this in the "
+                             "baseline (default: 0.5 ms)")
+    parser.add_argument("--normalize", choices=["median", "none"],
+                        default="median",
+                        help="divide ratios by the median ratio so "
+                             "machine-speed differences cancel "
+                             "(default: median)")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    added = sorted(set(current) - set(baseline))
+    removed = sorted(set(baseline) - set(current))
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        raise SystemExit("no benchmarks in common between baseline and "
+                         "current results")
+
+    rows = []
+    for name in shared:
+        base_ms = baseline[name]["real_time_ms"]
+        cur_ms = current[name]["real_time_ms"]
+        gated = base_ms >= args.min_ms
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        rows.append({"name": name, "base_ms": base_ms, "cur_ms": cur_ms,
+                     "ratio": ratio, "gated": gated})
+
+    gated_rows = [r for r in rows if r["gated"]]
+    norm = 1.0
+    if args.normalize == "median" and gated_rows:
+        norm = statistics.median(r["ratio"] for r in gated_rows)
+        if norm <= 0:
+            norm = 1.0
+    for row in rows:
+        row["relative"] = row["ratio"] / norm
+
+    regressions = [r for r in gated_rows
+                   if r["relative"] > args.max_slowdown]
+
+    print(f"{len(shared)} benchmarks compared, "
+          f"{len(gated_rows)} gated (>= {args.min_ms} ms), "
+          f"machine-speed normalization: {norm:.3f}x")
+    header = f"{'benchmark':60s} {'base ms':>10s} {'pr ms':>10s} " \
+             f"{'ratio':>7s} {'rel':>7s}"
+    print(header)
+    for row in sorted(rows, key=lambda r: -r["relative"]):
+        flag = ""
+        if row in regressions:
+            flag = "  << REGRESSION"
+        elif not row["gated"]:
+            flag = "  (below min-ms, not gated)"
+        print(f"{row['name']:60s} {row['base_ms']:10.3f} "
+              f"{row['cur_ms']:10.3f} {row['ratio']:7.2f} "
+              f"{row['relative']:7.2f}{flag}")
+    for name in added:
+        print(f"added (no baseline, not gated): {name}")
+    for name in removed:
+        print(f"removed from current results:   {name}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) slower than "
+              f"{args.max_slowdown:.2f}x the baseline (normalized). "
+              "If intentional, refresh bench/baseline.json via "
+              "tools/bench_to_json.py and explain why in the PR.")
+        return 1
+    print(f"\nOK: no benchmark exceeded {args.max_slowdown:.2f}x "
+          "(normalized) of its baseline.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

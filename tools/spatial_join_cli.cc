@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -53,6 +54,12 @@ struct CliOptions {
   int threads = 1;
   /// Engine index-cache cap for --algo=auto (0 = unbounded).
   size_t cache_bytes = 0;
+  /// --algo=auto: ghost-list cache admission (artifacts retained only after
+  /// their second build request).
+  bool cache_admission = false;
+  /// --algo=auto: cancel a request that exceeds this wall-clock budget
+  /// (0 = no timeout). Mapped onto RequestHandle::Cancel.
+  int timeout_ms = 0;
   /// --algo=auto: print histogram-based estimates vs measured actuals.
   bool explain = false;
   /// --algo=auto: measured-run feedback calibrating the planner.
@@ -115,8 +122,13 @@ void PrintUsage() {
       "  --seed=S               RNG seed (default 42)\n"
       "  --partitions=P         run through the partitioned driver\n"
       "  --threads=T            worker threads for the partitioned driver\n"
-      "  --cache-bytes=N[kmg]   cap the --algo=auto index cache (LRU\n"
+      "  --cache-bytes=N[kmg]   cap the --algo=auto index cache (cost-aware\n"
       "                         eviction; default unbounded)\n"
+      "  --cache-admission=on|off  only retain an index artifact after the\n"
+      "                         second build request for its key (ghost-list\n"
+      "                         admission; default off)\n"
+      "  --timeout-ms=N         cancel an --algo=auto request that runs\n"
+      "                         longer than N milliseconds (default: none)\n"
       "  --explain              after each --algo=auto run, print the plan's\n"
       "                         histogram-based estimates next to the\n"
       "                         measured actuals\n"
@@ -181,6 +193,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
     } else if (ParseFlag(arg, "cache-bytes", &value)) {
       if (!ParseByteCount(value, &options->cache_bytes)) {
         std::fprintf(stderr, "bad --cache-bytes value: %s\n", value.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "cache-admission", &value)) {
+      if (value == "on" || value == "1") {
+        options->cache_admission = true;
+      } else if (value == "off" || value == "0") {
+        options->cache_admission = false;
+      } else {
+        std::fprintf(stderr,
+                     "bad --cache-admission value: %s (expected on|off)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "timeout-ms", &value)) {
+      options->timeout_ms = std::atoi(value.c_str());
+      if (options->timeout_ms <= 0) {
+        std::fprintf(stderr, "bad --timeout-ms value: %s (expected > 0)\n",
+                     value.c_str());
         return false;
       }
     } else if (arg == "--explain") {
@@ -303,6 +333,7 @@ int RunJoin(const CliOptions& options) {
       algorithms.end()) {
     EngineOptions engine_options;
     engine_options.max_cache_bytes = options.cache_bytes;
+    engine_options.cache_admission = options.cache_admission;
     engine_options.calibration.enabled = options.calibration;
     engine = std::make_unique<QueryEngine>(engine_options);
     handle_a = engine->RegisterDataset("A", a);
@@ -321,7 +352,25 @@ int RunJoin(const CliOptions& options) {
                      "note: --partitions does not apply to --algo=auto\n");
       }
       const JoinRequest request{handle_a, handle_b, options.epsilon};
-      const JoinResult result = engine->Execute(request, out);
+      // Submitted (not Execute'd) so a --timeout-ms budget can cancel it:
+      // the handle's future is awaited up to the deadline, then Cancel()
+      // stops the run cooperatively and the future completes as Cancelled.
+      RequestHandle handle = engine->Submit(request);
+      RequestPhase timed_out_in = RequestPhase::kQueued;
+      if (options.timeout_ms > 0 &&
+          handle.future().wait_for(std::chrono::milliseconds(
+              options.timeout_ms)) == std::future_status::timeout) {
+        timed_out_in = handle.phase();
+        handle.Cancel();
+      }
+      const JoinResult result = handle.Get();
+      if (result.cancelled()) {
+        std::fprintf(stderr,
+                     "auto: cancelled after exceeding --timeout-ms=%d "
+                     "(request was %s)\n",
+                     options.timeout_ms, RequestPhaseName(timed_out_in));
+        continue;
+      }
       if (!result.error.empty()) {
         std::fprintf(stderr, "%s\n", result.error.c_str());
         return 1;
@@ -437,13 +486,17 @@ int RunJoin(const CliOptions& options) {
     std::fprintf(
         options.csv ? stderr : stdout,
         "index cache: %.0f%% hit rate (%llu/%llu), %llu evictions, "
-        "%zu entries, %.2f MB%s\n",
+        "%llu admission rejects, %zu entries, %.2f MB%s, "
+        "%.3fs of rebuilds avoided\n",
         cache.HitRate() * 100.0,
         static_cast<unsigned long long>(cache.hits),
         static_cast<unsigned long long>(cache.hits + cache.misses),
-        static_cast<unsigned long long>(cache.evictions), cache.entries,
+        static_cast<unsigned long long>(cache.evictions),
+        static_cast<unsigned long long>(cache.admission_rejects),
+        cache.entries,
         static_cast<double>(cache.bytes) / (1024.0 * 1024.0),
-        cache.capacity_bytes == 0 ? " (unbounded)" : "");
+        cache.capacity_bytes == 0 ? " (unbounded)" : "",
+        cache.cost_saved_seconds);
   }
   return 0;
 }
