@@ -13,6 +13,7 @@
 
 #include "bench_common.h"
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 
 namespace touch::bench {
 namespace {
@@ -94,6 +95,37 @@ void RegisterWorkload(const Workload& workload) {
         state.counters["results"] = static_cast<double>(last.stats.results);
         state.counters["memMB"] =
             static_cast<double>(last.stats.memory_bytes) / (1024.0 * 1024.0);
+      })
+      ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+  // Sharded scatter-gather: the same request fanned out over 4 spatial
+  // shards per dataset (up to 16 shard-pair plans, pruned by the
+  // epsilon-inflated MBR test) on a warm index cache — the steady state of
+  // the distribution-ready engine versus auto_warm's single-catalog run.
+  // The label records the fan-out that actually executed.
+  benchmark::RegisterBenchmark(
+      (prefix + "auto_sharded").c_str(),
+      [=](benchmark::State& state) {
+        EngineOptions options;
+        options.shards = 4;
+        ShardedQueryEngine engine(options);
+        const DatasetHandle ha = engine.RegisterDataset("A", a);
+        const DatasetHandle hb = engine.RegisterDataset("B", b);
+        const JoinRequest request{ha, hb, workload.epsilon};
+        {
+          CountingCollector warmup;
+          engine.Execute(request, warmup);
+        }
+        ShardedJoinResult last;
+        for (auto _ : state) {
+          CountingCollector out;
+          last = engine.Execute(request, out);
+        }
+        state.SetLabel("pairs=" + std::to_string(last.pairs.size()) + "/" +
+                       std::to_string(last.shard_pairs_total) +
+                       (last.merged.index_cache_hit ? " cached" : ""));
+        state.counters["results"] =
+            static_cast<double>(last.merged.stats.results);
       })
       ->Unit(benchmark::kMillisecond)->Iterations(1);
 

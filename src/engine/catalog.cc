@@ -366,9 +366,15 @@ bool DeserializeDatasetStats(std::span<const uint8_t> bytes,
 }
 
 DatasetHandle DatasetCatalog::Register(std::string name, Dataset boxes) {
+  DatasetStats stats = ComputeDatasetStats(boxes);
+  return Register(std::move(name), std::move(boxes), std::move(stats));
+}
+
+DatasetHandle DatasetCatalog::Register(std::string name, Dataset boxes,
+                                       DatasetStats stats) {
   auto entry = std::make_unique<Entry>();
   entry->name = std::move(name);
-  entry->stats = ComputeDatasetStats(boxes);
+  entry->stats = std::move(stats);
   entry->boxes = std::move(boxes);
   entries_.push_back(std::move(entry));
   return static_cast<DatasetHandle>(entries_.size() - 1);

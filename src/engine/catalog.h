@@ -100,6 +100,13 @@ class DatasetCatalog {
  public:
   DatasetHandle Register(std::string name, Dataset boxes);
 
+  /// Registers with stats the caller already computed — the partition API's
+  /// entry point: the sharded catalog computes each shard's stats once (to
+  /// serialize them for central planning) and must not pay a second
+  /// registration scan here. `stats` must describe `boxes` exactly; nothing
+  /// is verified.
+  DatasetHandle Register(std::string name, Dataset boxes, DatasetStats stats);
+
   size_t size() const { return entries_.size(); }
   bool Contains(DatasetHandle handle) const { return handle < entries_.size(); }
 

@@ -26,17 +26,6 @@ class SwappedCollector : public ResultCollector {
   ResultCollector& out_;
 };
 
-/// Adapts a caller-owned ResultCollector to the engine-owned sink model the
-/// async path runs on (the synchronous wrappers' bridge).
-class ForwardingSink : public ResultSink {
- public:
-  explicit ForwardingSink(ResultCollector& out) : out_(out) {}
-  void Emit(uint32_t a_id, uint32_t b_id) override { out_.Emit(a_id, b_id); }
-
- private:
-  ResultCollector& out_;
-};
-
 Dataset EnlargedCopy(std::span<const Box> boxes, float epsilon) {
   Dataset out;
   out.reserve(boxes.size());
@@ -155,6 +144,9 @@ struct internal::RequestState {
   JoinRequest request;
   std::unique_ptr<ResultSink> sink;  // may be null (count-only)
   CompletionCallback on_complete;    // may be null
+  /// Non-null for SubmitPlanned requests: the centrally computed plan the
+  /// worker executes instead of planning (the sharded scatter path).
+  std::unique_ptr<JoinPlan> preplanned;
   std::promise<JoinResult> promise;
   JoinResult result;
   /// Advanced by the executing worker; the kQueued→kPlanning transition is
@@ -279,12 +271,19 @@ QueryEngine::QueryEngine(const EngineOptions& options)
       planner_(options.planner),
       cache_(IndexCacheOptions{options.max_cache_bytes,
                                options.cache_admission,
-                               options.cache_ghost_entries}),
+                               options.cache_ghost_entries,
+                               options.cache_preadmit_build_seconds}),
       feedback_(options.calibration.max_outcomes),
       pool_(options.threads) {}
 
 DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes) {
   return catalog_.Register(std::move(name), std::move(boxes));
+}
+
+DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes,
+                                           DatasetStats stats) {
+  return catalog_.Register(std::move(name), std::move(boxes),
+                           std::move(stats));
 }
 
 JoinPlan QueryEngine::Plan(const JoinRequest& request) const {
@@ -328,6 +327,22 @@ void QueryEngine::RecordOutcome(const JoinRequest& request,
   feedback_.Record(outcome);
 }
 
+double QueryEngine::PredictedBuildSeconds(const char* family,
+                                          const JoinRequest& request) const {
+  // Only worth a snapshot when the cache can act on the prediction and the
+  // feedback store has evidence to predict from.
+  if (!options_.cache_admission || !options_.calibration.enabled) return 0.0;
+  const CalibrationSnapshot snapshot =
+      feedback_.Snapshot(options_.calibration.min_samples);
+  // The fit's object feature is the request's total cardinality; the same
+  // feature keeps prediction consistent with the recorded evidence even
+  // though the artifact covers only the build side.
+  const double objects =
+      static_cast<double>(catalog_.stats(request.a).count) +
+      static_cast<double>(catalog_.stats(request.b).count);
+  return snapshot.PredictBuildSeconds(family, objects).value_or(0.0);
+}
+
 // --- Asynchronous submission ------------------------------------------------
 
 void QueryEngine::EnterPhase(const ExecContext& ctx,
@@ -340,11 +355,19 @@ void QueryEngine::EnterPhase(const ExecContext& ctx,
 
 RequestHandle QueryEngine::SubmitInternal(const JoinRequest& request,
                                           std::unique_ptr<ResultSink> sink,
-                                          CompletionCallback on_complete) {
+                                          CompletionCallback on_complete,
+                                          std::unique_ptr<JoinPlan> preplanned) {
   auto state = std::make_shared<internal::RequestState>();
   state->request = request;
   state->sink = std::move(sink);
   state->on_complete = std::move(on_complete);
+  state->preplanned = std::move(preplanned);
+  // A request deadline rides on the cancellation flag: once it passes,
+  // every phase boundary and cooperative kernel poll sees a requested stop,
+  // so the timeout holds even when nobody waits on the handle.
+  if (request.deadline.time_since_epoch().count() != 0) {
+    state->cancel.SetDeadline(request.deadline);
+  }
   std::future<JoinResult> future = state->promise.get_future();
   // Pre-fill an error so that even an exception escaping ExecuteRequest's
   // own catch blocks (e.g. bad_alloc while building the error string)
@@ -358,7 +381,8 @@ RequestHandle QueryEngine::SubmitInternal(const JoinRequest& request,
         ResultCollector& out =
             state->sink ? static_cast<ResultCollector&>(*state->sink)
                         : null_sink;
-        state->result = ExecuteRequest(state->request, out, ctx);
+        state->result = ExecuteRequest(state->request, out, ctx,
+                                       state->preplanned.get());
       },
       // Delivery runs as the pool's completion notification so the future
       // completes even if the task itself escaped. A kCancelled phase here
@@ -396,6 +420,13 @@ RequestHandle QueryEngine::Submit(const JoinRequest& request,
                                   std::unique_ptr<ResultSink> sink,
                                   CompletionCallback on_complete) {
   return SubmitInternal(request, std::move(sink), std::move(on_complete));
+}
+
+RequestHandle QueryEngine::SubmitPlanned(JoinPlan plan,
+                                         const JoinRequest& request,
+                                         std::unique_ptr<ResultSink> sink) {
+  return SubmitInternal(request, std::move(sink), nullptr,
+                        std::make_unique<JoinPlan>(std::move(plan)));
 }
 
 BatchHandle QueryEngine::SubmitBatch(std::span<const JoinRequest> requests,
@@ -459,7 +490,8 @@ JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
 
 JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
                                        ResultCollector& out,
-                                       const ExecContext& ctx) {
+                                       const ExecContext& ctx,
+                                       const JoinPlan* preplanned) {
   // Boundary check: cancelled while queued but claimed by the worker before
   // the canceller could deliver promptly.
   if (ctx.cancel.stop_requested()) return CancelledResult();
@@ -472,7 +504,7 @@ JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
   // a submitted future must always complete with a result.
   try {
     EnterPhase(ctx, RequestPhase::kPlanning);
-    JoinPlan plan = Plan(request);
+    JoinPlan plan = preplanned != nullptr ? *preplanned : Plan(request);
     // Boundary: planned → index build.
     if (ctx.cancel.stop_requested()) return CancelledResult();
     JoinResult result = ExecutePlanned(std::move(plan), request, out, ctx);
@@ -563,8 +595,9 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
                           touch_options.fanout, ArtifactKind::kTouchTree};
   EnterPhase(ctx, RequestPhase::kBuildingIndex);
   bool missed = false;
-  const IndexCache::ArtifactPtr artifact =
-      cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
+  const IndexCache::ArtifactPtr artifact = cache_.GetOrBuild(
+      key,
+      [&]() -> IndexCache::ArtifactPtr {
         missed = true;
         Timer build_timer;
         Dataset boxes = build_epsilon > 0
@@ -576,7 +609,8 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
         TouchTree tree(tree_input, leaf_capacity, touch_options.fanout);
         return std::make_shared<CachedTouchIndex>(
             std::move(boxes), std::move(tree), build_timer.Seconds());
-      });
+      },
+      [&] { return PredictedBuildSeconds("touch", request); });
   result.index_cache_hit = !missed;
   // Boundary: index build → execute. Builds are shared artifacts and always
   // run to completion (the tree stays cached for other requests); a cancel
@@ -636,8 +670,9 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
                           ArtifactKind::kInlRTree};
   EnterPhase(ctx, RequestPhase::kBuildingIndex);
   bool missed = false;
-  const IndexCache::ArtifactPtr artifact =
-      cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
+  const IndexCache::ArtifactPtr artifact = cache_.GetOrBuild(
+      key,
+      [&]() -> IndexCache::ArtifactPtr {
         missed = true;
         Timer build_timer;
         Dataset boxes = build_epsilon > 0
@@ -650,7 +685,8 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
                    tree_options.bulkload);
         return std::make_shared<CachedInlIndex>(
             std::move(boxes), std::move(tree), build_timer.Seconds());
-      });
+      },
+      [&] { return PredictedBuildSeconds("inl", request); });
   result.index_cache_hit = !missed;
   // Boundary: index build → execute (builds always run to completion and
   // stay cached; see ExecuteTouch).
@@ -738,16 +774,22 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
     built->build_seconds = build_timer.Seconds();
     return built;
   };
+  const auto expected_build = [&] {
+    return PredictedBuildSeconds("pbsm", request);
+  };
   const auto directory =
       [&](DatasetHandle handle, float epsilon, const Dataset& src,
           bool* missed) -> std::shared_ptr<const CachedPbsmDirectory> {
     const IndexCacheKey key{handle, epsilon, static_cast<size_t>(resolution),
                             signature, ArtifactKind::kPbsmDirectory};
     const auto cached = std::static_pointer_cast<const CachedPbsmDirectory>(
-        cache_.GetOrBuild(key, [&]() -> IndexCache::ArtifactPtr {
-          *missed = true;
-          return build_directory(epsilon, src);
-        }));
+        cache_.GetOrBuild(
+            key,
+            [&]() -> IndexCache::ArtifactPtr {
+              *missed = true;
+              return build_directory(epsilon, src);
+            },
+            expected_build));
     if (SameDomain(cached->domain, domain)) return cached;
     // 64-bit signature collision: the cached placements were computed over
     // a *different* joint grid that hashed alike. Merging them with this

@@ -66,6 +66,18 @@ struct EngineOptions {
   /// Keys the admission ghost list remembers (only meaningful with
   /// cache_admission on).
   size_t cache_ghost_entries = 1024;
+  /// Pre-admission threshold (only meaningful with cache_admission on):
+  /// a first-sighting artifact whose *fitted* build cost — predicted from
+  /// the calibration store's per-family build rates — reaches this many
+  /// seconds skips the one-miss ghost probation and is retained
+  /// immediately. 0 disables pre-admission. See
+  /// IndexCacheOptions::preadmit_build_seconds.
+  double cache_preadmit_build_seconds = 0.25;
+  /// Shards per dataset of a ShardedQueryEngine built on these options
+  /// (sharded_engine.h): each registered dataset is spatially partitioned
+  /// into this many pieces and joins scatter-gather across shard pairs.
+  /// A plain QueryEngine ignores it. <= 1 means unsharded.
+  int shards = 1;
   /// Measured-run feedback: cold executions (including ExecuteFixed ones)
   /// are recorded into the engine's PlanFeedback store, and planning
   /// overrides the static rules with fitted per-family cost models once
@@ -125,6 +137,18 @@ class ResultSink : public ResultCollector {
   /// the engine's synchronous wrappers (they would wait on the very worker
   /// executing this callback).
   virtual void OnComplete(const JoinResult& result) { (void)result; }
+};
+
+/// Bridges a caller-owned ResultCollector onto the engine-owned sink model
+/// (the synchronous wrappers' adapter, shared with the sharded engine).
+/// The collector must outlive the request.
+class ForwardingSink : public ResultSink {
+ public:
+  explicit ForwardingSink(ResultCollector& out) : out_(out) {}
+  void Emit(uint32_t a_id, uint32_t b_id) override { out_.Emit(a_id, b_id); }
+
+ private:
+  ResultCollector& out_;
 };
 
 /// Completion callback of the callback-flavored Submit; same threading
@@ -253,6 +277,12 @@ class QueryEngine {
   /// handle is what join requests refer to.
   DatasetHandle RegisterDataset(std::string name, Dataset boxes);
 
+  /// Registers with stats the caller already computed (the sharded engine
+  /// partitions and serializes per-shard stats before registering the
+  /// shard boxes; recomputing here would double the registration scan).
+  DatasetHandle RegisterDataset(std::string name, Dataset boxes,
+                                DatasetStats stats);
+
   const DatasetCatalog& catalog() const { return catalog_; }
 
   /// Plans without executing (the CLI's explain path).
@@ -276,6 +306,16 @@ class QueryEngine {
   RequestHandle Submit(const JoinRequest& request,
                        std::unique_ptr<ResultSink> sink,
                        CompletionCallback on_complete);
+
+  /// Submits a request that was planned elsewhere: execution skips the
+  /// planning phase and runs `plan` as-is (lifecycle, cancellation,
+  /// deadline and caching behave exactly like Submit). This is the sharded
+  /// scatter path — shard pairs are planned centrally from serialized
+  /// shard stats and must execute the plan they were scattered with, not a
+  /// replan. The plan's algorithm must be a MakeAlgorithm name; unknown
+  /// names complete the future with kError.
+  RequestHandle SubmitPlanned(JoinPlan plan, const JoinRequest& request,
+                              std::unique_ptr<ResultSink> sink = nullptr);
 
   /// Submits every request at once; the returned handles (index-aligned
   /// with `requests`) complete independently as each request finishes, so
@@ -338,14 +378,17 @@ class QueryEngine {
 
   RequestHandle SubmitInternal(const JoinRequest& request,
                                std::unique_ptr<ResultSink> sink,
-                               CompletionCallback on_complete);
+                               CompletionCallback on_complete,
+                               std::unique_ptr<JoinPlan> preplanned = nullptr);
   /// Publishes a phase transition (request state + phase_observer).
   void EnterPhase(const ExecContext& ctx, RequestPhase phase) const;
-  /// The per-request core every path funnels into: validates, plans,
-  /// executes, converts failures into JoinResult::error and cooperative
-  /// cancellation into status = kCancelled.
+  /// The per-request core every path funnels into: validates, plans (or
+  /// adopts `preplanned`), executes, converts failures into
+  /// JoinResult::error and cooperative cancellation into status =
+  /// kCancelled.
   JoinResult ExecuteRequest(const JoinRequest& request, ResultCollector& out,
-                            const ExecContext& ctx);
+                            const ExecContext& ctx,
+                            const JoinPlan* preplanned = nullptr);
   JoinResult ExecutePlanned(JoinPlan plan, const JoinRequest& request,
                             ResultCollector& out, const ExecContext& ctx);
   JoinResult ExecuteTouch(JoinPlan plan, const JoinRequest& request,
@@ -359,6 +402,10 @@ class QueryEngine {
   /// (fully cold, successful runs only; cancelled runs have partial stats
   /// and are never evidence).
   void RecordOutcome(const JoinRequest& request, const JoinResult& result);
+  /// Fitted build-cost prediction for the cache's pre-admission policy
+  /// (0 when admission or calibration is off, or the family is unmeasured).
+  double PredictedBuildSeconds(const char* family,
+                               const JoinRequest& request) const;
 
   EngineOptions options_;
   DatasetCatalog catalog_;

@@ -17,8 +17,21 @@ const char* ArtifactKindName(ArtifactKind kind) {
   return "unknown";
 }
 
-bool IndexCache::AdmitMissLocked(const IndexCacheKey& key) {
+bool IndexCache::AdmitMissLocked(const IndexCacheKey& key,
+                                 const BuildCostFn& expected_build_seconds) {
   if (!options_.admission) return true;
+  if (options_.preadmit_build_seconds > 0 && expected_build_seconds &&
+      expected_build_seconds() >= options_.preadmit_build_seconds) {
+    // Predicted too expensive to rebuild on probation: admit on first
+    // sight, and drop any ghost memory of the key (it is resident now).
+    ++admission_preadmits_;
+    const auto ghost = ghost_index_.find(key);
+    if (ghost != ghost_index_.end()) {
+      ghost_.erase(ghost->second);
+      ghost_index_.erase(ghost);
+    }
+    return true;
+  }
   const auto ghost = ghost_index_.find(key);
   if (ghost != ghost_index_.end()) {
     // Second build request for this key: admit, and forget the ghost (a
@@ -38,8 +51,9 @@ bool IndexCache::AdmitMissLocked(const IndexCacheKey& key) {
   return false;
 }
 
-IndexCache::ArtifactPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
-                                               const Builder& build) {
+IndexCache::ArtifactPtr IndexCache::GetOrBuild(
+    const IndexCacheKey& key, const Builder& build,
+    const BuildCostFn& expected_build_seconds) {
   std::promise<ArtifactPtr> promise;
   std::shared_future<ArtifactPtr> future;
   uint64_t ticket = 0;
@@ -63,7 +77,7 @@ IndexCache::ArtifactPtr IndexCache::GetOrBuild(const IndexCacheKey& key,
       return artifact;
     }
     ++misses_;
-    const bool admitted = AdmitMissLocked(key);
+    const bool admitted = AdmitMissLocked(key, expected_build_seconds);
     ticket = next_ticket_++;
     future = promise.get_future().share();
     lru_.push_front(key);
@@ -158,6 +172,7 @@ IndexCache::Stats IndexCache::stats() const {
   stats.misses = misses_;
   stats.evictions = evictions_;
   stats.admission_rejects = admission_rejects_;
+  stats.admission_preadmits = admission_preadmits_;
   stats.entries = entries_.size();
   stats.bytes = bytes_;
   stats.capacity_bytes = options_.max_bytes;

@@ -89,6 +89,14 @@ struct IndexCacheOptions {
   /// Keys the ghost list remembers (the "seen once" set, FIFO-evicted).
   /// A key must be re-requested while still remembered to be admitted.
   size_t ghost_capacity = 1024;
+  /// Pre-admission (only meaningful with `admission` on): a first-sighting
+  /// build whose *predicted* build cost — supplied by the caller via
+  /// GetOrBuild's expected_build_seconds, in the engine's case the fitted
+  /// calibration estimate — is at least this many seconds skips the
+  /// one-miss ghost probation and is retained immediately. Artifacts that
+  /// are catastrophic to rebuild must not pay a probation rebuild just to
+  /// prove they repeat. 0 disables pre-admission.
+  double preadmit_build_seconds = 0.25;
 };
 
 /// Thread-safe cache of built index artifacts, shared by all queries of an
@@ -121,6 +129,10 @@ class IndexCache {
     /// Builds that completed but were not retained because their key had
     /// not been seen before (admission policy; 0 with admission off).
     uint64_t admission_rejects = 0;
+    /// First-sighting builds admitted anyway because their predicted build
+    /// cost cleared preadmit_build_seconds (0 with admission off or
+    /// pre-admission disabled).
+    uint64_t admission_preadmits = 0;
     size_t entries = 0;
     /// Bytes of all completed entries currently resident.
     size_t bytes = 0;
@@ -139,6 +151,14 @@ class IndexCache {
 
   using ArtifactPtr = std::shared_ptr<const CachedArtifact>;
   using Builder = std::function<ArtifactPtr()>;
+  /// Supplies the caller's prediction of what a build for the key will
+  /// cost, in seconds (the engine's fitted calibration estimate). Invoked
+  /// lazily — only on a miss, with admission and pre-admission enabled —
+  /// so hits and admission-off configurations never pay for a prediction.
+  /// Called with the cache lock held: implementations may take their own
+  /// leaf locks (the feedback store's) but must not call back into the
+  /// cache.
+  using BuildCostFn = std::function<double()>;
 
   /// `max_bytes` caps resident artifact bytes (0 = unbounded); admission
   /// stays off — the historical constructor.
@@ -151,7 +171,13 @@ class IndexCache {
   /// runs outside the cache lock, so independent keys build concurrently.
   /// The caller contract is that one key always maps to one artifact type;
   /// callers downcast with static_pointer_cast keyed on `key.kind`.
-  ArtifactPtr GetOrBuild(const IndexCacheKey& key, const Builder& build);
+  /// `expected_build_seconds` (optional) predicts what `build` will cost;
+  /// under the admission policy a prediction at or above
+  /// preadmit_build_seconds admits a first-sighting key immediately
+  /// (absent or 0 = unknown, normal probation applies). See BuildCostFn
+  /// for when it is invoked.
+  ArtifactPtr GetOrBuild(const IndexCacheKey& key, const Builder& build,
+                         const BuildCostFn& expected_build_seconds = {});
 
   Stats stats() const;
 
@@ -181,9 +207,11 @@ class IndexCache {
   };
 
   /// Admission decision for a miss on `key`. True admits (key was in the
-  /// ghost list, or admission is off); false rejects and remembers the key.
+  /// ghost list, the predicted build cost clears the pre-admission
+  /// threshold, or admission is off); false rejects and remembers the key.
   /// Lock held.
-  bool AdmitMissLocked(const IndexCacheKey& key);
+  bool AdmitMissLocked(const IndexCacheKey& key,
+                       const BuildCostFn& expected_build_seconds);
 
   /// Drops lowest-cost-density completed entries until bytes_ <= max_bytes.
   /// Lock held.
@@ -203,6 +231,7 @@ class IndexCache {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t admission_rejects_ = 0;
+  uint64_t admission_preadmits_ = 0;
   double cost_saved_seconds_ = 0;
   size_t bytes_ = 0;
 };

@@ -1,13 +1,12 @@
 #include "engine/planner.h"
 
 #include <algorithm>
-#include <cstdarg>
-#include <cstdio>
 #include <optional>
 #include <vector>
 
 #include "engine/calibration.h"
 #include "estimate/selectivity.h"
+#include "util/format.h"
 
 namespace touch {
 namespace {
@@ -24,14 +23,7 @@ int DomainResolution(const Box& domain, float avg_edge, int max_res) {
 
 float MaxComponent(const Vec3& v) { return std::max({v.x, v.y, v.z}); }
 
-std::string Format(const char* fmt, ...) {
-  char buffer[512];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
-  va_end(args);
-  return buffer;
-}
+constexpr auto Format = StrFormat;  // local shorthand for the rationales
 
 }  // namespace
 
@@ -56,6 +48,15 @@ std::string JoinPlan::ToString() const {
     }
   }
   return line + "\n  reason: " + rationale;
+}
+
+bool Planner::PairMayProduceResults(const DatasetStats& stats_a,
+                                    const DatasetStats& stats_b,
+                                    float epsilon) {
+  if (stats_a.count == 0 || stats_b.count == 0) return false;
+  // The distance join enlarges side A; the extents are exact (registration
+  // computed them over the real boxes), so a miss here is a proof.
+  return Intersects(stats_a.extent.Enlarged(epsilon), stats_b.extent);
 }
 
 JoinPlan Planner::Plan(const DatasetCatalog& catalog,

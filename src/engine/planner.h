@@ -1,6 +1,7 @@
 #ifndef TOUCH_ENGINE_PLANNER_H_
 #define TOUCH_ENGINE_PLANNER_H_
 
+#include <chrono>
 #include <cstddef>
 #include <string>
 
@@ -17,6 +18,13 @@ struct JoinRequest {
   DatasetHandle a = 0;
   DatasetHandle b = 0;
   float epsilon = 0.0f;
+  /// Engine-enforced deadline (steady clock; default epoch = none). A
+  /// submitted request still running past it is stopped at the next phase
+  /// boundary or cooperative kernel poll and completes as kCancelled —
+  /// even when the caller has abandoned the handle, so a timeout holds
+  /// without anyone waiting on the future. The sharded engine forwards the
+  /// deadline into every shard-pair request.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// An executable, explainable plan for one join request. `algorithm` is a
@@ -107,6 +115,15 @@ class Planner {
   JoinPlan Plan(const DatasetStats& stats_a, const DatasetStats& stats_b,
                 float epsilon,
                 const CalibrationSnapshot* calibration = nullptr) const;
+
+  /// Shard-pair pruning hook: false when two partitions' stats prove the
+  /// epsilon-distance join between them is empty — either side has no
+  /// objects, or A's extent inflated by epsilon misses B's extent. The
+  /// sharded engine calls this for every shard pair before planning it, so
+  /// non-overlapping pairs cost one box test instead of a plan + execution.
+  static bool PairMayProduceResults(const DatasetStats& stats_a,
+                                    const DatasetStats& stats_b,
+                                    float epsilon);
 
   const PlannerOptions& options() const { return options_; }
 

@@ -1,0 +1,193 @@
+#include "engine/shard.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "geom/grid.h"
+
+namespace touch {
+namespace {
+
+/// Divisor triple (k[0], k[1], k[2]) of `shards` for the x/y/z axes:
+/// enumerate every ordered factorization, keep the most cubic one
+/// (smallest largest-over-smallest factor ratio), and orient it so the
+/// largest factor lands on the longest extent axis — slabs should cut the
+/// dimension with the most room, and degenerate axes (zero extent) should
+/// keep factor 1 whenever the factorization allows it.
+void FactorShards(int shards, const Vec3& extent, int k[3]) {
+  k[0] = k[1] = k[2] = 1;
+  if (shards <= 1) return;
+
+  int best[3] = {shards, 1, 1};
+  double best_score = static_cast<double>(shards);
+  for (int a = 1; a <= shards; ++a) {
+    if (shards % a != 0) continue;
+    const int rest = shards / a;
+    for (int b = 1; b <= rest; ++b) {
+      if (rest % b != 0) continue;
+      const int c = rest / b;
+      if (a < b || b < c) continue;  // canonical a >= b >= c
+      const double score = static_cast<double>(a) / static_cast<double>(c);
+      if (score < best_score) {
+        best_score = score;
+        best[0] = a;
+        best[1] = b;
+        best[2] = c;
+      }
+    }
+  }
+
+  // Axes sorted by extent, longest first; ties keep x/y/z order.
+  const float ext[3] = {extent.x, extent.y, extent.z};
+  int order[3] = {0, 1, 2};
+  std::stable_sort(order, order + 3,
+                   [&](int x, int y) { return ext[x] > ext[y]; });
+  for (int i = 0; i < 3; ++i) k[order[i]] = best[i];
+}
+
+/// Cut positions (in cells) splitting `marginal` into `parts` slabs of
+/// nearly equal mass: cuts[s] .. cuts[s+1] is slab s, cuts[0] = 0,
+/// cuts[parts] = marginal.size(). A massless marginal falls back to
+/// spatially even cuts so empty datasets still shard deterministically.
+std::vector<int> CutsFromMarginal(const std::vector<uint64_t>& marginal,
+                                  int parts) {
+  const int res = static_cast<int>(marginal.size());
+  std::vector<int> cuts(static_cast<size_t>(parts) + 1, 0);
+  cuts[static_cast<size_t>(parts)] = res;
+  uint64_t total = 0;
+  for (const uint64_t count : marginal) total += count;
+  if (total == 0) {
+    for (int s = 1; s < parts; ++s) {
+      cuts[static_cast<size_t>(s)] = res * s / parts;
+    }
+    return cuts;
+  }
+  uint64_t cum = 0;
+  int cell = 0;
+  for (int s = 1; s < parts; ++s) {
+    // Round-to-nearest target keeps the first and last slab symmetric.
+    const uint64_t target =
+        (total * static_cast<uint64_t>(s) + static_cast<uint64_t>(parts) / 2) /
+        static_cast<uint64_t>(parts);
+    while (cell < res && cum < target) {
+      cum += marginal[static_cast<size_t>(cell)];
+      ++cell;
+    }
+    cuts[static_cast<size_t>(s)] = cell;
+  }
+  return cuts;
+}
+
+/// Slab index of cell coordinate `c` under `cuts` (largest s with
+/// cuts[s] <= c; empty slabs [k, k) are skipped by construction).
+int SlabOf(const std::vector<int>& cuts, int c) {
+  const auto it = std::upper_bound(cuts.begin(), cuts.end(), c);
+  const int slab = static_cast<int>(it - cuts.begin()) - 1;
+  return std::clamp(slab, 0, static_cast<int>(cuts.size()) - 2);
+}
+
+}  // namespace
+
+ShardPartition PartitionIntoShards(const Dataset& boxes,
+                                   const DatasetStats& stats, int shards) {
+  ShardPartition partition;
+  const int total_shards = std::max(1, shards);
+  const int res = std::max(1, stats.histogram_resolution);
+  int factors[3] = {1, 1, 1};
+  FactorShards(total_shards, stats.extent.Extent(), factors);
+  const int kx = partition.kx = factors[0];
+  const int ky = partition.ky = factors[1];
+  const int kz = partition.kz = factors[2];
+  partition.shards.resize(static_cast<size_t>(total_shards));
+
+  const auto hist = [&](int x, int y, int z) -> uint64_t {
+    if (stats.histogram.empty()) return 0;
+    return stats.histogram[(static_cast<size_t>(x) * res + y) * res + z];
+  };
+
+  // STR cuts over the histogram: x globally, y per x-slab, z per (x, y)
+  // block. Every marginal is a sum of histogram cells — the geometry is
+  // never consulted for the partitioning decision.
+  std::vector<uint64_t> marginal_x(static_cast<size_t>(res), 0);
+  for (int x = 0; x < res; ++x) {
+    for (int y = 0; y < res; ++y) {
+      for (int z = 0; z < res; ++z) marginal_x[x] += hist(x, y, z);
+    }
+  }
+  const std::vector<int> cuts_x = CutsFromMarginal(marginal_x, kx);
+
+  std::vector<std::vector<int>> cuts_y(static_cast<size_t>(kx));
+  std::vector<std::vector<std::vector<int>>> cuts_z(static_cast<size_t>(kx));
+  for (int sx = 0; sx < kx; ++sx) {
+    std::vector<uint64_t> marginal_y(static_cast<size_t>(res), 0);
+    for (int x = cuts_x[sx]; x < cuts_x[sx + 1]; ++x) {
+      for (int y = 0; y < res; ++y) {
+        for (int z = 0; z < res; ++z) marginal_y[y] += hist(x, y, z);
+      }
+    }
+    cuts_y[sx] = CutsFromMarginal(marginal_y, ky);
+    cuts_z[sx].resize(static_cast<size_t>(ky));
+    for (int sy = 0; sy < ky; ++sy) {
+      std::vector<uint64_t> marginal_z(static_cast<size_t>(res), 0);
+      for (int x = cuts_x[sx]; x < cuts_x[sx + 1]; ++x) {
+        for (int y = cuts_y[sx][sy]; y < cuts_y[sx][sy + 1]; ++y) {
+          for (int z = 0; z < res; ++z) marginal_z[z] += hist(x, y, z);
+        }
+      }
+      cuts_z[sx][sy] = CutsFromMarginal(marginal_z, kz);
+    }
+  }
+
+  // Record each shard's slab (its partitioning decision).
+  for (int sx = 0; sx < kx; ++sx) {
+    for (int sy = 0; sy < ky; ++sy) {
+      for (int sz = 0; sz < kz; ++sz) {
+        DatasetShard& shard =
+            partition.shards[(static_cast<size_t>(sx) * ky + sy) * kz + sz];
+        shard.cell_lo[0] = cuts_x[sx];
+        shard.cell_hi[0] = cuts_x[sx + 1];
+        shard.cell_lo[1] = cuts_y[sx][sy];
+        shard.cell_hi[1] = cuts_y[sx][sy + 1];
+        shard.cell_lo[2] = cuts_z[sx][sy][sz];
+        shard.cell_hi[2] = cuts_z[sx][sy][sz + 1];
+      }
+    }
+  }
+
+  // The one geometry pass: assign every box by its center's histogram cell
+  // — the exact mapping ComputeDatasetStats used, so the slabs' balance
+  // carries over to the assignment.
+  partition.shard_of.resize(boxes.size());
+  if (boxes.empty()) return partition;
+  const GridMapper grid(stats.extent, res);
+  for (uint32_t i = 0; i < boxes.size(); ++i) {
+    const CellCoord cell = grid.CellOf(boxes[i].Center());
+    const int sx = SlabOf(cuts_x, cell.x);
+    const int sy = SlabOf(cuts_y[sx], cell.y);
+    const int sz = SlabOf(cuts_z[sx][sy], cell.z);
+    const uint32_t shard_index =
+        (static_cast<uint32_t>(sx) * ky + sy) * kz + sz;
+    DatasetShard& shard = partition.shards[shard_index];
+    shard.mbr.ExpandToContain(boxes[i]);
+    shard.to_global.push_back(i);
+    shard.boxes.push_back(boxes[i]);
+    partition.shard_of[i] = shard_index;
+  }
+  return partition;
+}
+
+DatasetHandle ShardedCatalog::Add(Entry entry) {
+  entries_.push_back(std::make_unique<Entry>(std::move(entry)));
+  return static_cast<DatasetHandle>(entries_.size() - 1);
+}
+
+std::optional<DatasetHandle> ShardedCatalog::Find(
+    const std::string& name) const {
+  for (size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i]->name == name) return static_cast<DatasetHandle>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace touch

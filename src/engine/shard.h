@@ -1,0 +1,116 @@
+#ifndef TOUCH_ENGINE_SHARD_H_
+#define TOUCH_ENGINE_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "engine/catalog.h"
+#include "geom/box.h"
+
+namespace touch {
+
+/// One shard of a spatially partitioned dataset: a cell-aligned slab of the
+/// dataset's registration histogram plus the boxes whose *centers* fall
+/// into it. Assignment is center-based and therefore disjoint — every box
+/// lives in exactly one shard — but a shard's tight MBR can stick out of
+/// its slab (boxes straddle slab boundaries), which is why shard-pair
+/// pruning tests MBRs, never slabs.
+struct DatasetShard {
+  /// Slab bounds in histogram-cell coordinates, [lo, hi) per axis. Records
+  /// the partitioning decision for explain output and goldens.
+  int cell_lo[3] = {0, 0, 0};
+  int cell_hi[3] = {0, 0, 0};
+  /// Tight MBR of the assigned boxes (Box::Empty() for an empty shard).
+  Box mbr = Box::Empty();
+  /// Global (pre-partition) index of each shard-local box: shard-local id i
+  /// is global id to_global[i].
+  std::vector<uint32_t> to_global;
+  Dataset boxes;
+};
+
+/// Result of PartitionIntoShards: the shards plus the inverse id map.
+struct ShardPartition {
+  /// Slab counts per axis; kx * ky * kz == shards.size().
+  int kx = 1;
+  int ky = 1;
+  int kz = 1;
+  std::vector<DatasetShard> shards;
+  /// Global box index -> shard index (the merge layer's owner map).
+  std::vector<uint32_t> shard_of;
+};
+
+/// Spatially partitions `boxes` into exactly `shards` pieces with STR-style
+/// slabs computed over the registration histogram in `stats` — never over
+/// the geometry itself. The shard count is factored into per-axis slab
+/// counts (kx, ky, kz), largest factor on the longest extent axis; cut
+/// planes come from histogram marginals (x cuts globally, y cuts per
+/// x-slab, z cuts per (x, y) block), each balancing the object count of its
+/// slabs. The only geometry pass is the final O(N) center-to-shard
+/// assignment, which reuses the exact cell mapping the histogram was built
+/// with. `stats` must be the stats of `boxes` (histogram included);
+/// `shards` < 1 is treated as 1. Shards may come out empty when the data
+/// cannot be balanced (fewer boxes than shards, mass concentrated in one
+/// histogram cell).
+ShardPartition PartitionIntoShards(const Dataset& boxes,
+                                   const DatasetStats& stats, int shards);
+
+/// The sharded engine's registry: one logical dataset maps to K shard
+/// datasets that live in an inner QueryEngine's catalog. This catalog
+/// stores planning and merge metadata only — *serialized* per-shard stats
+/// (the bytes a remote shard would send over the wire; shard MBRs for
+/// pair pruning travel inside them) and the id remaps the gather needs —
+/// never geometry. That split mirrors the deployment this subsystem is
+/// the architecture for: shard geometry lives with its node, only compact
+/// stats travel to the planner.
+class ShardedCatalog {
+ public:
+  struct Shard {
+    /// The shard dataset's handle in the inner engine's DatasetCatalog.
+    DatasetHandle engine_handle = 0;
+    size_t count = 0;
+    /// SerializeDatasetStats of the shard's stats; central planning
+    /// deserializes these — exactly as it would bytes from a remote node —
+    /// and prunes shard pairs on the deserialized extents (the shard MBRs
+    /// travel inside the stats, not as separate catalog state).
+    std::vector<uint8_t> stats_bytes;
+    /// Shard-local box id -> global id.
+    std::vector<uint32_t> to_global;
+  };
+
+  struct Entry {
+    std::string name;
+    /// Stats of the whole (unsharded) dataset, for reporting.
+    DatasetStats global_stats;
+    std::vector<Shard> shards;
+    /// Global box id -> owning shard (the merge layer's dedup filter).
+    std::vector<uint32_t> shard_of;
+  };
+
+  /// Adds a fully built entry (the sharded engine assembles it during
+  /// registration) and returns its handle. Entry references stay stable
+  /// across later Add calls.
+  DatasetHandle Add(Entry entry);
+
+  size_t size() const { return entries_.size(); }
+  bool Contains(DatasetHandle handle) const { return handle < entries_.size(); }
+  const Entry& entry(DatasetHandle handle) const { return *entries_[handle]; }
+  const std::string& name(DatasetHandle handle) const {
+    return entries_[handle]->name;
+  }
+
+  /// Handle of the most recently added dataset named `name`.
+  std::optional<DatasetHandle> Find(const std::string& name) const;
+
+ private:
+  // unique_ptr keeps Entry references stable across Add calls (the gather
+  // holds shard pointers while requests are in flight).
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_ENGINE_SHARD_H_

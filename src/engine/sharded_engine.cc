@@ -1,0 +1,302 @@
+#include "engine/sharded_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <optional>
+
+#include "util/format.h"
+#include "util/timer.h"
+
+namespace touch {
+namespace {
+
+constexpr auto Format = StrFormat;  // local shorthand for the reports
+
+}  // namespace
+
+/// Everything one sharded join shares between its pair sinks and its
+/// handle: the user sink (serialized behind a mutex), the owner maps the
+/// dedup filter consults, and the per-pair handles the gather drains.
+struct internal::GatherState {
+  const QueryEngine* inner = nullptr;
+  std::unique_ptr<ResultSink> user_sink;
+  const ShardedCatalog::Entry* entry_a = nullptr;
+  const ShardedCatalog::Entry* entry_b = nullptr;
+  /// Merged result pairs (post-dedup), counted by the pair sinks.
+  std::atomic<uint64_t> merged_results{0};
+  /// Pairs dropped by the owner filter (boundary duplicates).
+  std::atomic<uint64_t> deduplicated{0};
+  /// Serializes user_sink->Emit across concurrently executing pairs.
+  std::mutex sink_mutex;
+  std::vector<RequestHandle> handles;
+  /// (shard_a, shard_b) of handles[k].
+  std::vector<std::pair<int, int>> pair_ids;
+  std::vector<std::pair<int, int>> pruned;
+  size_t pairs_total = 0;
+  /// Submit-time failure (bad handle, corrupt shard stats); when set, no
+  /// pairs were scattered.
+  std::string error;
+  /// Wall clock of the whole scatter-gather, started at Submit.
+  Timer wall;
+  bool gathered = false;
+};
+
+namespace {
+
+using GatherStatePtr = std::shared_ptr<internal::GatherState>;
+
+/// The per-pair sink the inner engine owns: remaps shard-local ids to
+/// global ids, applies the owner dedup filter, and forwards survivors into
+/// the shared user sink. Each instance is driven by exactly one worker
+/// (the inner engine's per-request contract); only the user-sink hop is
+/// cross-pair and takes the mutex.
+class PairSink : public ResultSink {
+ public:
+  PairSink(GatherStatePtr state, const ShardedCatalog::Shard* shard_a,
+           const ShardedCatalog::Shard* shard_b, uint32_t index_a,
+           uint32_t index_b)
+      : state_(std::move(state)),
+        shard_a_(shard_a),
+        shard_b_(shard_b),
+        index_a_(index_a),
+        index_b_(index_b) {}
+
+  void Emit(uint32_t local_a, uint32_t local_b) override {
+    const uint32_t global_a = shard_a_->to_global[local_a];
+    const uint32_t global_b = shard_b_->to_global[local_b];
+    // Owner filter: a pair belongs to the shard pair that owns both
+    // objects. The center-disjoint partitioner makes this vacuously true;
+    // a replicating partitioner would emit boundary pairs from several
+    // shard pairs, and exactly one — the owner — survives.
+    if (state_->entry_a->shard_of[global_a] != index_a_ ||
+        state_->entry_b->shard_of[global_b] != index_b_) {
+      state_->deduplicated.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    state_->merged_results.fetch_add(1, std::memory_order_relaxed);
+    if (state_->user_sink != nullptr) {
+      const std::lock_guard<std::mutex> lock(state_->sink_mutex);
+      state_->user_sink->Emit(global_a, global_b);
+    }
+  }
+
+ private:
+  GatherStatePtr state_;
+  const ShardedCatalog::Shard* shard_a_;
+  const ShardedCatalog::Shard* shard_b_;
+  uint32_t index_a_;
+  uint32_t index_b_;
+};
+
+}  // namespace
+
+// --- ShardedRequestHandle ---------------------------------------------------
+
+size_t ShardedRequestHandle::pair_count() const {
+  return state_ == nullptr ? 0 : state_->handles.size();
+}
+
+bool ShardedRequestHandle::Cancel() {
+  if (state_ == nullptr) return false;
+  // One call fans out to every shard pair's cancellation source.
+  bool any = false;
+  for (RequestHandle& handle : state_->handles) {
+    if (handle.Cancel()) any = true;
+  }
+  return any;
+}
+
+ShardedJoinResult ShardedRequestHandle::Get() {
+  ShardedJoinResult out;
+  if (state_ == nullptr) {
+    out.merged.status = RequestStatus::kError;
+    out.merged.error = "invalid sharded request handle";
+    return out;
+  }
+  internal::GatherState& state = *state_;
+  if (state.gathered) {
+    out.merged.status = RequestStatus::kError;
+    out.merged.error = "sharded result already gathered";
+    return out;
+  }
+  state.gathered = true;
+  out.shard_pairs_total = state.pairs_total;
+  out.pruned = state.pruned;
+
+  JoinResult& merged = out.merged;
+  if (!state.error.empty()) {
+    merged.status = RequestStatus::kError;
+    merged.error = state.error;
+  }
+  bool all_hit = !state.handles.empty();
+  bool any_warm = false;
+  bool any_cancelled = false;
+  for (size_t k = 0; k < state.handles.size(); ++k) {
+    JoinResult pair = state.handles[k].Get();
+    if (pair.status == RequestStatus::kCancelled) any_cancelled = true;
+    if (pair.status == RequestStatus::kError && merged.error.empty()) {
+      merged.status = RequestStatus::kError;
+      merged.error = Format("shard pair (%d, %d): ", state.pair_ids[k].first,
+                            state.pair_ids[k].second) +
+                     pair.error;
+    }
+    all_hit = all_hit && pair.index_cache_hit;
+    any_warm = any_warm || pair.index_cache_hit || pair.partial_index_cache_hit;
+    // Counters merge; phase seconds accumulate as summed work seconds.
+    merged.stats.MergeCounters(pair.stats);
+    merged.stats.build_seconds += pair.stats.build_seconds;
+    merged.stats.assign_seconds += pair.stats.assign_seconds;
+    merged.stats.join_seconds += pair.stats.join_seconds;
+    merged.plan.expected_results += pair.plan.expected_results;
+
+    ShardPairReport report;
+    report.shard_a = state.pair_ids[k].first;
+    report.shard_b = state.pair_ids[k].second;
+    report.stats = pair.stats;
+    report.status = pair.status;
+    report.index_cache_hit = pair.index_cache_hit;
+    report.plan = std::move(pair.plan);
+    out.pairs.push_back(std::move(report));
+  }
+  // The owner filter's counts are authoritative: MergeCounters summed the
+  // pairs' pre-dedup result counters.
+  merged.stats.results = state.merged_results.load(std::memory_order_relaxed);
+  out.deduplicated = state.deduplicated.load(std::memory_order_relaxed);
+  if (merged.status != RequestStatus::kError && any_cancelled) {
+    merged.status = RequestStatus::kCancelled;
+  }
+  merged.index_cache_hit = all_hit;
+  merged.partial_index_cache_hit = !all_hit && any_warm;
+  merged.stats.total_seconds = state.wall.Seconds();
+  merged.plan.algorithm = "sharded";
+  merged.plan.rationale = Format(
+      "scatter-gather over %zu x %zu shards: %zu pairs executed, %zu pruned "
+      "by the epsilon-inflated MBR test, %llu boundary duplicates dropped",
+      state.entry_a != nullptr ? state.entry_a->shards.size() : 0,
+      state.entry_b != nullptr ? state.entry_b->shards.size() : 0,
+      out.pairs.size(), out.pruned.size(),
+      static_cast<unsigned long long>(out.deduplicated));
+  if (state.inner != nullptr) out.cache = state.inner->cache_stats();
+
+  if (state.user_sink != nullptr) {
+    state.user_sink->OnComplete(merged);
+    state.user_sink.reset();
+  }
+  return out;
+}
+
+// --- ShardedQueryEngine -----------------------------------------------------
+
+ShardedQueryEngine::ShardedQueryEngine(const EngineOptions& options)
+    : shards_(std::max(1, options.shards)),
+      planner_(options.planner),
+      inner_(options) {}
+
+DatasetHandle ShardedQueryEngine::RegisterDataset(std::string name,
+                                                  Dataset boxes) {
+  ShardedCatalog::Entry entry;
+  entry.name = name;
+  entry.global_stats = ComputeDatasetStats(boxes);
+  ShardPartition partition =
+      PartitionIntoShards(boxes, entry.global_stats, shards_);
+  entry.shard_of = std::move(partition.shard_of);
+  entry.shards.reserve(partition.shards.size());
+  for (size_t k = 0; k < partition.shards.size(); ++k) {
+    DatasetShard& piece = partition.shards[k];
+    // Per-shard stats are computed once and serialized — the bytes are what
+    // central planning consumes, and what a remote shard would ship.
+    DatasetStats stats = ComputeDatasetStats(piece.boxes);
+    ShardedCatalog::Shard shard;
+    shard.count = piece.boxes.size();
+    shard.stats_bytes = SerializeDatasetStats(stats);
+    shard.to_global = std::move(piece.to_global);
+    shard.engine_handle =
+        inner_.RegisterDataset(name + "#" + std::to_string(k),
+                               std::move(piece.boxes), std::move(stats));
+    entry.shards.push_back(std::move(shard));
+  }
+  return catalog_.Add(std::move(entry));
+}
+
+ShardedRequestHandle ShardedQueryEngine::Submit(
+    const JoinRequest& request, std::unique_ptr<ResultSink> sink) {
+  auto state = std::make_shared<internal::GatherState>();
+  state->inner = &inner_;
+  state->user_sink = std::move(sink);
+  ShardedRequestHandle handle;
+  handle.state_ = state;
+  if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
+    state->error =
+        Format("invalid dataset handle (sharded catalog has %zu datasets)",
+               catalog_.size());
+    return handle;
+  }
+  const ShardedCatalog::Entry& entry_a = catalog_.entry(request.a);
+  const ShardedCatalog::Entry& entry_b = catalog_.entry(request.b);
+  state->entry_a = &entry_a;
+  state->entry_b = &entry_b;
+  state->pairs_total = entry_a.shards.size() * entry_b.shards.size();
+
+  // Central planning consumes the serialized stats — deserialize each
+  // shard's bytes once per request, exactly as a coordinator would with
+  // stats that arrived over the wire.
+  const auto deserialize_all =
+      [&](const ShardedCatalog::Entry& entry,
+          std::vector<DatasetStats>* stats) -> bool {
+    stats->resize(entry.shards.size());
+    for (size_t k = 0; k < entry.shards.size(); ++k) {
+      if (!DeserializeDatasetStats(entry.shards[k].stats_bytes,
+                                   &(*stats)[k])) {
+        state->error = Format("corrupt serialized stats for shard %zu of %s",
+                              k, entry.name.c_str());
+        return false;
+      }
+    }
+    return true;
+  };
+  std::vector<DatasetStats> stats_a;
+  std::vector<DatasetStats> stats_b;
+  if (!deserialize_all(entry_a, &stats_a) ||
+      !deserialize_all(entry_b, &stats_b)) {
+    return handle;
+  }
+
+  std::optional<CalibrationSnapshot> snapshot;
+  if (inner_.options().calibration.enabled) {
+    snapshot = inner_.calibration_snapshot();
+  }
+
+  for (size_t i = 0; i < entry_a.shards.size(); ++i) {
+    for (size_t j = 0; j < entry_b.shards.size(); ++j) {
+      if (!Planner::PairMayProduceResults(stats_a[i], stats_b[j],
+                                          request.epsilon)) {
+        state->pruned.emplace_back(static_cast<int>(i), static_cast<int>(j));
+        continue;
+      }
+      JoinPlan plan =
+          planner_.Plan(stats_a[i], stats_b[j], request.epsilon,
+                        snapshot.has_value() ? &*snapshot : nullptr);
+      JoinRequest pair_request;
+      pair_request.a = entry_a.shards[i].engine_handle;
+      pair_request.b = entry_b.shards[j].engine_handle;
+      pair_request.epsilon = request.epsilon;
+      pair_request.deadline = request.deadline;  // deadlines fan out too
+      state->pair_ids.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      state->handles.push_back(inner_.SubmitPlanned(
+          std::move(plan), pair_request,
+          std::make_unique<PairSink>(state, &entry_a.shards[i],
+                                     &entry_b.shards[j],
+                                     static_cast<uint32_t>(i),
+                                     static_cast<uint32_t>(j))));
+    }
+  }
+  return handle;
+}
+
+ShardedJoinResult ShardedQueryEngine::Execute(const JoinRequest& request,
+                                              ResultCollector& out) {
+  return Submit(request, std::make_unique<ForwardingSink>(out)).Get();
+}
+
+}  // namespace touch

@@ -2,6 +2,7 @@
 #define TOUCH_UTIL_CANCELLATION_H_
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 
 namespace touch {
@@ -9,7 +10,22 @@ namespace touch {
 namespace internal {
 struct CancelFlag {
   std::atomic<bool> requested{false};
+  /// Engine-enforced deadline as steady-clock nanoseconds-since-epoch;
+  /// 0 = none. Observers treat a passed deadline exactly like a requested
+  /// stop, so every existing cooperative poll enforces deadlines for free.
+  std::atomic<int64_t> deadline_ns{0};
 };
+
+inline int64_t SteadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+inline bool DeadlinePassed(const CancelFlag& flag) {
+  const int64_t deadline = flag.deadline_ns.load(std::memory_order_relaxed);
+  return deadline != 0 && SteadyNowNs() >= deadline;
+}
 }  // namespace internal
 
 /// std::stop_token-style cooperative cancellation flag, shared between the
@@ -24,11 +40,14 @@ class CancellationToken {
  public:
   CancellationToken() = default;
 
-  /// True once the owning source requested cancellation. Monotonic: never
-  /// resets to false.
+  /// True once the owning source requested cancellation — or once its
+  /// deadline (if one was set) has passed. Monotonic: never resets to
+  /// false. The deadline branch costs one relaxed load when no deadline is
+  /// set, so hot loops still poll for (almost) free.
   bool stop_requested() const {
     return flag_ != nullptr &&
-           flag_->requested.load(std::memory_order_acquire);
+           (flag_->requested.load(std::memory_order_acquire) ||
+            internal::DeadlinePassed(*flag_));
   }
 
   /// False for default-constructed tokens, which can never be cancelled.
@@ -56,7 +75,22 @@ class CancellationSource {
   }
 
   bool stop_requested() const {
-    return flag_->requested.load(std::memory_order_acquire);
+    return flag_->requested.load(std::memory_order_acquire) ||
+           internal::DeadlinePassed(*flag_);
+  }
+
+  /// Arms a deadline: once `deadline` passes, every token of this source
+  /// reports stop_requested() without anyone calling RequestStop — the
+  /// engine's per-request deadline enforcement (JoinRequest::deadline).
+  /// The epoch itself (a default-constructed time point) clears the
+  /// deadline; anything before it (time_point::min(), a negative
+  /// arithmetic result) counts as already expired, not as "none".
+  void SetDeadline(std::chrono::steady_clock::time_point deadline) {
+    const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           deadline.time_since_epoch())
+                           .count();
+    flag_->deadline_ns.store(ns > 0 ? ns : (ns < 0 ? 1 : 0),
+                             std::memory_order_relaxed);
   }
 
  private:

@@ -1,0 +1,24 @@
+#ifndef TOUCH_UTIL_FORMAT_H_
+#define TOUCH_UTIL_FORMAT_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+namespace touch {
+
+/// printf-style std::string formatter shared by the report/rationale
+/// builders (planner, sharded engine, CLI). Output is truncated at 512
+/// bytes — callers format short single-line reports, never unbounded data.
+inline std::string StrFormat(const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+}  // namespace touch
+
+#endif  // TOUCH_UTIL_FORMAT_H_

@@ -222,6 +222,93 @@ TEST_F(EngineCancelTest, CancelMidExecuteCompletesWithinPromptBudget) {
   EXPECT_TRUE(engine.Execute({a, a, 0.5f}, out).ok());
 }
 
+// --- Engine-enforced deadlines (JoinRequest::deadline) ----------------------
+
+TEST_F(EngineCancelTest, ExpiredDeadlineCancelsWithoutAnyCancelCall) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  JoinRequest request{a, a, 1.0f};
+  request.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  // Nobody calls Cancel and nobody has to: the engine's own boundary
+  // checks see the passed deadline.
+  const JoinResult result = engine.Submit(request).Get();
+  EXPECT_TRUE(result.cancelled());
+}
+
+TEST_F(EngineCancelTest, DeadlineHoldsWhenCallerAbandonsTheHandle) {
+  // The worker is parked in the planning phase (entered unconditionally
+  // right after the claim, so the park cannot be raced by the deadline);
+  // the caller abandons the handle while it is parked. Once the deadline
+  // passes, the engine's own boundary check must stop the run — observed
+  // through the sink, which the engine always completes.
+  PhaseGate gate(RequestPhase::kPlanning);
+  EngineOptions options;
+  options.threads = 1;
+  options.phase_observer = gate.Observer();
+  QueryEngine engine(options);
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+
+  SinkLog log;
+  JoinRequest request{a, a, 1.0f};
+  request.deadline = std::chrono::steady_clock::now() + kPromptBudget;
+  {
+    RequestHandle handle =
+        engine.Submit(request, std::make_unique<LoggingSink>(&log));
+    gate.WaitReached();
+    // Abandon: the handle dies here, with the worker parked pre-deadline.
+  }
+  std::this_thread::sleep_for(kPromptBudget + std::chrono::milliseconds(100));
+  gate.Release();
+  // The engine still owes the sink exactly one completion; the deadline
+  // (now past) stops the request at the planned -> build boundary.
+  const auto waited_from = std::chrono::steady_clock::now();
+  while (log.completions.load() == 0 &&
+         std::chrono::steady_clock::now() - waited_from <
+             std::chrono::seconds(30)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(log.completions.load(), 1);
+  EXPECT_EQ(log.last_status, RequestStatus::kCancelled);
+}
+
+TEST_F(EngineCancelTest, FutureDeadlineDoesNotDisturbFastRequests) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  JoinRequest request{a, a, 1.0f};
+  request.deadline = std::chrono::steady_clock::now() + std::chrono::hours(1);
+  const JoinResult result = engine.Submit(request).Get();
+  EXPECT_TRUE(result.ok()) << result.error;
+  EXPECT_GT(result.stats.results, 0u);
+}
+
+TEST_F(EngineCancelTest, PreEpochDeadlineCountsAsExpiredNotAsNone) {
+  QueryEngine engine;
+  const DatasetHandle a = engine.RegisterDataset("small", small_);
+  JoinRequest request{a, a, 1.0f};
+  // time_point::min() is before the steady-clock epoch; it must behave as
+  // an expired deadline, not silently disable the timeout.
+  request.deadline = std::chrono::steady_clock::time_point::min();
+  const JoinResult result = engine.Submit(request).Get();
+  EXPECT_TRUE(result.cancelled());
+}
+
+TEST(CancellationDeadlineTest, TokenReportsStopOnceDeadlinePasses) {
+  CancellationSource source;
+  const CancellationToken token = source.token();
+  EXPECT_FALSE(token.stop_requested());
+  source.SetDeadline(std::chrono::steady_clock::now() +
+                     std::chrono::hours(1));
+  EXPECT_FALSE(token.stop_requested());
+  source.SetDeadline(std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(source.stop_requested());
+  // RequestStop still reports "first" correctly after a deadline expiry.
+  EXPECT_TRUE(source.RequestStop());
+  EXPECT_FALSE(source.RequestStop());
+}
+
 TEST_F(EngineCancelTest, CancelAfterCompletionIsANoOp) {
   QueryEngine engine;
   const DatasetHandle a = engine.RegisterDataset("small", small_);

@@ -8,6 +8,9 @@
 #include <thread>
 #include <vector>
 
+#include "datagen/distributions.h"
+#include "engine/engine.h"
+
 namespace touch {
 namespace {
 
@@ -42,6 +45,11 @@ IndexCache::Builder Build(size_t bytes, int payload, int* builds = nullptr,
 
 int Payload(const IndexCache::ArtifactPtr& artifact) {
   return static_cast<const TestArtifact*>(artifact.get())->payload;
+}
+
+/// A build-cost prediction provider returning a fixed value.
+IndexCache::BuildCostFn Expect(double seconds) {
+  return [seconds] { return seconds; };
 }
 
 TEST(IndexCacheTest, HitReturnsSameArtifactAndCountsBytes) {
@@ -274,6 +282,106 @@ TEST(IndexCacheTest, ClearResetsGhostListMemory) {
   cache.GetOrBuild(Key(0), Build(10, 0, &builds));
   EXPECT_EQ(cache.stats().entries, 1u);
   EXPECT_EQ(builds, 3);
+}
+
+TEST(IndexCacheTest, PreadmissionSkipsGhostProbationForExpensiveBuilds) {
+  IndexCacheOptions options{0, /*admission=*/true, 16};
+  options.preadmit_build_seconds = 0.1;
+  IndexCache cache(options);
+  int builds = 0;
+
+  // Predicted cheap: the normal one-miss probation applies.
+  cache.GetOrBuild(Key(0), Build(10, 1, &builds), Expect(0.01));
+  IndexCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.admission_rejects, 1u);
+  EXPECT_EQ(stats.admission_preadmits, 0u);
+
+  // Predicted expensive: retained on first sight, counted as a pre-admit.
+  EXPECT_EQ(Payload(cache.GetOrBuild(Key(1), Build(10, 2, &builds),
+                                     Expect(0.5))),
+            2);
+  stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.admission_rejects, 1u);
+  EXPECT_EQ(stats.admission_preadmits, 1u);
+
+  // The pre-admitted key now hits without a second build.
+  EXPECT_EQ(Payload(cache.GetOrBuild(Key(1), Build(10, 3, &builds))), 2);
+  EXPECT_EQ(builds, 2);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(IndexCacheTest, PreadmissionClearsGhostMemoryOfTheKey) {
+  IndexCacheOptions options{0, /*admission=*/true, 16};
+  options.preadmit_build_seconds = 0.1;
+  IndexCache cache(options);
+  int builds = 0;
+  // First sighting with no prediction: rejected and remembered.
+  cache.GetOrBuild(Key(0), Build(10, 1, &builds));
+  // Now the cost model learned it is expensive: pre-admitted (not a
+  // ghost-list admission), and the ghost entry is consumed.
+  cache.GetOrBuild(Key(0), Build(10, 2, &builds), Expect(1.0));
+  const IndexCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.admission_preadmits, 1u);
+  EXPECT_EQ(builds, 2);
+}
+
+TEST(IndexCacheTest, PreadmissionDisabledByZeroThreshold) {
+  IndexCacheOptions options{0, /*admission=*/true, 16};
+  options.preadmit_build_seconds = 0;
+  IndexCache cache(options);
+  int builds = 0;
+  cache.GetOrBuild(Key(0), Build(10, 1, &builds), Expect(100.0));
+  const IndexCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.admission_rejects, 1u);
+  EXPECT_EQ(stats.admission_preadmits, 0u);
+}
+
+TEST(IndexCacheTest, EnginePreadmitsArtifactsWithExpensiveFittedBuilds) {
+  // Engine-level integration: with admission on and calibration evidence
+  // that TOUCH builds are catastrophic to rebuild, the first build of a
+  // touch tree is retained immediately (no one-miss probation).
+  EngineOptions options;
+  options.cache_admission = true;
+  options.cache_preadmit_build_seconds = 0.25;
+  // Force TOUCH plans regardless of workload shape.
+  options.planner.nested_loop_max = 0;
+  options.planner.plane_sweep_max = 0;
+  options.planner.pbsm_skew_max = -1.0;
+  QueryEngine engine(options);
+  const DatasetHandle a = engine.RegisterDataset(
+      "A", GenerateSynthetic(Distribution::kUniform, 3000, 71));
+  const DatasetHandle b = engine.RegisterDataset(
+      "B", GenerateSynthetic(Distribution::kUniform, 4000, 72));
+
+  // Teach the calibrator that touch builds cost ~1s at this size: rate =
+  // build/objects ≈ 1.4e-4 s/object, so 7000 objects predict ~1s >> 0.25.
+  for (int i = 0; i < 3; ++i) {
+    PlanOutcome outcome;
+    outcome.family = "touch";
+    outcome.objects = 7000;
+    outcome.estimated_results = 1000;
+    outcome.build_seconds = 1.0;
+    outcome.total_seconds = 1.5;
+    engine.feedback().Record(outcome);
+  }
+
+  CountingCollector out;
+  const JoinResult result = engine.Execute({a, b, 2.0f}, out);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.plan.algorithm, "touch");
+  const IndexCache::Stats stats = engine.cache_stats();
+  EXPECT_EQ(stats.admission_preadmits, 1u);
+  EXPECT_EQ(stats.admission_rejects, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+
+  // And the next identical request is a plain hit — no probation rebuild.
+  CountingCollector out2;
+  const JoinResult warm = engine.Execute({a, b, 2.0f}, out2);
+  EXPECT_TRUE(warm.index_cache_hit);
 }
 
 TEST(IndexCacheTest, ClearDropsEverythingWithoutCountingEvictions) {

@@ -8,7 +8,16 @@ anchor that no heading in the target file produces. External links
 network, and the failure mode this guards against is repo refactors
 breaking our own references.
 
-Exit code 0 when every link resolves, 1 otherwise (one line per breakage).
+Also validates:
+  - ```mermaid fences: the fence must close, the first line must name a
+    known diagram type, and graph/flowchart blocks must balance their
+    subgraph/end pairs (the sanity layer under our architecture diagrams —
+    a typo'd diagram renders as an error box on GitHub, silently).
+  - Contents sections: in a file with a "## Contents" heading, every other
+    H2 must be linked from that section, so the TOC cannot silently drift
+    from the document it indexes.
+
+Exit code 0 when everything resolves, 1 otherwise (one line per breakage).
 """
 
 import os
@@ -23,6 +32,14 @@ SKIP_DIRS = {".git", "build", "build-tsan", ".claude"}
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+# Diagram types mermaid actually parses; a fence starting with anything
+# else renders as an error box on GitHub.
+MERMAID_TYPES = (
+    "graph", "flowchart", "sequenceDiagram", "stateDiagram-v2",
+    "stateDiagram", "classDiagram", "erDiagram", "gantt", "pie",
+    "journey", "mindmap", "timeline",
+)
 
 
 def markdown_files():
@@ -66,17 +83,101 @@ def anchors_of(path, cache={}):
     return cache[path]
 
 
+def check_mermaid_block(rel, fence_lineno, block):
+    """Sanity-checks one ```mermaid block's body lines."""
+    errors = []
+    body = [line.strip() for line in block if line.strip()]
+    if not body:
+        errors.append(f"{rel}:{fence_lineno}: empty mermaid block")
+        return errors
+    first = body[0]
+    if not any(first == t or first.startswith(t + " ")
+               for t in MERMAID_TYPES):
+        errors.append(
+            f"{rel}:{fence_lineno}: mermaid block starts with '{first}', "
+            f"not a known diagram type")
+        return errors
+    if first.split()[0] in ("graph", "flowchart"):
+        subgraphs = sum(1 for line in body if line.startswith("subgraph"))
+        ends = sum(1 for line in body if line == "end")
+        if subgraphs != ends:
+            errors.append(
+                f"{rel}:{fence_lineno}: mermaid block has {subgraphs} "
+                f"'subgraph' but {ends} 'end'")
+    return errors
+
+
+def check_contents_section(rel, lines):
+    """In a file with a '## Contents' heading, every other H2 must be
+    linked (as a #anchor) from that section."""
+    headings = []  # (lineno, slug) of H2s outside fences
+    contents_start = None
+    in_fence = False
+    for lineno, line in enumerate(lines, 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = re.match(r"^##\s+(.*)$", line)
+        if match:
+            heading = match.group(1).strip()
+            if heading.lower() == "contents":
+                contents_start = lineno
+            else:
+                headings.append((lineno, github_anchor(heading)))
+    if contents_start is None:
+        return []
+    # The Contents section runs until the next heading of any level —
+    # fenced lines are neither section terminators nor link sources.
+    linked = set()
+    in_fence = False
+    for line in lines[contents_start:]:
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        if HEADING_RE.match(line):
+            break
+        for match in LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith("#"):
+                linked.add(target[1:])
+    errors = []
+    for lineno, slug in headings:
+        if slug not in linked:
+            errors.append(
+                f"{rel}:{lineno}: heading '#{slug}' missing from the "
+                f"Contents section (line {contents_start})")
+    return errors
+
+
 def check_file(md_path):
     errors = []
-    in_fence = False
+    rel = os.path.relpath(md_path, REPO_ROOT)
     with open(md_path, encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, 1):
-            if CODE_FENCE_RE.match(line):
-                in_fence = not in_fence
-                continue
-            if in_fence:
-                continue
-            for match in LINK_RE.finditer(line):
+        lines = handle.readlines()
+
+    in_fence = False
+    mermaid_start = None
+    mermaid_block = []
+    for lineno, line in enumerate(lines, 1):
+        if CODE_FENCE_RE.match(line):
+            if not in_fence and line.strip().lstrip("`~") == "mermaid":
+                mermaid_start = lineno
+                mermaid_block = []
+            elif in_fence and mermaid_start is not None:
+                errors.extend(
+                    check_mermaid_block(rel, mermaid_start, mermaid_block))
+                mermaid_start = None
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            if mermaid_start is not None:
+                mermaid_block.append(line)
+            continue
+        for match in LINK_RE.finditer(line):
                 target = match.group(1)
                 if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
                     continue  # http:, https:, mailto:, ...
@@ -86,7 +187,6 @@ def check_file(md_path):
                         os.path.join(os.path.dirname(md_path), path_part))
                 else:
                     resolved = md_path  # same-file anchor
-                rel = os.path.relpath(md_path, REPO_ROOT)
                 if not os.path.exists(resolved):
                     errors.append(
                         f"{rel}:{lineno}: broken link '{target}' "
@@ -97,6 +197,9 @@ def check_file(md_path):
                         errors.append(
                             f"{rel}:{lineno}: broken anchor '{target}' "
                             f"(no heading yields #{anchor})")
+    if in_fence:
+        errors.append(f"{rel}: unclosed code fence at end of file")
+    errors.extend(check_contents_section(rel, lines))
     return errors
 
 

@@ -14,7 +14,6 @@
 #include <cctype>
 #include <cerrno>
 #include <chrono>
-#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
@@ -28,7 +27,9 @@
 #include "datagen/distributions.h"
 #include "datagen/neuro.h"
 #include "engine/engine.h"
+#include "engine/sharded_engine.h"
 #include "io/dataset_io.h"
+#include "util/format.h"
 
 namespace touch {
 namespace {
@@ -58,8 +59,12 @@ struct CliOptions {
   /// their second build request).
   bool cache_admission = false;
   /// --algo=auto: cancel a request that exceeds this wall-clock budget
-  /// (0 = no timeout). Mapped onto RequestHandle::Cancel.
+  /// (0 = no timeout). Set as JoinRequest::deadline, so the engine itself
+  /// enforces it even if this process stopped waiting.
   int timeout_ms = 0;
+  /// --algo=auto: shards per dataset; > 1 routes auto runs through the
+  /// sharded scatter-gather engine.
+  int shards = 1;
   /// --algo=auto: print histogram-based estimates vs measured actuals.
   bool explain = false;
   /// --algo=auto: measured-run feedback calibrating the planner.
@@ -68,14 +73,7 @@ struct CliOptions {
   bool help = false;
 };
 
-std::string Format(const char* fmt, ...) {
-  char buffer[256];
-  va_list args;
-  va_start(args, fmt);
-  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
-  va_end(args);
-  return buffer;
-}
+constexpr auto Format = StrFormat;  // shared helper, see util/format.h
 
 /// Parses a byte count with an optional k/m/g suffix ("64m" = 64 MiB).
 /// Returns false on garbage, a bad suffix, negative input (strtoull would
@@ -128,7 +126,12 @@ void PrintUsage() {
       "                         second build request for its key (ghost-list\n"
       "                         admission; default off)\n"
       "  --timeout-ms=N         cancel an --algo=auto request that runs\n"
-      "                         longer than N milliseconds (default: none)\n"
+      "                         longer than N milliseconds (default: none);\n"
+      "                         enforced by the engine as a request deadline\n"
+      "  --shards=K             partition each dataset into K spatial shards\n"
+      "                         and scatter-gather --algo=auto joins across\n"
+      "                         shard pairs (default 1 = unsharded); with\n"
+      "                         --explain, prints the per-shard-pair plans\n"
       "  --explain              after each --algo=auto run, print the plan's\n"
       "                         histogram-based estimates next to the\n"
       "                         measured actuals\n"
@@ -210,6 +213,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->timeout_ms = std::atoi(value.c_str());
       if (options->timeout_ms <= 0) {
         std::fprintf(stderr, "bad --timeout-ms value: %s (expected > 0)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "shards", &value)) {
+      options->shards = std::atoi(value.c_str());
+      if (options->shards < 1) {
+        std::fprintf(stderr, "bad --shards value: %s (expected >= 1)\n",
                      value.c_str());
         return false;
       }
@@ -327,6 +337,7 @@ int RunJoin(const CliOptions& options) {
   // as cold *teaching runs* (cache cleared first, so timings match the
   // engineless path) whose measurements calibrate later autos.
   std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<ShardedQueryEngine> sharded;
   DatasetHandle handle_a = 0;
   DatasetHandle handle_b = 0;
   if (std::find(algorithms.begin(), algorithms.end(), "auto") !=
@@ -335,27 +346,110 @@ int RunJoin(const CliOptions& options) {
     engine_options.max_cache_bytes = options.cache_bytes;
     engine_options.cache_admission = options.cache_admission;
     engine_options.calibration.enabled = options.calibration;
-    engine = std::make_unique<QueryEngine>(engine_options);
-    handle_a = engine->RegisterDataset("A", a);
-    handle_b = engine->RegisterDataset("B", b);
+    engine_options.shards = options.shards;
+    if (options.shards > 1) {
+      // --shards routes auto runs through the scatter-gather engine; fixed
+      // names in a mixed list fall back to the engineless path (per-shard
+      // teaching runs would not be comparable evidence).
+      sharded = std::make_unique<ShardedQueryEngine>(engine_options);
+      handle_a = sharded->RegisterDataset("A", a);
+      handle_b = sharded->RegisterDataset("B", b);
+      if (algorithms.size() > 1) {
+        std::fprintf(stderr,
+                     "note: with --shards>1, fixed algorithms run unsharded "
+                     "and do not teach the auto planner\n");
+      }
+    } else {
+      engine = std::make_unique<QueryEngine>(engine_options);
+      handle_a = engine->RegisterDataset("A", a);
+      handle_b = engine->RegisterDataset("B", b);
+    }
   }
+
+  // Shared by both auto paths: the request (with --timeout-ms mapped onto
+  // the engine-enforced deadline) and the estimated-vs-measured ratio of
+  // the explain report.
+  const auto make_auto_request = [&] {
+    JoinRequest request{handle_a, handle_b, options.epsilon};
+    if (options.timeout_ms > 0) {
+      request.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(options.timeout_ms);
+    }
+    return request;
+  };
+  const auto estimate_ratio = [](double estimated, uint64_t measured) {
+    return measured > 0 && estimated > 0
+               ? Format(" (%.2fx)", estimated / static_cast<double>(measured))
+               : std::string();
+  };
 
   bool auto_ran = false;
   for (const std::string& name : algorithms) {
     JoinStats stats;
     CountingCollector out;
     std::string display_name = name;
-    if (name == "auto") {
+    if (name == "auto" && options.partitions > 0) {
+      std::fprintf(stderr, "note: --partitions does not apply to --algo=auto\n");
+    }
+    if (name == "auto" && sharded != nullptr) {
       auto_ran = true;
-      if (options.partitions > 0) {
+      ShardedRequestHandle handle = sharded->Submit(make_auto_request());
+      ShardedJoinResult result = handle.Get();
+      if (result.merged.cancelled()) {
         std::fprintf(stderr,
-                     "note: --partitions does not apply to --algo=auto\n");
+                     "auto: cancelled after exceeding --timeout-ms=%d "
+                     "(sharded request)\n",
+                     options.timeout_ms);
+        continue;
       }
-      const JoinRequest request{handle_a, handle_b, options.epsilon};
-      // Submitted (not Execute'd) so a --timeout-ms budget can cancel it:
-      // the handle's future is awaited up to the deadline, then Cancel()
-      // stops the run cooperatively and the future completes as Cancelled.
-      RequestHandle handle = engine->Submit(request);
+      if (!result.merged.error.empty()) {
+        std::fprintf(stderr, "%s\n", result.merged.error.c_str());
+        return 1;
+      }
+      std::FILE* report = options.csv ? stderr : stdout;
+      std::fprintf(report, "plan: %zu shards/dataset, %zu shard pairs: %zu "
+                   "executed, %zu pruned%s\n  reason: %s\n",
+                   static_cast<size_t>(sharded->shards()),
+                   result.shard_pairs_total, result.pairs.size(),
+                   result.pruned.size(),
+                   result.merged.index_cache_hit ? " [index cache hit]" : "",
+                   result.merged.plan.rationale.c_str());
+      if (options.explain) {
+        // The per-shard plan report: every executed pair with its centrally
+        // computed plan and measured outcome; pruned pairs listed after.
+        for (const ShardPairReport& pair : result.pairs) {
+          std::fprintf(
+              report,
+              "  shard[%d,%d]: algorithm=%s results=%llu time=%.4fs%s%s\n",
+              pair.shard_a, pair.shard_b, pair.plan.algorithm.c_str(),
+              static_cast<unsigned long long>(pair.stats.results),
+              pair.stats.total_seconds,
+              pair.index_cache_hit ? " [cache hit]" : "",
+              pair.status == RequestStatus::kOk ? "" : " [not ok]");
+        }
+        for (const auto& [shard_a, shard_b] : result.pruned) {
+          std::fprintf(report, "  shard[%d,%d]: pruned (MBRs cannot meet)\n",
+                       shard_a, shard_b);
+        }
+        std::fprintf(report,
+                     "explain: results estimated %.4g, measured %llu%s; "
+                     "%llu boundary duplicates dropped\n",
+                     result.merged.plan.expected_results,
+                     static_cast<unsigned long long>(
+                         result.merged.stats.results),
+                     estimate_ratio(result.merged.plan.expected_results,
+                                    result.merged.stats.results)
+                         .c_str(),
+                     static_cast<unsigned long long>(result.deduplicated));
+      }
+      stats = result.merged.stats;
+      display_name = Format("auto:sharded-%d", sharded->shards());
+    } else if (name == "auto") {
+      auto_ran = true;
+      // The engine enforces the budget itself (JoinRequest::deadline) —
+      // the wait below is only for reporting which phase the request was
+      // in, plus a belt-and-braces Cancel.
+      RequestHandle handle = engine->Submit(make_auto_request());
       RequestPhase timed_out_in = RequestPhase::kQueued;
       if (options.timeout_ms > 0 &&
           handle.future().wait_for(std::chrono::milliseconds(
@@ -382,15 +476,13 @@ int RunJoin(const CliOptions& options) {
       if (options.explain) {
         // Histogram-based estimates next to what the run actually measured:
         // the planner's accuracy is inspectable per query.
-        const double measured = static_cast<double>(result.stats.results);
-        const double estimated = result.plan.expected_results;
         std::fprintf(report,
                      "explain: results estimated %.4g, measured %llu%s\n",
-                     estimated,
+                     result.plan.expected_results,
                      static_cast<unsigned long long>(result.stats.results),
-                     measured > 0 && estimated > 0
-                         ? Format(" (%.2fx)", estimated / measured).c_str()
-                         : "");
+                     estimate_ratio(result.plan.expected_results,
+                                    result.stats.results)
+                         .c_str());
         if (result.plan.calibrated) {
           std::string note = "calibrated";
           if (result.plan.static_algorithm != result.plan.algorithm) {
@@ -481,18 +573,21 @@ int RunJoin(const CliOptions& options) {
   }
   // Cache telemetry belongs to the auto plan report: hit rate and evictions
   // show whether the cap (if any) is sized right for the query mix.
-  if (engine != nullptr) {
-    const IndexCache::Stats cache = engine->cache_stats();
+  if (engine != nullptr || sharded != nullptr) {
+    const IndexCache::Stats cache = engine != nullptr
+                                        ? engine->cache_stats()
+                                        : sharded->engine().cache_stats();
     std::fprintf(
         options.csv ? stderr : stdout,
         "index cache: %.0f%% hit rate (%llu/%llu), %llu evictions, "
-        "%llu admission rejects, %zu entries, %.2f MB%s, "
+        "%llu admission rejects, %llu pre-admits, %zu entries, %.2f MB%s, "
         "%.3fs of rebuilds avoided\n",
         cache.HitRate() * 100.0,
         static_cast<unsigned long long>(cache.hits),
         static_cast<unsigned long long>(cache.hits + cache.misses),
         static_cast<unsigned long long>(cache.evictions),
         static_cast<unsigned long long>(cache.admission_rejects),
+        static_cast<unsigned long long>(cache.admission_preadmits),
         cache.entries,
         static_cast<double>(cache.bytes) / (1024.0 * 1024.0),
         cache.capacity_bytes == 0 ? " (unbounded)" : "",
