@@ -7,7 +7,9 @@
 // bracket them between the best and worst static choice. The benchmark label
 // of the auto runs records which algorithm the planner picked.
 
+#include <cstdlib>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -17,6 +19,22 @@
 
 namespace touch::bench {
 namespace {
+
+// TOUCH_BENCH_TRACE=1 runs every engine benchmark with tracing + metrics
+// attached (one process-wide tracer, never exported): the CI overhead gate
+// compares this run against a default run of the same binary to bound the
+// cost of leaving observability on in production. The auto_* benchmarks are
+// the interesting rows — they exercise the span-per-phase engine path.
+EngineOptions TracedOptions() {
+  EngineOptions options;
+  if (std::getenv("TOUCH_BENCH_TRACE") != nullptr) {
+    static const auto tracer = std::make_shared<Tracer>();
+    static const auto metrics = std::make_shared<MetricsRegistry>();
+    options.tracer = tracer;
+    options.metrics = metrics;
+  }
+  return options;
+}
 
 struct Workload {
   std::string name;
@@ -39,7 +57,7 @@ void RegisterWorkload(const Workload& workload) {
   benchmark::RegisterBenchmark(
       (prefix + "auto_cold").c_str(),
       [=](benchmark::State& state) {
-        QueryEngine engine;
+        QueryEngine engine(TracedOptions());
         const DatasetHandle ha = engine.RegisterDataset("A", a);
         const DatasetHandle hb = engine.RegisterDataset("B", b);
         const JoinRequest request{ha, hb, workload.epsilon};
@@ -57,7 +75,7 @@ void RegisterWorkload(const Workload& workload) {
   benchmark::RegisterBenchmark(
       (prefix + "auto_warm").c_str(),
       [=](benchmark::State& state) {
-        QueryEngine engine;
+        QueryEngine engine(TracedOptions());
         const DatasetHandle ha = engine.RegisterDataset("A", a);
         const DatasetHandle hb = engine.RegisterDataset("B", b);
         const JoinRequest request{ha, hb, workload.epsilon};
@@ -79,7 +97,7 @@ void RegisterWorkload(const Workload& workload) {
   benchmark::RegisterBenchmark(
       (prefix + "auto_tight_memory").c_str(),
       [=](benchmark::State& state) {
-        EngineOptions options;
+        EngineOptions options = TracedOptions();
         options.planner.memory_budget_bytes = 2 << 20;
         QueryEngine engine(options);
         const DatasetHandle ha = engine.RegisterDataset("A", a);
@@ -106,7 +124,7 @@ void RegisterWorkload(const Workload& workload) {
   benchmark::RegisterBenchmark(
       (prefix + "auto_sharded").c_str(),
       [=](benchmark::State& state) {
-        EngineOptions options;
+        EngineOptions options = TracedOptions();
         options.shards = 4;
         ShardedQueryEngine engine(options);
         const DatasetHandle ha = engine.RegisterDataset("A", a);
@@ -139,7 +157,8 @@ void RegisterWorkload(const Workload& workload) {
   benchmark::RegisterBenchmark(
       (prefix + "auto_calibrated").c_str(),
       [=](benchmark::State& state) {
-        QueryEngine engine;  // calibration enabled by default
+        // Calibration enabled by default.
+        QueryEngine engine(TracedOptions());
         const DatasetHandle ha = engine.RegisterDataset("A", a);
         const DatasetHandle hb = engine.RegisterDataset("B", b);
         const JoinRequest request{ha, hb, workload.epsilon};
@@ -176,7 +195,7 @@ void RegisterWorkload(const Workload& workload) {
   benchmark::RegisterBenchmark(
       (prefix + "submit_burst").c_str(),
       [=](benchmark::State& state) {
-        QueryEngine engine;
+        QueryEngine engine(TracedOptions());
         const DatasetHandle ha = engine.RegisterDataset("A", a);
         const DatasetHandle hb = engine.RegisterDataset("B", b);
         const std::vector<JoinRequest> burst(16,

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "geom/grid.h"
+#include "obs/trace.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -178,6 +179,9 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
 
   // ---- Phase 2: assignment of the probe dataset (Algorithm 3). ----
   phase.Reset();
+  // Ambient phase span: attaches under the engine's "execute" span when one
+  // is open on this thread, no-op otherwise (library callers untouched).
+  SpanScope assign_span("touch-assign");
   std::vector<std::vector<uint32_t>> entities(tree.nodes().size());
   const std::span<const TouchTree::Node> nodes = tree.nodes();
   const std::span<const uint32_t> child_ids = tree.child_ids();
@@ -230,9 +234,13 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     }
   }
   stats.assign_seconds = phase.Seconds();
+  assign_span.End();
 
   // ---- Phase 3: per-node local join (Algorithm 4). ----
   phase.Reset();
+  // Calling-thread span; the parallel path's spawned workers carry no
+  // ambient context, so the one span covers the phase's wall clock.
+  SpanScope local_join_span("touch-local-join");
   const std::span<const uint32_t> item_ids = tree.item_ids();
 
   // Minimum grid cell edge: a multiple of the average *raw* object extent
@@ -435,6 +443,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     }
   }
   stats.join_seconds = phase.Seconds();
+  local_join_span.End();
 
   stats.memory_bytes = tree.MemoryUsageBytes() + NestedVectorBytes(entities) +
                        max_grid_bytes + VectorBytes(enlarged_probe);

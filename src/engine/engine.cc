@@ -26,6 +26,38 @@ class SwappedCollector : public ResultCollector {
   ResultCollector& out_;
 };
 
+/// Measures time-to-first-Emit generically — for every algorithm, not just
+/// the streaming NBPS that historically self-reported it. Wrapped around
+/// the request's collector in ExecutePlanned; single-threaded like every
+/// engine sink (Emit calls are never concurrent per request).
+class FirstEmitCollector : public ResultCollector {
+ public:
+  FirstEmitCollector(ResultCollector& out, const TraceContext& trace)
+      : out_(out), trace_(trace) {}
+
+  void Emit(uint32_t a_id, uint32_t b_id) override {
+    if (!seen_) {
+      seen_ = true;
+      elapsed_seconds_ = timer_.Seconds();
+      if (trace_.active()) {
+        trace_.tracer->RecordInstant(trace_.trace_id, trace_.span_id,
+                                     "first-result");
+      }
+    }
+    out_.Emit(a_id, b_id);
+  }
+
+  bool seen() const { return seen_; }
+  double elapsed_seconds() const { return elapsed_seconds_; }
+
+ private:
+  ResultCollector& out_;
+  TraceContext trace_;
+  Timer timer_;
+  bool seen_ = false;
+  double elapsed_seconds_ = 0.0;
+};
+
 Dataset EnlargedCopy(std::span<const Box> boxes, float epsilon) {
   Dataset out;
   out.reserve(boxes.size());
@@ -158,6 +190,19 @@ struct internal::RequestState {
   /// promise): the worker's completion notification and a prompt
   /// queued-cancel both funnel through it.
   std::atomic<bool> delivered{false};
+  /// Observability wiring (raw pointers into the engine; valid for the
+  /// request's whole life because the engine's pool drains every request
+  /// before tracer_/metrics_ are destroyed, and Deliver runs at most once).
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  /// This request's trace identity: the root "request" span every phase
+  /// span parents onto, recorded by whoever delivers the result.
+  uint64_t trace_id = 0;
+  uint64_t root_span_id = 0;
+  /// Parent span for the root (nonzero only for shard-pair requests, whose
+  /// roots hang under the sharded request's root).
+  uint64_t root_parent_id = 0;
+  int64_t submit_ns = 0;
 };
 
 namespace {
@@ -188,6 +233,36 @@ void Deliver(const RequestStatePtr& state, JoinResult&& result) {
   state->phase.store(result.cancelled() ? RequestPhase::kCancelled
                                         : RequestPhase::kCompleted,
                      std::memory_order_release);
+  result.trace_id = state->trace_id;
+  if (state->metrics != nullptr) {
+    state->metrics
+        ->counter(std::string("touch_engine_requests_total{status=\"") +
+                  RequestStatusName(result.status) + "\"}")
+        .Increment();
+  }
+  if (state->tracer != nullptr) {
+    // The root span covers submit → delivery (queue wait included); it is
+    // recorded here — by the worker's completion notification or by a
+    // prompt queued-cancel — because only delivery knows the outcome.
+    if (result.cancelled()) {
+      state->tracer->RecordInstant(state->trace_id, state->root_span_id,
+                                   "cancelled");
+    }
+    SpanRecord root;
+    root.trace_id = state->trace_id;
+    root.span_id = state->root_span_id;
+    root.parent_id = state->root_parent_id;
+    root.start_ns = state->submit_ns;
+    root.duration_ns = TraceClockNs() - state->submit_ns;
+    root.thread = CurrentThreadIndex();
+    root.name = "request";
+    root.attrs.emplace_back("status", RequestStatusName(result.status));
+    if (!result.plan.algorithm.empty()) {
+      root.attrs.emplace_back("algorithm", result.plan.algorithm);
+    }
+    if (result.index_cache_hit) root.attrs.emplace_back("cache", "hit");
+    state->tracer->Record(std::move(root));
+  }
   try {
     if (state->sink) state->sink->OnComplete(result);
   } catch (...) {
@@ -209,6 +284,10 @@ void Deliver(const RequestStatePtr& state, JoinResult&& result) {
 bool CancelRequest(const RequestStatePtr& state) {
   if (state->delivered.load(std::memory_order_acquire)) return false;
   const bool first = state->cancel.RequestStop();
+  if (first && state->tracer != nullptr) {
+    state->tracer->RecordInstant(state->trace_id, state->root_span_id,
+                                 "cancel-requested");
+  }
   RequestPhase expected = RequestPhase::kQueued;
   if (state->phase.compare_exchange_strong(expected, RequestPhase::kCancelled,
                                            std::memory_order_acq_rel)) {
@@ -268,13 +347,38 @@ std::vector<JoinResult> BatchHandle::GetAll() {
 
 QueryEngine::QueryEngine(const EngineOptions& options)
     : options_(options),
+      tracer_(options.tracer),
+      metrics_(options.metrics ? options.metrics
+                               : std::make_shared<MetricsRegistry>()),
       planner_(options.planner),
       cache_(IndexCacheOptions{options.max_cache_bytes,
                                options.cache_admission,
                                options.cache_ghost_entries,
                                options.cache_preadmit_build_seconds}),
       feedback_(options.calibration.max_outcomes),
-      pool_(options.threads) {}
+      pool_(options.threads) {
+  cache_.RegisterMetricProviders(*metrics_, "touch_cache_");
+  metrics_->SetProvider("touch_pool_queue_depth", MetricType::kGauge, [this] {
+    return static_cast<double>(pool_.queue_depth());
+  });
+  metrics_->SetProvider("touch_pool_busy_workers", MetricType::kGauge, [this] {
+    return static_cast<double>(pool_.busy_workers());
+  });
+  metrics_->SetProvider("touch_pool_threads", MetricType::kGauge, [this] {
+    return static_cast<double>(pool_.thread_count());
+  });
+  metrics_->SetProvider(
+      "touch_pool_tasks_completed_total", MetricType::kCounter,
+      [this] { return static_cast<double>(pool_.tasks_completed()); });
+}
+
+QueryEngine::~QueryEngine() {
+  // Providers sample cache_/pool_, which die with this engine; a scrape
+  // after this point must not reach them. (The pool itself drains after
+  // this body, before the members destruct.)
+  metrics_->RemoveProvidersWithPrefix("touch_cache_");
+  metrics_->RemoveProvidersWithPrefix("touch_pool_");
+}
 
 DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes) {
   return catalog_.Register(std::move(name), std::move(boxes));
@@ -350,6 +454,14 @@ void QueryEngine::EnterPhase(const ExecContext& ctx,
   if (ctx.state != nullptr) {
     ctx.state->phase.store(phase, std::memory_order_release);
   }
+  // One emission point drives both observers: the tracer gets a phase
+  // instant under the request root, and the legacy phase_observer hook —
+  // now a thin adapter over the same event — gets the enum.
+  if (ctx.trace.active()) {
+    ctx.trace.tracer->RecordInstant(ctx.trace.trace_id, ctx.trace.span_id,
+                                    std::string("phase:") +
+                                        RequestPhaseName(phase));
+  }
   if (options_.phase_observer) options_.phase_observer(phase);
 }
 
@@ -368,6 +480,21 @@ RequestHandle QueryEngine::SubmitInternal(const JoinRequest& request,
   if (request.deadline.time_since_epoch().count() != 0) {
     state->cancel.SetDeadline(request.deadline);
   }
+  state->tracer = tracer_.get();
+  state->metrics = metrics_.get();
+  state->submit_ns = TraceClockNs();
+  if (state->tracer != nullptr) {
+    // Adopt the caller's trace identity when it brought one (the sharded
+    // engine parenting shard-pair roots under its own), else start fresh.
+    state->trace_id = request.trace_id != 0 ? request.trace_id
+                                            : state->tracer->NewTraceId();
+    state->root_span_id = state->tracer->NewSpanId();
+    state->root_parent_id = request.trace_parent_span;
+    if (request.deadline.time_since_epoch().count() != 0) {
+      state->tracer->RecordInstant(state->trace_id, state->root_span_id,
+                                   "deadline-armed");
+    }
+  }
   std::future<JoinResult> future = state->promise.get_future();
   // Pre-fill an error so that even an exception escaping ExecuteRequest's
   // own catch blocks (e.g. bad_alloc while building the error string)
@@ -376,7 +503,25 @@ RequestHandle QueryEngine::SubmitInternal(const JoinRequest& request,
   state->result = ErrorResult("execution failed: worker task aborted");
   pool_.Submit(
       [this, state] {
-        ExecContext ctx{state->cancel.token(), state.get()};
+        const int64_t claimed_ns = TraceClockNs();
+        metrics_->histogram("touch_engine_queue_wait_seconds")
+            .Observe(static_cast<double>(claimed_ns - state->submit_ns) *
+                     1e-9);
+        ExecContext ctx{state->cancel.token(), state.get(),
+                        TraceContext{state->tracer, state->trace_id,
+                                     state->root_span_id}};
+        if (state->tracer != nullptr) {
+          // The queue wait as a span of its own: submit → worker claim.
+          SpanRecord wait;
+          wait.trace_id = state->trace_id;
+          wait.span_id = state->tracer->NewSpanId();
+          wait.parent_id = state->root_span_id;
+          wait.start_ns = state->submit_ns;
+          wait.duration_ns = claimed_ns - state->submit_ns;
+          wait.thread = CurrentThreadIndex();
+          wait.name = "queue-wait";
+          state->tracer->Record(std::move(wait));
+        }
         ResultSink null_sink;  // drops pairs; stats.results still counts
         ResultCollector& out =
             state->sink ? static_cast<ResultCollector&>(*state->sink)
@@ -472,17 +617,51 @@ JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
                                           : TouchOptions::JoinOrder::kBuildOnB;
   plan.touch.threads = 1;
   plan.rationale = "algorithm fixed by caller";
+  // Fixed runs get the same request root span and status counters as
+  // submitted ones (attr fixed=true tells them apart), on the caller's
+  // thread with a default (never-cancelled) context.
+  ExecContext ctx;
+  const int64_t start_ns = TraceClockNs();
+  if (tracer_ != nullptr) {
+    const uint64_t trace_id =
+        request.trace_id != 0 ? request.trace_id : tracer_->NewTraceId();
+    ctx.trace = TraceContext{tracer_.get(), trace_id, tracer_->NewSpanId()};
+  }
+  const auto finish = [&](JoinResult result) {
+    result.trace_id = ctx.trace.trace_id;
+    metrics_
+        ->counter(std::string("touch_engine_requests_total{status=\"") +
+                  RequestStatusName(result.status) + "\"}")
+        .Increment();
+    if (ctx.trace.active()) {
+      SpanRecord root;
+      root.trace_id = ctx.trace.trace_id;
+      root.span_id = ctx.trace.span_id;
+      root.parent_id = request.trace_parent_span;
+      root.start_ns = start_ns;
+      root.duration_ns = TraceClockNs() - start_ns;
+      root.thread = CurrentThreadIndex();
+      root.name = "request";
+      root.attrs.emplace_back("status", RequestStatusName(result.status));
+      root.attrs.emplace_back("algorithm", result.plan.algorithm);
+      root.attrs.emplace_back("fixed", "true");
+      tracer_->Record(std::move(root));
+    }
+    return result;
+  };
   try {
     // Fixed runs are evidence too — they are how callers (and the planner
     // benchmark) teach the calibrator about families the static rules would
-    // never pick on a workload. They run on the caller's thread with a
-    // default (never-cancelled) context.
-    const ExecContext ctx;
+    // never pick on a workload.
+    metrics_
+        ->counter(std::string("touch_engine_plans_total{family=\"") +
+                  AlgorithmFamily(plan.algorithm) + "\"}")
+        .Increment();
     JoinResult result = ExecutePlanned(std::move(plan), request, out, ctx);
     RecordOutcome(request, result);
-    return result;
+    return finish(std::move(result));
   } catch (const std::exception& e) {
-    return ErrorResult(std::string("execution failed: ") + e.what());
+    return finish(ErrorResult(std::string("execution failed: ") + e.what()));
   }
 }
 
@@ -504,7 +683,32 @@ JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
   // a submitted future must always complete with a result.
   try {
     EnterPhase(ctx, RequestPhase::kPlanning);
-    JoinPlan plan = preplanned != nullptr ? *preplanned : Plan(request);
+    JoinPlan plan;
+    if (preplanned != nullptr) {
+      // Scattered shard pairs execute the plan they arrived with; their
+      // "plan" span lives at the scatter site that computed it.
+      plan = *preplanned;
+    } else {
+      SpanScope plan_span(ctx.trace, "plan");
+      Timer plan_timer;
+      plan = Plan(request);
+      metrics_->histogram("touch_engine_plan_seconds")
+          .Observe(plan_timer.Seconds());
+      plan_span.AddAttr("algorithm", plan.algorithm);
+      plan_span.AddAttr("family", AlgorithmFamily(plan.algorithm));
+      if (plan.calibrated) {
+        plan_span.AddAttr("calibrated", "true");
+        plan_span.AddAttr("predicted_seconds",
+                          std::to_string(plan.predicted_seconds));
+        if (plan.static_algorithm != plan.algorithm) {
+          plan_span.AddAttr("static_algorithm", plan.static_algorithm);
+        }
+      }
+    }
+    metrics_
+        ->counter(std::string("touch_engine_plans_total{family=\"") +
+                  AlgorithmFamily(plan.algorithm) + "\"}")
+        .Increment();
     // Boundary: planned → index build.
     if (ctx.cancel.stop_requested()) return CancelledResult();
     JoinResult result = ExecutePlanned(std::move(plan), request, out, ctx);
@@ -527,6 +731,25 @@ JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
                                        const JoinRequest& request,
                                        ResultCollector& out,
                                        const ExecContext& ctx) {
+  FirstEmitCollector first_emit(out, ctx.trace);
+  JoinResult result =
+      ExecutePlannedImpl(std::move(plan), request, first_emit, ctx);
+  // NBPS measures its own (stream-internal) first-result latency; keep the
+  // tighter self-report when present, fill in generically otherwise.
+  if (result.stats.first_result_seconds == 0.0 && first_emit.seen()) {
+    result.stats.first_result_seconds = first_emit.elapsed_seconds();
+  }
+  if (result.ok() && result.stats.first_result_seconds > 0.0) {
+    metrics_->histogram("touch_engine_first_result_seconds")
+        .Observe(result.stats.first_result_seconds);
+  }
+  return result;
+}
+
+JoinResult QueryEngine::ExecutePlannedImpl(JoinPlan plan,
+                                           const JoinRequest& request,
+                                           ResultCollector& out,
+                                           const ExecContext& ctx) {
   if (options_.cache_indexes) {
     if (plan.algorithm == "touch") {
       return ExecuteTouch(std::move(plan), request, out, ctx);
@@ -553,6 +776,9 @@ JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
   // join. The planner only sends small inputs here, so the latency gap is
   // bounded by design.
   EnterPhase(ctx, RequestPhase::kExecuting);
+  SpanScope exec_span(ctx.trace, "execute");
+  exec_span.AddAttr("algorithm", plan.algorithm);
+  Timer exec_timer;
   const Dataset& a = catalog_.boxes(request.a);
   const Dataset& b = catalog_.boxes(request.b);
   // Orientation-sensitive algorithms (inl: index over the first input) get
@@ -566,6 +792,9 @@ JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
     SwappedCollector swapped(out);
     result.stats = DistanceJoin(*algorithm, b, a, request.epsilon, swapped);
   }
+  exec_span.End();
+  metrics_->histogram("touch_engine_execute_seconds")
+      .Observe(exec_timer.Seconds());
   result.plan = std::move(plan);
   return result;
 }
@@ -594,6 +823,9 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
   const IndexCacheKey key{build_handle, build_epsilon, leaf_capacity,
                           touch_options.fanout, ArtifactKind::kTouchTree};
   EnterPhase(ctx, RequestPhase::kBuildingIndex);
+  SpanScope build_span(ctx.trace, "build-index");
+  build_span.AddAttr("kind", "touch-tree");
+  Timer build_phase;
   bool missed = false;
   const IndexCache::ArtifactPtr artifact = cache_.GetOrBuild(
       key,
@@ -612,6 +844,10 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
       },
       [&] { return PredictedBuildSeconds("touch", request); });
   result.index_cache_hit = !missed;
+  build_span.AddAttr("cache", missed ? "miss" : "hit");
+  build_span.End();
+  metrics_->histogram("touch_engine_build_seconds")
+      .Observe(build_phase.Seconds());
   // Boundary: index build → execute. Builds are shared artifacts and always
   // run to completion (the tree stays cached for other requests); a cancel
   // that arrived mid-build takes effect here.
@@ -621,6 +857,9 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
     return result;
   }
   EnterPhase(ctx, RequestPhase::kExecuting);
+  SpanScope exec_span(ctx.trace, "execute");
+  exec_span.AddAttr("algorithm", "touch");
+  Timer exec_timer;
   const auto* entry = static_cast<const CachedTouchIndex*>(artifact.get());
 
   const std::span<const Box> tree_boxes =
@@ -639,6 +878,9 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
                                              swapped, request.epsilon,
                                              ctx.cancel);
   }
+  exec_span.End();
+  metrics_->histogram("touch_engine_execute_seconds")
+      .Observe(exec_timer.Seconds());
   // A miss pays the build it triggered; a hit reuses the cached tree for
   // free — the productized section-4.3 shortcut.
   result.stats.build_seconds = missed ? entry->build_seconds : 0.0;
@@ -669,6 +911,9 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
                           tree_options.leaf_capacity, tree_options.fanout,
                           ArtifactKind::kInlRTree};
   EnterPhase(ctx, RequestPhase::kBuildingIndex);
+  SpanScope build_span(ctx.trace, "build-index");
+  build_span.AddAttr("kind", "inl-rtree");
+  Timer build_phase;
   bool missed = false;
   const IndexCache::ArtifactPtr artifact = cache_.GetOrBuild(
       key,
@@ -688,6 +933,10 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
       },
       [&] { return PredictedBuildSeconds("inl", request); });
   result.index_cache_hit = !missed;
+  build_span.AddAttr("cache", missed ? "miss" : "hit");
+  build_span.End();
+  metrics_->histogram("touch_engine_build_seconds")
+      .Observe(build_phase.Seconds());
   // Boundary: index build → execute (builds always run to completion and
   // stay cached; see ExecuteTouch).
   if (ctx.cancel.stop_requested()) {
@@ -696,6 +945,9 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
     return result;
   }
   EnterPhase(ctx, RequestPhase::kExecuting);
+  SpanScope exec_span(ctx.trace, "execute");
+  exec_span.AddAttr("algorithm", "inl");
+  Timer exec_timer;
   const auto* entry = static_cast<const CachedInlIndex*>(artifact.get());
 
   const std::span<const Box> tree_boxes =
@@ -703,6 +955,9 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
                            : std::span<const Box>(entry->boxes);
   JoinStats& stats = result.stats;
   Timer join_timer;
+  // The probe loop is the INL kernel; it lives inline here, so its span
+  // does too (the library's IndexedNestedLoopJoin opens its own).
+  SpanScope probe_span("inl-probe");
   if (plan.build_on_a) {
     for (uint32_t b_id = 0; b_id < b.size(); ++b_id) {
       // Cooperative cancellation, amortized over a power-of-two stride.
@@ -730,7 +985,11 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
           &stats);
     }
   }
+  probe_span.End();
   stats.join_seconds = join_timer.Seconds();
+  exec_span.End();
+  metrics_->histogram("touch_engine_execute_seconds")
+      .Observe(exec_timer.Seconds());
   // Tree plus any owned enlarged copy — the same accounting the cache uses.
   stats.memory_bytes = entry->MemoryUsageBytes();
   stats.build_seconds = missed ? entry->build_seconds : 0.0;
@@ -801,10 +1060,21 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
   // A's directory carries the enlargement; B's is epsilon-independent. A
   // self-join with epsilon 0 collapses both onto one cache entry.
   EnterPhase(ctx, RequestPhase::kBuildingIndex);
+  SpanScope build_span(ctx.trace, "build-index");
+  build_span.AddAttr("kind", "pbsm-directory");
+  Timer build_phase;
   const auto dir_a = directory(request.a, request.epsilon, a, &missed_a);
   const auto dir_b = directory(request.b, 0.0f, b, &missed_b);
   result.index_cache_hit = !missed_a && !missed_b;
   result.partial_index_cache_hit = missed_a != missed_b;
+  build_span.AddAttr("cache", result.index_cache_hit
+                                  ? "hit"
+                                  : (result.partial_index_cache_hit
+                                         ? "partial"
+                                         : "miss"));
+  build_span.End();
+  metrics_->histogram("touch_engine_build_seconds")
+      .Observe(build_phase.Seconds());
   // Boundary: index build → execute (directories always run to completion
   // and stay cached; see ExecuteTouch).
   if (ctx.cancel.stop_requested()) {
@@ -813,6 +1083,9 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
     return result;
   }
   EnterPhase(ctx, RequestPhase::kExecuting);
+  SpanScope exec_span(ctx.trace, "execute");
+  exec_span.AddAttr("algorithm", plan.algorithm);
+  Timer exec_timer;
 
   const std::span<const Box> span_a =
       dir_a->boxes.empty() ? std::span<const Box>(a)
@@ -822,6 +1095,9 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
   PbsmMergeJoin(span_a, dir_a->placements, b, dir_b->placements, grid,
                 LocalJoinStrategy::kPlaneSweep, &stats, out, ctx.cancel);
   stats.join_seconds = join_timer.Seconds();
+  exec_span.End();
+  metrics_->histogram("touch_engine_execute_seconds")
+      .Observe(exec_timer.Seconds());
   // Both resident directories (placements + owned enlarged copies), the
   // cache's own accounting; unlike PbsmJoin::Join, no transient radix-sort
   // scratch is in play on the cached path.

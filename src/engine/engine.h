@@ -14,6 +14,8 @@
 #include "engine/planner.h"
 #include "engine/worker_pool.h"
 #include "join/algorithm.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/cancellation.h"
 
 namespace touch {
@@ -87,8 +89,25 @@ struct EngineOptions {
   /// Tracing/test hook: called on the executing thread as a request enters
   /// each non-terminal phase (kPlanning, kBuildingIndex, kExecuting). Must
   /// be fast and must not call back into the engine. Deterministic
-  /// cancellation tests park the worker here.
+  /// cancellation tests park the worker here. Since the obs layer landed
+  /// this is a thin adapter over the tracer's phase instants: both are
+  /// driven from the same emission point (EnterPhase), the observer getting
+  /// the enum, the tracer a `phase:<name>` event — so existing tests keep
+  /// working unchanged with or without a tracer attached.
   std::function<void(RequestPhase)> phase_observer;
+  /// Per-request span recording (null = tracing off, zero overhead beyond a
+  /// pointer test). The caller owns the tracer's lifetime and export; the
+  /// engine only appends spans. See docs/OBSERVABILITY.md for the span
+  /// taxonomy and CLI --trace-out for the Chrome/Perfetto export.
+  std::shared_ptr<Tracer> tracer;
+  /// Metrics destination. Null makes the engine construct a private
+  /// registry (always queryable via metrics()); pass MetricsRegistry::
+  /// Global() — or any shared registry — to aggregate across engines. The
+  /// engine registers sampled providers for its cache (`touch_cache_*`) and
+  /// pool (`touch_pool_*`) and removes them in its destructor; two engines
+  /// sharing one registry overwrite each other's providers, so give
+  /// concurrent engines separate registries.
+  std::shared_ptr<MetricsRegistry> metrics;
 };
 
 /// Outcome of one engine query.
@@ -108,6 +127,9 @@ struct JoinResult {
   /// Non-empty when the request could not run (unknown algorithm name, bad
   /// dataset handle); plan and stats are meaningless then.
   std::string error;
+  /// Correlates this result with its span tree in the engine's tracer
+  /// (SpanRecord::trace_id); 0 when the engine ran without one.
+  uint64_t trace_id = 0;
 
   bool ok() const { return status == RequestStatus::kOk; }
   bool cancelled() const { return status == RequestStatus::kCancelled; }
@@ -273,6 +295,10 @@ class QueryEngine {
  public:
   explicit QueryEngine(const EngineOptions& options = {});
 
+  /// Unregisters this engine's metric providers from the registry (they
+  /// sample the cache and pool about to be destroyed), then drains the pool.
+  ~QueryEngine();
+
   /// Registers a dataset (stats are computed here, once). The returned
   /// handle is what join requests refer to.
   DatasetHandle RegisterDataset(std::string name, Dataset boxes);
@@ -364,8 +390,20 @@ class QueryEngine {
 
   const EngineOptions& options() const { return options_; }
 
+  /// The engine's metrics registry: the one passed in EngineOptions, or the
+  /// private registry the engine constructed when none was. Always valid.
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MetricsRegistry& metrics() const { return *metrics_; }
+
+  /// The attached tracer (null = tracing off).
+  Tracer* tracer() const { return tracer_.get(); }
+
   /// Actual worker-pool size (resolves the options' 0 = hardware default).
   int threads() const { return pool_.thread_count(); }
+
+  /// The worker pool's live load signals (queue depth, busy workers, tasks
+  /// completed) — also exported as `touch_pool_*` through metrics().
+  const WorkerPool& pool() const { return pool_; }
 
  private:
   /// Cancellation token plus (for submitted requests) the shared state the
@@ -374,6 +412,9 @@ class QueryEngine {
   struct ExecContext {
     CancellationToken cancel;
     internal::RequestState* state = nullptr;
+    /// The request's root span as a parent for phase spans (inactive when
+    /// the engine has no tracer; every SpanScope built from it no-ops).
+    TraceContext trace;
   };
 
   RequestHandle SubmitInternal(const JoinRequest& request,
@@ -389,8 +430,13 @@ class QueryEngine {
   JoinResult ExecuteRequest(const JoinRequest& request, ResultCollector& out,
                             const ExecContext& ctx,
                             const JoinPlan* preplanned = nullptr);
+  /// Wraps `out` in the first-result-latency measurement (the generic
+  /// replacement for NBPS's private first_result_seconds), then dispatches
+  /// to ExecutePlannedImpl.
   JoinResult ExecutePlanned(JoinPlan plan, const JoinRequest& request,
                             ResultCollector& out, const ExecContext& ctx);
+  JoinResult ExecutePlannedImpl(JoinPlan plan, const JoinRequest& request,
+                                ResultCollector& out, const ExecContext& ctx);
   JoinResult ExecuteTouch(JoinPlan plan, const JoinRequest& request,
                           ResultCollector& out, const ExecContext& ctx);
   JoinResult ExecuteInl(JoinPlan plan, const JoinRequest& request,
@@ -408,6 +454,10 @@ class QueryEngine {
                                const JoinRequest& request) const;
 
   EngineOptions options_;
+  // tracer_/metrics_ are declared before pool_ so requests still draining in
+  // the pool's destructor can record spans and counters safely.
+  std::shared_ptr<Tracer> tracer_;
+  std::shared_ptr<MetricsRegistry> metrics_;
   DatasetCatalog catalog_;
   Planner planner_;
   IndexCache cache_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace touch {
 
 const char* ArtifactKindName(ArtifactKind kind) {
@@ -178,6 +180,35 @@ IndexCache::Stats IndexCache::stats() const {
   stats.capacity_bytes = options_.max_bytes;
   stats.cost_saved_seconds = cost_saved_seconds_;
   return stats;
+}
+
+void IndexCache::RegisterMetricProviders(MetricsRegistry& registry,
+                                         const std::string& prefix) const {
+  // Each provider samples a fresh Stats snapshot at export time. One
+  // snapshot per metric costs a few mutex hops per scrape — nothing against
+  // a scrape interval — and keeps this method a pure registration.
+  const auto sample = [this](auto field) {
+    return [this, field]() { return static_cast<double>(field(stats())); };
+  };
+  registry.SetProvider(prefix + "hits_total", MetricType::kCounter,
+                       sample([](const Stats& s) { return s.hits; }));
+  registry.SetProvider(prefix + "misses_total", MetricType::kCounter,
+                       sample([](const Stats& s) { return s.misses; }));
+  registry.SetProvider(prefix + "evictions_total", MetricType::kCounter,
+                       sample([](const Stats& s) { return s.evictions; }));
+  registry.SetProvider(
+      prefix + "admission_rejects_total", MetricType::kCounter,
+      sample([](const Stats& s) { return s.admission_rejects; }));
+  registry.SetProvider(
+      prefix + "admission_preadmits_total", MetricType::kCounter,
+      sample([](const Stats& s) { return s.admission_preadmits; }));
+  registry.SetProvider(prefix + "entries", MetricType::kGauge,
+                       sample([](const Stats& s) { return s.entries; }));
+  registry.SetProvider(prefix + "bytes", MetricType::kGauge,
+                       sample([](const Stats& s) { return s.bytes; }));
+  registry.SetProvider(
+      prefix + "cost_saved_seconds_total", MetricType::kCounter,
+      sample([](const Stats& s) { return s.cost_saved_seconds; }));
 }
 
 void IndexCache::Clear() {

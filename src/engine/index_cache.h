@@ -8,11 +8,14 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 
 #include "engine/catalog.h"
 
 namespace touch {
+
+class MetricsRegistry;
 
 /// What kind of build artifact a cache entry holds. Distinct kinds never
 /// share entries even when every other key field agrees: a TOUCH tree and an
@@ -180,6 +183,17 @@ class IndexCache {
                          const BuildCostFn& expected_build_seconds = {});
 
   Stats stats() const;
+
+  /// Re-exposes the Stats snapshot through a metrics registry as sampled
+  /// providers named `<prefix>hits_total`, `<prefix>misses_total`,
+  /// `<prefix>evictions_total`, `<prefix>admission_rejects_total`,
+  /// `<prefix>admission_preadmits_total`, `<prefix>entries`,
+  /// `<prefix>bytes`, `<prefix>cost_saved_seconds_total`. Providers sample
+  /// at export time, so the scrape always sees current values. The caller
+  /// owning both objects must RemoveProvidersWithPrefix(prefix) before this
+  /// cache is destroyed (the engine does this in its destructor).
+  void RegisterMetricProviders(MetricsRegistry& registry,
+                               const std::string& prefix) const;
 
   /// Drops every entry and the ghost list's memory of rejected keys.
   void Clear();

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/touch.h"
@@ -25,6 +26,12 @@ struct JoinRequest {
   /// without anyone waiting on the future. The sharded engine forwards the
   /// deadline into every shard-pair request.
   std::chrono::steady_clock::time_point deadline{};
+  /// Trace correlation (0 = allocate fresh): a caller that already owns a
+  /// trace — the sharded engine scattering shard-pair requests — sets both
+  /// so the pair's spans join the parent tree instead of starting their own.
+  /// Ignored when the engine has no tracer.
+  uint64_t trace_id = 0;
+  uint64_t trace_parent_span = 0;
 };
 
 /// An executable, explainable plan for one join request. `algorithm` is a

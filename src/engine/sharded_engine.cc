@@ -40,6 +40,14 @@ struct internal::GatherState {
   /// Wall clock of the whole scatter-gather, started at Submit.
   Timer wall;
   bool gathered = false;
+  /// Observability wiring (the inner engine's; valid for the state's life).
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  /// The sharded request's trace identity: every shard pair's root span
+  /// parents onto root_span_id, recorded by Get() once the outcome is known.
+  uint64_t trace_id = 0;
+  uint64_t root_span_id = 0;
+  int64_t submit_ns = 0;
 };
 
 namespace {
@@ -123,6 +131,10 @@ ShardedJoinResult ShardedRequestHandle::Get() {
   state.gathered = true;
   out.shard_pairs_total = state.pairs_total;
   out.pruned = state.pruned;
+  // The gather span covers draining every pair future plus the merge.
+  SpanScope gather_span(
+      TraceContext{state.tracer, state.trace_id, state.root_span_id},
+      "gather");
 
   JoinResult& merged = out.merged;
   if (!state.error.empty()) {
@@ -178,6 +190,30 @@ ShardedJoinResult ShardedRequestHandle::Get() {
       out.pairs.size(), out.pruned.size(),
       static_cast<unsigned long long>(out.deduplicated));
   if (state.inner != nullptr) out.cache = state.inner->cache_stats();
+  merged.trace_id = state.trace_id;
+  gather_span.AddAttr("merged_results",
+                      std::to_string(merged.stats.results));
+  gather_span.End();
+  if (state.metrics != nullptr) {
+    // Increment(0) still creates the series, so scrapes always see it.
+    state.metrics->counter("touch_sharded_dedup_total")
+        .Increment(out.deduplicated);
+  }
+  if (state.tracer != nullptr) {
+    // The sharded request's root span, recorded now that the outcome is
+    // known; scatter, per-pair roots and gather all hang under it.
+    SpanRecord root;
+    root.trace_id = state.trace_id;
+    root.span_id = state.root_span_id;
+    root.start_ns = state.submit_ns;
+    root.duration_ns = TraceClockNs() - state.submit_ns;
+    root.thread = CurrentThreadIndex();
+    root.name = "sharded-request";
+    root.attrs.emplace_back("status", RequestStatusName(merged.status));
+    root.attrs.emplace_back("pairs", std::to_string(out.pairs.size()));
+    root.attrs.emplace_back("pruned", std::to_string(out.pruned.size()));
+    state.tracer->Record(std::move(root));
+  }
 
   if (state.user_sink != nullptr) {
     state.user_sink->OnComplete(merged);
@@ -224,6 +260,14 @@ ShardedRequestHandle ShardedQueryEngine::Submit(
   auto state = std::make_shared<internal::GatherState>();
   state->inner = &inner_;
   state->user_sink = std::move(sink);
+  state->tracer = inner_.tracer();
+  state->metrics = &inner_.metrics();
+  state->submit_ns = TraceClockNs();
+  if (state->tracer != nullptr) {
+    state->trace_id = state->tracer->NewTraceId();
+    state->root_span_id = state->tracer->NewSpanId();
+  }
+  state->metrics->counter("touch_sharded_requests_total").Increment();
   ShardedRequestHandle handle;
   handle.state_ = state;
   if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
@@ -267,6 +311,13 @@ ShardedRequestHandle ShardedQueryEngine::Submit(
     snapshot = inner_.calibration_snapshot();
   }
 
+  // The scatter span covers pruning, central planning and submission of
+  // every pair; each pair's own "request" root parents onto the sharded
+  // root, so the exported tree reads sharded-request → scatter/plan,
+  // request (per pair) → build/execute, gather.
+  SpanScope scatter_span(
+      TraceContext{state->tracer, state->trace_id, state->root_span_id},
+      "scatter");
   for (size_t i = 0; i < entry_a.shards.size(); ++i) {
     for (size_t j = 0; j < entry_b.shards.size(); ++j) {
       if (!Planner::PairMayProduceResults(stats_a[i], stats_b[j],
@@ -274,14 +325,22 @@ ShardedRequestHandle ShardedQueryEngine::Submit(
         state->pruned.emplace_back(static_cast<int>(i), static_cast<int>(j));
         continue;
       }
+      SpanScope plan_span(scatter_span.context(), "plan");
+      plan_span.AddAttr("shard_a", std::to_string(i));
+      plan_span.AddAttr("shard_b", std::to_string(j));
       JoinPlan plan =
           planner_.Plan(stats_a[i], stats_b[j], request.epsilon,
                         snapshot.has_value() ? &*snapshot : nullptr);
+      plan_span.AddAttr("algorithm", plan.algorithm);
+      plan_span.End();
       JoinRequest pair_request;
       pair_request.a = entry_a.shards[i].engine_handle;
       pair_request.b = entry_b.shards[j].engine_handle;
       pair_request.epsilon = request.epsilon;
       pair_request.deadline = request.deadline;  // deadlines fan out too
+      // The pair joins this request's trace instead of starting its own.
+      pair_request.trace_id = state->trace_id;
+      pair_request.trace_parent_span = state->root_span_id;
       state->pair_ids.emplace_back(static_cast<int>(i), static_cast<int>(j));
       state->handles.push_back(inner_.SubmitPlanned(
           std::move(plan), pair_request,
@@ -291,6 +350,13 @@ ShardedRequestHandle ShardedQueryEngine::Submit(
                                      static_cast<uint32_t>(j))));
     }
   }
+  scatter_span.AddAttr("executed", std::to_string(state->handles.size()));
+  scatter_span.AddAttr("pruned", std::to_string(state->pruned.size()));
+  scatter_span.End();
+  state->metrics->counter("touch_sharded_pairs_executed_total")
+      .Increment(state->handles.size());
+  state->metrics->counter("touch_sharded_pairs_pruned_total")
+      .Increment(state->pruned.size());
   return handle;
 }
 

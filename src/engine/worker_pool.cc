@@ -40,6 +40,11 @@ void WorkerPool::Submit(std::function<void()> task,
   work_available_.notify_one();
 }
 
+size_t WorkerPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
 void WorkerPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return in_flight_ == 0; });
@@ -61,6 +66,7 @@ void WorkerPool::WorkerLoop() {
     // thread or leave in_flight_ stuck for WaitIdle. on_done runs either
     // way — completion must reach waiters even when the task failed or was
     // skipped by its should_run condition.
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
     try {
       if (!task.should_run || task.should_run()) task.run();
     } catch (...) {
@@ -71,6 +77,8 @@ void WorkerPool::WorkerLoop() {
       } catch (...) {
       }
     }
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) idle_.notify_all();

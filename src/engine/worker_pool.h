@@ -1,7 +1,9 @@
 #ifndef TOUCH_ENGINE_WORKER_POOL_H_
 #define TOUCH_ENGINE_WORKER_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -25,6 +27,23 @@ class WorkerPool {
   WorkerPool& operator=(const WorkerPool&) = delete;
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // --- Load signals (the metrics registry's pool gauges) -------------------
+
+  /// Tasks waiting in the queue right now (excludes running ones).
+  size_t queue_depth() const;
+
+  /// Workers currently inside a task or its on_done notification.
+  int busy_workers() const {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks finished since construction — including tasks whose should_run
+  /// declined (their completion was still delivered), so this counter plus
+  /// queue_depth plus busy_workers accounts for every Submit.
+  uint64_t tasks_completed() const {
+    return tasks_completed_.load(std::memory_order_relaxed);
+  }
 
   /// Enqueues a task; returns immediately.
   void Submit(std::function<void()> task);
@@ -56,7 +75,9 @@ class WorkerPool {
 
   void WorkerLoop();
 
-  std::mutex mutex_;
+  std::atomic<int> busy_workers_{0};
+  std::atomic<uint64_t> tasks_completed_{0};
+  mutable std::mutex mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::deque<Task> queue_;

@@ -1,6 +1,7 @@
 #include "join/indexed_nested_loop.h"
 
 #include "index/rtree.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace touch {
@@ -22,6 +23,8 @@ JoinStats IndexedNestedLoopJoin::Join(std::span<const Box> a,
   stats.memory_bytes = tree.MemoryUsageBytes();
 
   phase.Reset();
+  // Ambient kernel span (no-op outside a traced engine request).
+  SpanScope probe_span("inl-probe");
   for (uint32_t b_id = 0; b_id < b.size(); ++b_id) {
     tree.Query(
         a, b[b_id],
@@ -31,6 +34,7 @@ JoinStats IndexedNestedLoopJoin::Join(std::span<const Box> a,
         },
         &stats);
   }
+  probe_span.End();
   stats.join_seconds = phase.Seconds();
   stats.total_seconds = total.Seconds();
   return stats;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/memory.h"
 #include "util/timer.h"
 
@@ -73,6 +74,8 @@ size_t RadixSortByKey(std::vector<PbsmPlacement>& placements,
 std::vector<PbsmPlacement> BuildPbsmPlacements(std::span<const Box> boxes,
                                                const GridMapper& grid,
                                                size_t* scratch_bytes) {
+  // Ambient kernel span (no-op outside a traced engine request).
+  SpanScope span("pbsm-placements");
   std::vector<PbsmPlacement> placements;
   AssignToCells(boxes, grid, &placements);
   const size_t scratch = RadixSortByKey(placements, grid.TotalCells());
@@ -87,6 +90,9 @@ void PbsmMergeJoin(std::span<const Box> a,
                    const GridMapper& grid, LocalJoinStrategy local_join,
                    JoinStats* stats, ResultCollector& out,
                    CancellationToken cancel) {
+  // Ambient kernel span (no-op outside a traced engine request); the early
+  // cancellation returns end it through the destructor.
+  SpanScope span("pbsm-merge");
   // Merge the two sorted runs on the cell key; every cell present in both
   // sides gets a local join. Replication would report a pair once per shared
   // cell, so only the cell containing the pair's reference point emits it

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace touch {
+namespace {
+
+// Prometheus sample values: integers print bare, fractions keep enough
+// digits to round-trip a double.
+std::string FormatValue(double value) {
+  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  std::ostringstream out;
+  out.precision(12);
+  out << value;
+  return out.str();
+}
+
+// `touch_engine_requests_total{status="ok"}` -> family
+// `touch_engine_requests_total` (one # TYPE line per family).
+std::string FamilyOf(const std::string& name) {
+  return name.substr(0, name.find('{'));
+}
+
+void EmitTypeLine(std::ostream& out, std::set<std::string>& seen,
+                  const std::string& family, const char* type) {
+  if (seen.insert(family).second) {
+    out << "# TYPE " << family << " " << type << "\n";
+  }
+}
+
+}  // namespace
+
+double Histogram::BucketBound(size_t i) {
+  return 1e-6 * static_cast<double>(uint64_t{1} << i);
+}
+
+void Histogram::Observe(double seconds) {
+  size_t bucket = kFiniteBuckets;  // +Inf unless a finite bound covers it
+  for (size_t i = 0; i < kFiniteBuckets; ++i) {
+    if (seconds <= BucketBound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + seconds,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+uint64_t Histogram::CumulativeCount(size_t i) const {
+  uint64_t total = 0;
+  for (size_t b = 0; b <= i && b <= kFiniteBuckets; ++b) {
+    total += buckets_[b].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Percentile(double p) const {
+  uint64_t total = Count();
+  if (total == 0) return 0.0;
+  // ceil(p * total) observations must fall at or below the answer.
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(total)));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kFiniteBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) return BucketBound(i);
+  }
+  return BucketBound(kFiniteBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::SetProvider(const std::string& name, MetricType type,
+                                  std::function<double()> sample) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_[name] = Provider{type, std::move(sample)};
+}
+
+void MetricsRegistry::RemoveProvider(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  providers_.erase(name);
+}
+
+void MetricsRegistry::RemoveProvidersWithPrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = providers_.begin(); it != providers_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = providers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t MetricsRegistry::FamilyCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::set<std::string> families;
+  for (const auto& [name, _] : counters_) families.insert(FamilyOf(name));
+  for (const auto& [name, _] : gauges_) families.insert(FamilyOf(name));
+  for (const auto& [name, _] : histograms_) families.insert(FamilyOf(name));
+  for (const auto& [name, _] : providers_) families.insert(FamilyOf(name));
+  return families.size();
+}
+
+void MetricsRegistry::ExportPrometheus(std::ostream& out) const {
+  // Sample providers outside the registry lock where possible? No:
+  // provider callbacks only read atomics/snapshots, and holding the lock
+  // keeps export consistent with concurrent Remove calls.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::set<std::string> typed;
+  for (const auto& [name, counter] : counters_) {
+    EmitTypeLine(out, typed, FamilyOf(name), "counter");
+    out << name << " " << counter->Value() << "\n";
+  }
+  for (const auto& [name, provider] : providers_) {
+    const char* type =
+        provider.type == MetricType::kCounter ? "counter" : "gauge";
+    EmitTypeLine(out, typed, FamilyOf(name), type);
+    out << name << " " << FormatValue(provider.sample()) << "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    EmitTypeLine(out, typed, FamilyOf(name), "gauge");
+    out << name << " " << FormatValue(gauge->Value()) << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string family = FamilyOf(name);
+    EmitTypeLine(out, typed, family, "histogram");
+    // Only emit buckets up to the last occupied one (plus +Inf): 40 fixed
+    // buckets per histogram would swamp the exposition with zeros.
+    uint64_t total = histogram->Count();
+    size_t last = 0;
+    for (size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+      uint64_t in_bucket = histogram->CumulativeCount(i) -
+                           (i == 0 ? 0 : histogram->CumulativeCount(i - 1));
+      if (in_bucket > 0) last = i;
+    }
+    for (size_t i = 0; i <= last; ++i) {
+      out << family << "_bucket{le=\"" << FormatValue(Histogram::BucketBound(i))
+          << "\"} " << histogram->CumulativeCount(i) << "\n";
+    }
+    out << family << "_bucket{le=\"+Inf\"} " << total << "\n";
+    out << family << "_sum " << FormatValue(histogram->Sum()) << "\n";
+    out << family << "_count " << total << "\n";
+  }
+}
+
+}  // namespace touch

@@ -1,0 +1,141 @@
+#ifndef TOUCH_OBS_METRICS_H_
+#define TOUCH_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace touch {
+
+/// Monotonic counter (requests served, cache hits). Thread-safe.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time value that can move both ways (queue depth, busy workers).
+/// Thread-safe.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram over fixed log2 buckets: bucket i has upper bound
+/// 1e-6 * 2^i seconds (1 µs up to ~9.1 hours across 40 buckets, plus a
+/// +Inf overflow bucket). Fixed bounds keep Observe lock-free and make
+/// histograms from different processes mergeable; one power-of-two
+/// resolution is plenty for the p50/p95/p99 questions this answers.
+class Histogram {
+ public:
+  static constexpr size_t kFiniteBuckets = 40;
+
+  /// Upper bound of finite bucket i, in seconds.
+  static double BucketBound(size_t i);
+
+  void Observe(double seconds);
+
+  uint64_t Count() const;
+  double Sum() const;
+
+  /// Smallest bucket upper bound covering fraction `p` (0 < p <= 1) of the
+  /// observations: an upper estimate of the percentile, exact to within one
+  /// power-of-two bucket. Returns 0 with no observations; returns the
+  /// largest finite bound when the percentile lands in the overflow bucket.
+  double Percentile(double p) const;
+
+  /// Cumulative count of observations <= BucketBound(i); index
+  /// kFiniteBuckets returns the total (the +Inf bucket).
+  uint64_t CumulativeCount(size_t i) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kFiniteBuckets + 1> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricType { kCounter, kGauge };
+
+/// A process-wide registry of named metrics with Prometheus text export.
+///
+/// Names follow Prometheus conventions and may carry one inline label set:
+/// `touch_engine_requests_total{status="ok"}`. The family (the name up to
+/// the '{') groups labeled series under one `# TYPE` line. Metric objects
+/// are created on first access and never destroyed, so references returned
+/// by counter()/gauge()/histogram() stay valid for the registry's lifetime
+/// and hot paths can cache them.
+///
+/// Providers are callbacks sampled at export time for values owned
+/// elsewhere (cache entry counts, pool queue depth); the owner must
+/// RemoveProvider (or RemoveProvidersWithPrefix) before the sampled object
+/// dies.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The default process-wide registry ("process-wide" in the tentpole
+  /// sense: one shared scrape surface unless a caller wires its own).
+  static MetricsRegistry& Global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Registers a sampled metric: `sample` runs at export time. Replaces an
+  /// existing provider of the same name.
+  void SetProvider(const std::string& name, MetricType type,
+                   std::function<double()> sample);
+  void RemoveProvider(const std::string& name);
+  /// Removes every provider whose name starts with `prefix` (owner
+  /// teardown, e.g. the engine unregistering its cache/pool providers).
+  void RemoveProvidersWithPrefix(const std::string& prefix);
+
+  /// Number of distinct metric families (the `# TYPE` lines Prometheus
+  /// export would emit) — the "≥ 12 distinct metrics" acceptance check.
+  size_t FamilyCount() const;
+
+  /// Prometheus text exposition format, sorted by name: one `# TYPE` line
+  /// per family, counters/gauges as single samples, histograms in native
+  /// `_bucket{le=...}` / `_sum` / `_count` form.
+  void ExportPrometheus(std::ostream& out) const;
+
+ private:
+  struct Provider {
+    MetricType type;
+    std::function<double()> sample;
+  };
+
+  mutable std::mutex mutex_;
+  // node-based maps: values never move, so returned references are stable.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Provider> providers_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_OBS_METRICS_H_

@@ -1,0 +1,240 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace touch {
+namespace {
+
+thread_local TraceContext g_ambient_context;
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// JSON string escaping for the Chrome trace export (control characters,
+// quotes, backslashes; everything else passes through byte-for-byte).
+void AppendJsonEscaped(std::ostream& out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\r':
+        out << "\\r";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out << "\\u00" << hex[(c >> 4) & 0xf] << hex[c & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+void WriteEventArgs(std::ostream& out, const SpanRecord& record) {
+  out << "\"args\":{\"trace_id\":\"" << record.trace_id << "\",\"span_id\":\""
+      << record.span_id << "\",\"parent_id\":\"" << record.parent_id << "\"";
+  for (const auto& [key, value] : record.attrs) {
+    out << ",\"";
+    AppendJsonEscaped(out, key);
+    out << "\":\"";
+    AppendJsonEscaped(out, value);
+    out << "\"";
+  }
+  out << "}";
+}
+
+// Nanoseconds as fractional microseconds ("1234.005"); the fraction must be
+// zero-padded or 5ns would print as ".5" and misread as half a microsecond.
+void WriteMicros(std::ostream& out, int64_t ns) {
+  const int64_t frac = ns % 1000;
+  out << ns / 1000 << "." << static_cast<char>('0' + frac / 100)
+      << static_cast<char>('0' + (frac / 10) % 10)
+      << static_cast<char>('0' + frac % 10);
+}
+
+void WriteEvent(std::ostream& out, const SpanRecord& record) {
+  out << "{\"name\":\"";
+  AppendJsonEscaped(out, record.name);
+  out << "\",\"ph\":\"" << (record.instant ? 'i' : 'X') << "\"";
+  if (record.instant) {
+    out << ",\"s\":\"t\"";
+  }
+  // Chrome trace timestamps are microseconds (fractional allowed).
+  out << ",\"ts\":";
+  WriteMicros(out, record.start_ns);
+  if (!record.instant) {
+    out << ",\"dur\":";
+    WriteMicros(out, record.duration_ns);
+  }
+  out << ",\"pid\":1,\"tid\":" << record.thread << ",";
+  WriteEventArgs(out, record);
+  out << "}";
+}
+
+}  // namespace
+
+TraceContext CurrentTraceContext() { return g_ambient_context; }
+
+int64_t TraceClockNs() { return NowNs(); }
+
+uint32_t CurrentThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t index = next.fetch_add(1);
+  return index;
+}
+
+Tracer::Tracer(const TracerOptions& options) : options_(options) {
+  if (options_.buffer_capacity == 0) options_.buffer_capacity = 1;
+  if (options_.buffers == 0) options_.buffers = 1;
+  buffers_ = std::vector<Buffer>(options_.buffers);
+  for (auto& buffer : buffers_) {
+    buffer.slots = std::make_unique<Slot[]>(options_.buffer_capacity);
+  }
+}
+
+void Tracer::Record(SpanRecord record) {
+  Buffer& buffer = buffers_[CurrentThreadIndex() % buffers_.size()];
+  size_t index = buffer.reserved.fetch_add(1, std::memory_order_relaxed);
+  if (index >= options_.buffer_capacity) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = buffer.slots[index];
+  slot.record = std::move(record);
+  slot.ready.store(true, std::memory_order_release);
+}
+
+void Tracer::RecordInstant(uint64_t trace_id, uint64_t parent_id,
+                           std::string name, std::vector<SpanAttr> attrs) {
+  SpanRecord record;
+  record.trace_id = trace_id;
+  record.span_id = NewSpanId();
+  record.parent_id = parent_id;
+  record.start_ns = NowNs();
+  record.thread = CurrentThreadIndex();
+  record.instant = true;
+  record.name = std::move(name);
+  record.attrs = std::move(attrs);
+  Record(std::move(record));
+}
+
+size_t Tracer::span_count() const {
+  size_t total = 0;
+  for (const auto& buffer : buffers_) {
+    size_t reserved = buffer.reserved.load(std::memory_order_acquire);
+    size_t used = std::min(reserved, options_.buffer_capacity);
+    for (size_t i = 0; i < used; ++i) {
+      if (buffer.slots[i].ready.load(std::memory_order_acquire)) ++total;
+    }
+  }
+  return total;
+}
+
+uint64_t Tracer::drops() const {
+  return drops_.load(std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::Snapshot() const {
+  std::vector<SpanRecord> records;
+  for (const auto& buffer : buffers_) {
+    size_t reserved = buffer.reserved.load(std::memory_order_acquire);
+    size_t used = std::min(reserved, options_.buffer_capacity);
+    for (size_t i = 0; i < used; ++i) {
+      if (buffer.slots[i].ready.load(std::memory_order_acquire)) {
+        records.push_back(buffer.slots[i].record);
+      }
+    }
+  }
+  std::sort(records.begin(), records.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.span_id < b.span_id;
+            });
+  return records;
+}
+
+void Tracer::ExportChromeTrace(std::ostream& out) const {
+  std::vector<SpanRecord> records = Snapshot();
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& record : records) {
+    if (!first) out << ",\n";
+    first = false;
+    WriteEvent(out, record);
+  }
+  uint64_t dropped = drops();
+  if (dropped > 0) {
+    if (!first) out << ",\n";
+    SpanRecord note;
+    note.span_id = 0;
+    note.start_ns = records.empty() ? 0 : records.back().start_ns;
+    note.instant = true;
+    note.name = "tracer-drops";
+    note.attrs.emplace_back("dropped", std::to_string(dropped));
+    WriteEvent(out, note);
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Tracer::Clear() {
+  for (auto& buffer : buffers_) {
+    size_t reserved = buffer.reserved.load(std::memory_order_acquire);
+    size_t used = std::min(reserved, options_.buffer_capacity);
+    for (size_t i = 0; i < used; ++i) {
+      buffer.slots[i].ready.store(false, std::memory_order_relaxed);
+      buffer.slots[i].record = SpanRecord{};
+    }
+    buffer.reserved.store(0, std::memory_order_release);
+  }
+  drops_.store(0, std::memory_order_relaxed);
+}
+
+SpanScope::SpanScope(const TraceContext& parent, std::string name) {
+  if (!parent.active()) return;
+  context_.tracer = parent.tracer;
+  context_.trace_id = parent.trace_id;
+  context_.span_id = parent.tracer->NewSpanId();
+  parent_id_ = parent.span_id;
+  start_ns_ = NowNs();
+  name_ = std::move(name);
+  previous_ = g_ambient_context;
+  g_ambient_context = context_;
+}
+
+void SpanScope::AddAttr(std::string key, std::string value) {
+  if (!context_.active()) return;
+  attrs_.emplace_back(std::move(key), std::move(value));
+}
+
+void SpanScope::End() {
+  if (!context_.active()) return;
+  g_ambient_context = previous_;
+  SpanRecord record;
+  record.trace_id = context_.trace_id;
+  record.span_id = context_.span_id;
+  record.parent_id = parent_id_;
+  record.start_ns = start_ns_;
+  record.duration_ns = NowNs() - start_ns_;
+  record.thread = CurrentThreadIndex();
+  record.name = std::move(name_);
+  record.attrs = std::move(attrs_);
+  context_.tracer->Record(std::move(record));
+  context_ = TraceContext{};  // deactivate: End() is idempotent
+}
+
+}  // namespace touch

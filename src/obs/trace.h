@@ -1,0 +1,209 @@
+#ifndef TOUCH_OBS_TRACE_H_
+#define TOUCH_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace touch {
+
+class Tracer;
+
+/// One attribute of a span or instant event (both key and value are plain
+/// strings; numeric attrs are formatted by the caller).
+using SpanAttr = std::pair<std::string, std::string>;
+
+/// One finished span or instant event, as stored in the tracer's buffers
+/// and exported to Chrome/Perfetto trace JSON.
+///
+/// `trace_id` correlates every span of one request (JoinResult::trace_id);
+/// `parent_id` links the span tree (0 = root). `duration_ns` of 0 together
+/// with `instant` marks a point event (a phase transition, a cancellation).
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  int64_t start_ns = 0;
+  int64_t duration_ns = 0;
+  /// Process-local sequential thread index (the Chrome trace "tid").
+  uint32_t thread = 0;
+  bool instant = false;
+  std::string name;
+  std::vector<SpanAttr> attrs;
+};
+
+/// Where a span would attach: the tracer plus the (trace, span) ids a child
+/// should parent onto. Cheap value type; inactive (null tracer) contexts
+/// make every tracing call a no-op, so instrumented code never branches on
+/// "is tracing on" itself.
+struct TraceContext {
+  Tracer* tracer = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+
+  bool active() const { return tracer != nullptr; }
+};
+
+/// The ambient trace context of the calling thread: the innermost live
+/// SpanScope on this thread, or an inactive context when none is open.
+/// This is how the execution kernels (TOUCH assignment, PBSM merge, INL
+/// probe) attach phase spans without any tracing plumbing in their APIs —
+/// the engine opens an "execute" SpanScope around the kernel call, the
+/// kernel's own SpanScope picks the context up from here.
+TraceContext CurrentTraceContext();
+
+/// A process-local sequential index for the calling thread (stable for the
+/// thread's lifetime); doubles as the exported trace's tid.
+uint32_t CurrentThreadIndex();
+
+/// The tracing clock (steady, nanoseconds) — for callers that record spans
+/// manually and must stamp start_ns on the same timeline SpanScope uses.
+int64_t TraceClockNs();
+
+struct TracerOptions {
+  /// Spans each buffer can hold. Memory is bounded by
+  /// buffers * buffer_capacity records; once a buffer is full, *new* spans
+  /// are dropped (and counted in drops()) rather than overwriting old ones —
+  /// the roots and early phases of a trace matter more than its tail.
+  size_t buffer_capacity = 8192;
+  /// Number of append buffers. Threads are assigned one by thread index, so
+  /// up to this many threads append with zero contention; beyond it, threads
+  /// share buffers (appends stay lock-free either way).
+  size_t buffers = 16;
+};
+
+/// Per-request span recorder with bounded memory.
+///
+/// Appends are lock-free and allocation-bounded: each recording thread
+/// writes into its assigned buffer slot (claimed with one fetch_add) and
+/// publishes it with one release store — no mutex is ever taken on the
+/// record path, so tracing can stay enabled in serving builds. A full
+/// buffer drops the new record and counts it (drops()); dropped spans can
+/// orphan their children in the exported tree, which tools/trace_summary.py
+/// reports.
+///
+/// Export (ExportChromeTrace, Snapshot) may run concurrently with
+/// recording: it sees every record published before it started and skips
+/// slots still being written. Clear() is the one exception — it requires
+/// quiescence (no concurrent recorders) and exists for tests and
+/// between-run reuse.
+class Tracer {
+ public:
+  explicit Tracer(const TracerOptions& options = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// A fresh nonzero trace id (one per request).
+  uint64_t NewTraceId() { return next_trace_id_.fetch_add(1) + 1; }
+
+  /// A fresh nonzero span id. SpanScope calls this itself; it is public for
+  /// callers that record spans manually (the engine's request root span,
+  /// whose lifetime crosses threads and outlives any one scope).
+  uint64_t NewSpanId() { return next_span_id_.fetch_add(1) + 1; }
+
+  /// Appends one finished record as-is (all fields caller-supplied).
+  /// Lock-free; drops and counts when the thread's buffer is full.
+  void Record(SpanRecord record);
+
+  /// Appends an instant event at the current time on the calling thread.
+  void RecordInstant(uint64_t trace_id, uint64_t parent_id, std::string name,
+                     std::vector<SpanAttr> attrs = {});
+
+  /// Records published so far (drops excluded).
+  size_t span_count() const;
+
+  /// Records dropped because their buffer was full.
+  uint64_t drops() const;
+
+  /// Copies every published record, sorted by start time (test and tooling
+  /// surface; export formats are built on it).
+  std::vector<SpanRecord> Snapshot() const;
+
+  /// Writes the Chrome/Perfetto `trace_event` JSON array format: complete
+  /// ("X") events for spans, instant ("i") events for point records, span
+  /// ids and attrs under "args". Load via chrome://tracing or
+  /// https://ui.perfetto.dev. When records were dropped, a final
+  /// "tracer-drops" instant event carries the count.
+  void ExportChromeTrace(std::ostream& out) const;
+
+  /// Drops every record. Requires quiescence: must not run concurrently
+  /// with Record (tests, or between CLI runs).
+  void Clear();
+
+  const TracerOptions& options() const { return options_; }
+
+ private:
+  struct Slot {
+    std::atomic<bool> ready{false};
+    SpanRecord record;
+  };
+  struct Buffer {
+    std::unique_ptr<Slot[]> slots;
+    /// Claims slots; values >= capacity mean the buffer overflowed.
+    std::atomic<size_t> reserved{0};
+  };
+
+  TracerOptions options_;
+  std::vector<Buffer> buffers_;
+  std::atomic<uint64_t> next_trace_id_{0};
+  std::atomic<uint64_t> next_span_id_{0};
+  std::atomic<uint64_t> drops_{0};
+};
+
+/// RAII span: opens on construction, records on End() or destruction, and
+/// makes itself the calling thread's ambient context (CurrentTraceContext)
+/// for its lifetime, so anything called underneath — including the
+/// execution kernels — can attach children without plumbing.
+///
+/// Scopes must nest per thread (construct/End in LIFO order on the same
+/// thread); the engine's phase structure guarantees that. An inactive scope
+/// (default-constructed, or built from an inactive context) records nothing
+/// and costs two thread-local accesses.
+class SpanScope {
+ public:
+  /// Inactive span.
+  SpanScope() = default;
+
+  /// Child of the calling thread's ambient context (no-op when there is
+  /// none) — the kernel-side constructor.
+  explicit SpanScope(std::string name)
+      : SpanScope(CurrentTraceContext(), std::move(name)) {}
+
+  /// Child of an explicit context (the engine-side constructor; no-op when
+  /// the context is inactive).
+  SpanScope(const TraceContext& parent, std::string name);
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  ~SpanScope() { End(); }
+
+  bool active() const { return context_.active(); }
+
+  /// This span as a parent for children (inactive when the scope is).
+  const TraceContext& context() const { return context_; }
+
+  /// Attaches an attribute (exported under "args"); no-op when inactive.
+  void AddAttr(std::string key, std::string value);
+
+  /// Ends the span now and records it; idempotent, also run by the
+  /// destructor. Restores the previous ambient context.
+  void End();
+
+ private:
+  TraceContext context_;   // inactive => whole scope is a no-op
+  TraceContext previous_;  // ambient context to restore on End
+  uint64_t parent_id_ = 0;
+  int64_t start_ns_ = 0;
+  std::string name_;
+  std::vector<SpanAttr> attrs_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_OBS_TRACE_H_

@@ -1,0 +1,294 @@
+// Unit tests for the observability layer: tracer span trees and buffer
+// bounds, histogram percentile math, and both export formats (Chrome trace
+// JSON, Prometheus text exposition).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace touch {
+namespace {
+
+std::map<std::string, SpanRecord> ByName(const Tracer& tracer) {
+  std::map<std::string, SpanRecord> by_name;
+  for (const SpanRecord& record : tracer.Snapshot()) {
+    by_name[record.name] = record;
+  }
+  return by_name;
+}
+
+TEST(TracerTest, SpanScopeNestingBuildsAParentChildTree) {
+  Tracer tracer;
+  const uint64_t trace_id = tracer.NewTraceId();
+  {
+    SpanScope root(TraceContext{&tracer, trace_id, 0}, "root");
+    // The inner scope is ambient: it finds `root` via CurrentTraceContext.
+    SpanScope child("child");
+    child.AddAttr("k", "v");
+  }
+  const auto spans = ByName(tracer);
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& root = spans.at("root");
+  const SpanRecord& child = spans.at("child");
+  EXPECT_EQ(root.trace_id, trace_id);
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(child.trace_id, trace_id);
+  EXPECT_EQ(child.parent_id, root.span_id);
+  ASSERT_EQ(child.attrs.size(), 1u);
+  EXPECT_EQ(child.attrs[0].first, "k");
+  EXPECT_EQ(child.attrs[0].second, "v");
+}
+
+TEST(TracerTest, AmbientContextIsRestoredWhenAScopeEnds) {
+  Tracer tracer;
+  SpanScope outer(TraceContext{&tracer, tracer.NewTraceId(), 0}, "outer");
+  {
+    SpanScope inner("inner");
+    EXPECT_EQ(CurrentTraceContext().span_id, inner.context().span_id);
+  }
+  EXPECT_EQ(CurrentTraceContext().span_id, outer.context().span_id);
+  outer.End();
+  EXPECT_FALSE(CurrentTraceContext().active());
+  outer.End();  // idempotent: a second End must not double-record
+  EXPECT_EQ(tracer.span_count(), 2u);
+}
+
+TEST(TracerTest, InactiveScopesRecordNothing) {
+  SpanScope no_ambient("orphan");  // no ambient context on this thread
+  EXPECT_FALSE(no_ambient.active());
+  SpanScope default_constructed;
+  EXPECT_FALSE(default_constructed.active());
+  no_ambient.AddAttr("k", "v");  // must not crash
+}
+
+TEST(TracerTest, ContextHandoffParentsSpansAcrossThreads) {
+  Tracer tracer;
+  SpanScope root(TraceContext{&tracer, tracer.NewTraceId(), 0}, "root");
+  // A spawned thread has no ambient context — its kernel-style spans no-op
+  // unless the parent context is handed over explicitly.
+  const TraceContext handoff = root.context();
+  std::thread worker([&tracer, handoff] {
+    SpanScope ambient("should-not-record");
+    EXPECT_FALSE(ambient.active());
+    SpanScope explicit_child(handoff, "worker-span");
+    EXPECT_TRUE(explicit_child.active());
+  });
+  worker.join();
+  root.End();
+  const auto spans = ByName(tracer);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans.at("worker-span").parent_id, spans.at("root").span_id);
+  EXPECT_NE(spans.at("worker-span").thread, spans.at("root").thread);
+}
+
+TEST(TracerTest, FullBufferDropsNewRecordsAndCountsThem) {
+  TracerOptions options;
+  options.buffer_capacity = 8;
+  options.buffers = 1;
+  Tracer tracer(options);
+  for (int i = 0; i < 100; ++i) {
+    SpanRecord record;
+    record.name = "span-" + std::to_string(i);
+    tracer.Record(std::move(record));
+  }
+  EXPECT_EQ(tracer.span_count(), 8u);
+  EXPECT_EQ(tracer.drops(), 92u);
+  // Overflow drops the NEW record: the first 8 (roots, early phases) stay.
+  const std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);
+  for (const SpanRecord& record : spans) {
+    EXPECT_LT(record.name, std::string("span-8"));
+  }
+  tracer.Clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+  EXPECT_EQ(tracer.drops(), 0u);
+}
+
+TEST(TracerTest, ConcurrentRecordingFromManyThreadsLosesNothing) {
+  Tracer tracer;  // default: 16 buffers x 8192 slots, plenty for 4 x 500
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        SpanRecord record;
+        record.span_id = static_cast<uint64_t>(t) * kPerThread + i + 1;
+        record.name = "s";
+        tracer.Record(std::move(record));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(tracer.span_count(), size_t{kThreads} * kPerThread);
+  EXPECT_EQ(tracer.drops(), 0u);
+}
+
+TEST(TracerTest, ChromeExportIsValidTraceEventJson) {
+  Tracer tracer;
+  const uint64_t trace_id = tracer.NewTraceId();
+  {
+    SpanScope root(TraceContext{&tracer, trace_id, 0}, "root");
+    SpanScope child("needs \"escaping\"\n");
+    child.AddAttr("algorithm", "touch");
+  }
+  tracer.RecordInstant(trace_id, 0, "marker");
+  std::ostringstream out;
+  tracer.ExportChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);  // complete spans
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);  // the instant
+  EXPECT_NE(json.find("\"algorithm\":\"touch\""), std::string::npos);
+  // Quotes and newlines in names must come out escaped, never raw.
+  EXPECT_NE(json.find("needs \\\"escaping\\\"\\n"), std::string::npos);
+  EXPECT_EQ(json.find("needs \"escaping\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":\"" + std::to_string(trace_id) + "\""),
+            std::string::npos);
+  // No drops => no tracer-drops marker.
+  EXPECT_EQ(json.find("tracer-drops"), std::string::npos);
+}
+
+TEST(TracerTest, ChromeExportZeroPadsFractionalMicroseconds) {
+  Tracer tracer;
+  SpanRecord record;
+  record.start_ns = 1'000'005;  // 1000.005 us — naive % printing says "5"
+  record.duration_ns = 2'000'050;
+  record.name = "pad";
+  tracer.Record(std::move(record));
+  std::ostringstream out;
+  tracer.ExportChromeTrace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"ts\":1000.005"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2000.050"), std::string::npos) << json;
+}
+
+TEST(TracerTest, DroppedRecordsAppearAsATrailerEvent) {
+  TracerOptions options;
+  options.buffer_capacity = 1;
+  options.buffers = 1;
+  Tracer tracer(options);
+  for (int i = 0; i < 3; ++i) {
+    SpanRecord record;
+    record.name = "s";
+    tracer.Record(std::move(record));
+  }
+  std::ostringstream out;
+  tracer.ExportChromeTrace(out);
+  EXPECT_NE(out.str().find("tracer-drops"), std::string::npos);
+  EXPECT_NE(out.str().find("\"dropped\":\"2\""), std::string::npos);
+}
+
+TEST(HistogramTest, BucketBoundsArePowersOfTwoMicroseconds) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(10), 1024e-6);
+}
+
+TEST(HistogramTest, PercentilesLandOnCoveringBucketBounds) {
+  Histogram histogram;
+  // 90 fast observations in the 1ms bucket, 10 slow in the ~1s bucket.
+  // 1ms < 1024us? 1e-3 <= BucketBound(10) = 1.024e-3, so bucket 10.
+  for (int i = 0; i < 90; ++i) histogram.Observe(1e-3);
+  for (int i = 0; i < 10; ++i) histogram.Observe(1.0);
+  EXPECT_EQ(histogram.Count(), 100u);
+  EXPECT_NEAR(histogram.Sum(), 90 * 1e-3 + 10 * 1.0, 1e-9);
+  const double fast_bound = histogram.Percentile(0.50);
+  const double slow_bound = histogram.Percentile(0.99);
+  EXPECT_GE(fast_bound, 1e-3);
+  EXPECT_LT(fast_bound, 2.1e-3);  // within one power-of-two bucket
+  EXPECT_GE(slow_bound, 1.0);
+  EXPECT_LT(slow_bound, 2.2);
+  // p90 is still in the fast bucket (target rank 90 of 100).
+  EXPECT_EQ(histogram.Percentile(0.90), fast_bound);
+  EXPECT_EQ(Histogram().Percentile(0.5), 0.0);  // empty histogram
+}
+
+TEST(HistogramTest, OverflowObservationsClampToTheLargestFiniteBound) {
+  Histogram histogram;
+  histogram.Observe(1e9);  // ~31 years: beyond every finite bucket
+  EXPECT_EQ(histogram.Count(), 1u);
+  EXPECT_DOUBLE_EQ(histogram.Percentile(0.5),
+                   Histogram::BucketBound(Histogram::kFiniteBuckets - 1));
+}
+
+TEST(MetricsRegistryTest, CountersGaugesAndReferencesAreStable) {
+  MetricsRegistry registry;
+  Counter& requests = registry.counter("requests_total");
+  requests.Increment();
+  requests.Increment(4);
+  // Same name returns the same object.
+  EXPECT_EQ(&registry.counter("requests_total"), &requests);
+  EXPECT_EQ(requests.Value(), 5u);
+  Gauge& depth = registry.gauge("queue_depth");
+  depth.Set(3.0);
+  depth.Add(-1.0);
+  EXPECT_DOUBLE_EQ(depth.Value(), 2.0);
+}
+
+TEST(MetricsRegistryTest, PrometheusExportGolden) {
+  MetricsRegistry registry;
+  registry.counter("touch_requests_total{status=\"ok\"}").Increment(3);
+  registry.counter("touch_requests_total{status=\"cancelled\"}").Increment();
+  registry.gauge("touch_queue_depth").Set(2);
+  std::ostringstream out;
+  registry.ExportPrometheus(out);
+  const std::string text = out.str();
+  // One # TYPE line per family, even with two labeled series. Counters are
+  // emitted before gauges; series within a family sort by label.
+  EXPECT_EQ(text, "# TYPE touch_requests_total counter\n"
+                  "touch_requests_total{status=\"cancelled\"} 1\n"
+                  "touch_requests_total{status=\"ok\"} 3\n"
+                  "# TYPE touch_queue_depth gauge\n"
+                  "touch_queue_depth 2\n");
+  EXPECT_EQ(registry.FamilyCount(), 2u);
+}
+
+TEST(MetricsRegistryTest, HistogramExportsNativePrometheusForm) {
+  MetricsRegistry registry;
+  registry.histogram("touch_latency_seconds").Observe(0.5e-6);  // bucket 0
+  registry.histogram("touch_latency_seconds").Observe(3e-6);    // bucket 2
+  std::ostringstream out;
+  registry.ExportPrometheus(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE touch_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("touch_latency_seconds_bucket{le=\"1e-06\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("touch_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("touch_latency_seconds_count 2"), std::string::npos);
+  // Buckets past the last occupied one are elided, not emitted 40 times.
+  EXPECT_EQ(text.find("le=\"8e-06\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ProvidersAreSampledAtExportAndRemovable) {
+  MetricsRegistry registry;
+  double live_value = 7.0;
+  registry.SetProvider("touch_cache_entries", MetricType::kGauge,
+                       [&live_value] { return live_value; });
+  std::ostringstream first;
+  registry.ExportPrometheus(first);
+  EXPECT_NE(first.str().find("touch_cache_entries 7"), std::string::npos);
+  live_value = 9.0;  // export samples the callback, not a stored copy
+  std::ostringstream second;
+  registry.ExportPrometheus(second);
+  EXPECT_NE(second.str().find("touch_cache_entries 9"), std::string::npos);
+  registry.RemoveProvidersWithPrefix("touch_cache_");
+  std::ostringstream third;
+  registry.ExportPrometheus(third);
+  EXPECT_EQ(third.str().find("touch_cache_entries"), std::string::npos);
+  EXPECT_EQ(registry.FamilyCount(), 0u);
+}
+
+}  // namespace
+}  // namespace touch

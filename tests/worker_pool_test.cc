@@ -96,5 +96,44 @@ TEST(WorkerPoolTest, DestructorDrainsPendingTasksAndNotifications) {
   EXPECT_EQ(notified.load(), 50);
 }
 
+// --- Introspection (the metrics providers' data source) ---------------------
+
+TEST(WorkerPoolTest, QueueDepthAndBusyWorkersObserveASaturatedPool) {
+  WorkerPool pool(1);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.busy_workers(), 0);
+
+  std::promise<void> reached;
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  pool.Submit([&reached, release_future] {
+    reached.set_value();
+    release_future.wait();
+  });
+  reached.get_future().wait();
+  // The single worker is parked inside its task; everything behind it
+  // queues deterministically.
+  EXPECT_EQ(pool.busy_workers(), 1);
+  for (int i = 0; i < 3; ++i) pool.Submit([] {});
+  EXPECT_EQ(pool.queue_depth(), 3u);
+
+  release.set_value();
+  pool.WaitIdle();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.busy_workers(), 0);
+}
+
+TEST(WorkerPoolTest, TasksCompletedCountsRunAndSkippedTasks) {
+  WorkerPool pool(2);
+  for (int i = 0; i < 40; ++i) pool.Submit([] {});
+  // Skipped tasks (should_run false at pop) still count as completed: the
+  // counter tracks queue throughput, not work performed.
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([] {}, nullptr, [] { return false; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(pool.tasks_completed(), 50u);
+}
+
 }  // namespace
 }  // namespace touch

@@ -16,8 +16,10 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -29,6 +31,8 @@
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
 #include "io/dataset_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/format.h"
 
 namespace touch {
@@ -69,6 +73,10 @@ struct CliOptions {
   bool explain = false;
   /// --algo=auto: measured-run feedback calibrating the planner.
   bool calibration = true;
+  /// Write a Chrome/Perfetto trace of the engine-run requests here.
+  std::string trace_out;
+  /// Write a Prometheus text-format metrics snapshot here.
+  std::string metrics_out;
   bool csv = false;
   bool help = false;
 };
@@ -138,6 +146,11 @@ void PrintUsage() {
       "  --calibration=on|off   measured-run feedback: cold runs train the\n"
       "                         planner's cost models, overriding its static\n"
       "                         rules (default on)\n"
+      "  --trace-out=FILE       write a Chrome/Perfetto trace (JSON) of the\n"
+      "                         engine-run requests; open in ui.perfetto.dev\n"
+      "                         or summarize with tools/trace_summary.py\n"
+      "  --metrics-out=FILE     write a Prometheus text-format snapshot of\n"
+      "                         the engine/cache/pool metrics after the run\n"
       "  --csv                  machine-readable output\n"
       "\n"
       "Generate mode:\n"
@@ -223,6 +236,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
                      value.c_str());
         return false;
       }
+    } else if (ParseFlag(arg, "trace-out", &value)) {
+      options->trace_out = value;
+    } else if (ParseFlag(arg, "metrics-out", &value)) {
+      options->metrics_out = value;
     } else if (arg == "--explain") {
       options->explain = true;
     } else if (ParseFlag(arg, "calibration", &value)) {
@@ -340,13 +357,29 @@ int RunJoin(const CliOptions& options) {
   std::unique_ptr<ShardedQueryEngine> sharded;
   DatasetHandle handle_a = 0;
   DatasetHandle handle_b = 0;
-  if (std::find(algorithms.begin(), algorithms.end(), "auto") !=
-      algorithms.end()) {
+  // Observability sinks exist whenever their flags are set, so the export
+  // below always has an object to drain — even if no engine run fills it.
+  std::shared_ptr<Tracer> tracer;
+  std::shared_ptr<MetricsRegistry> metrics;
+  if (!options.trace_out.empty()) tracer = std::make_shared<Tracer>();
+  if (!options.metrics_out.empty()) {
+    metrics = std::make_shared<MetricsRegistry>();
+  }
+  const bool has_auto = std::find(algorithms.begin(), algorithms.end(),
+                                  "auto") != algorithms.end();
+  if ((tracer != nullptr || metrics != nullptr) && !has_auto) {
+    std::fprintf(stderr,
+                 "note: --trace-out/--metrics-out record --algo=auto engine "
+                 "runs; output will be empty\n");
+  }
+  if (has_auto) {
     EngineOptions engine_options;
     engine_options.max_cache_bytes = options.cache_bytes;
     engine_options.cache_admission = options.cache_admission;
     engine_options.calibration.enabled = options.calibration;
     engine_options.shards = options.shards;
+    engine_options.tracer = tracer;
+    engine_options.metrics = metrics;
     if (options.shards > 1) {
       // --shards routes auto runs through the scatter-gather engine; fixed
       // names in a mixed list fall back to the engineless path (per-shard
@@ -592,6 +625,31 @@ int RunJoin(const CliOptions& options) {
         static_cast<double>(cache.bytes) / (1024.0 * 1024.0),
         cache.capacity_bytes == 0 ? " (unbounded)" : "",
         cache.cost_saved_seconds);
+  }
+  // Exported while the engine is still alive: the registry's cache/pool
+  // gauges are sampled through providers the engine owns.
+  if (tracer != nullptr) {
+    std::ofstream out(options.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.trace_out.c_str());
+      return 1;
+    }
+    tracer->ExportChromeTrace(out);
+    std::fprintf(options.csv ? stderr : stdout, "trace: %zu spans -> %s%s\n",
+                 tracer->span_count(), options.trace_out.c_str(),
+                 tracer->drops() > 0 ? " (buffer overflow, spans dropped)"
+                                     : "");
+  }
+  if (metrics != nullptr) {
+    std::ofstream out(options.metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
+      return 1;
+    }
+    metrics->ExportPrometheus(out);
+    std::fprintf(options.csv ? stderr : stdout,
+                 "metrics: %zu families -> %s\n", metrics->FamilyCount(),
+                 options.metrics_out.c_str());
   }
   return 0;
 }

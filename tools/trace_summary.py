@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace written by spatial_join_cli --trace-out.
+
+Usage:
+    trace_summary.py TRACE.json [--top N] [--require NAME,NAME,...] [--strict]
+
+Prints the top span names by total SELF time — wall time inside a span minus
+the time covered by its child spans (parentage from args.parent_id, which the
+repo's Tracer attaches to every event). Self time is what tells you where a
+request actually burned its budget: a "request" span always tops a total-time
+ranking, but its self time is only the scheduling glue between phases.
+
+Instant events ("ph":"i" — phase markers, cancellation, first-result) carry
+no duration; they are tallied separately as a count per name.
+
+Flags:
+    --top N            rows to print (default 15)
+    --require A,B,...  exit 1 unless every listed span name occurs; this is
+                       how CI asserts a trace covers plan/build/execute/gather
+    --strict           exit 1 if any span references a parent_id that is not
+                       in the trace (dropped or never recorded) — buffer
+                       overflow aside, an orphan means broken propagation
+
+Exit code 0 on success, 1 on unmet --require/--strict or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"cannot read {path}: {err}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise SystemExit(f"{path}: no traceEvents array (not a Chrome trace?)")
+    return events
+
+
+def summarize(events):
+    """Returns (per-name aggregates, instant counts, orphan parent ids)."""
+    spans = {}  # span_id -> event (complete events only)
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        span_id = event.get("args", {}).get("span_id")
+        if span_id is not None:
+            spans[span_id] = event
+
+    # Children's duration is charged against the parent's self time. A child
+    # on another thread still subtracts: the parent was logically waiting.
+    child_time = defaultdict(float)
+    orphans = []
+    for event in spans.values():
+        parent_id = event.get("args", {}).get("parent_id", "0")
+        if parent_id in ("0", None):
+            continue
+        if parent_id not in spans:
+            orphans.append(parent_id)
+            continue
+        child_time[parent_id] += float(event.get("dur", 0.0))
+
+    totals = defaultdict(lambda: {"count": 0, "total_us": 0.0, "self_us": 0.0})
+    for span_id, event in spans.items():
+        row = totals[event.get("name", "?")]
+        duration = float(event.get("dur", 0.0))
+        row["count"] += 1
+        row["total_us"] += duration
+        # Clamp: overlapping children (parallel workers under one span) can
+        # sum past the parent's wall time.
+        row["self_us"] += max(0.0, duration - child_time.get(span_id, 0.0))
+
+    instants = defaultdict(int)
+    for event in events:
+        if event.get("ph") == "i":
+            instants[event.get("name", "?")] += 1
+    return totals, instants, orphans
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Top spans by self time from a --trace-out JSON file.")
+    parser.add_argument("trace", help="Chrome trace from --trace-out")
+    parser.add_argument("--top", type=int, default=15, metavar="N",
+                        help="rows to print (default 15)")
+    parser.add_argument("--require", default="", metavar="NAMES",
+                        help="comma-separated span names that must occur")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on spans whose parent is absent")
+    args = parser.parse_args()
+
+    events = load_events(args.trace)
+    totals, instants, orphans = summarize(events)
+
+    print(f"{'span':24} {'count':>6} {'self(ms)':>10} {'total(ms)':>10}")
+    ranked = sorted(totals.items(), key=lambda kv: -kv[1]["self_us"])
+    for name, row in ranked[:args.top]:
+        print(f"{name:24} {row['count']:6d} {row['self_us'] / 1e3:10.3f} "
+              f"{row['total_us'] / 1e3:10.3f}")
+    if instants:
+        markers = ", ".join(f"{name} x{count}"
+                            for name, count in sorted(instants.items()))
+        print(f"instants: {markers}")
+
+    status = 0
+    required = [name for name in args.require.split(",") if name]
+    missing = [name for name in required
+               if name not in totals and name not in instants]
+    if missing:
+        print(f"MISSING required spans: {', '.join(missing)}",
+              file=sys.stderr)
+        status = 1
+    if args.strict and orphans:
+        print(f"ORPHAN spans: {len(orphans)} reference absent parents "
+              f"(dropped by buffer overflow, or propagation is broken)",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
