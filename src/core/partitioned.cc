@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "util/memory.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace touch {
@@ -31,7 +31,7 @@ class SlabCollector : public ResultCollector {
   SlabCollector(std::span<const Box> a, std::span<const Box> b, int axis,
                 float origin, float inv_width, int slab, int max_slab,
                 const std::vector<uint32_t>& a_ids,
-                const std::vector<uint32_t>& b_ids, std::mutex* mutex,
+                const std::vector<uint32_t>& b_ids, Mutex* mutex,
                 ResultCollector* out)
       : a_(a), b_(b), axis_(axis), origin_(origin), inv_width_(inv_width),
         slab_(slab), max_slab_(max_slab), a_ids_(a_ids), b_ids_(b_ids),
@@ -47,7 +47,7 @@ class SlabCollector : public ResultCollector {
         max_slab_);
     if (home != slab_) return;
     ++emitted_;
-    std::lock_guard<std::mutex> lock(*mutex_);
+    const MutexLock lock(*mutex_);
     out_->Emit(global_a, global_b);
   }
 
@@ -63,7 +63,7 @@ class SlabCollector : public ResultCollector {
   const int max_slab_;
   const std::vector<uint32_t>& a_ids_;
   const std::vector<uint32_t>& b_ids_;
-  std::mutex* mutex_;
+  Mutex* mutex_;
   ResultCollector* out_;
   uint64_t emitted_ = 0;
 };
@@ -121,8 +121,8 @@ JoinStats PartitionedJoin(
   // worker materializes its slab's boxes, joins them with a fresh algorithm
   // instance, and reports globally-unique pairs through SlabCollector.
   phase.Reset();
-  std::mutex out_mutex;
-  std::mutex stats_mutex;
+  Mutex out_mutex;
+  Mutex stats_mutex;
   size_t max_slab_bytes = 0;
   std::vector<int> schedule(partitions);
   for (int s = 0; s < partitions; ++s) schedule[s] = s;
@@ -148,7 +148,7 @@ JoinStats PartitionedJoin(
       JoinStats slab_stats = algorithm->Join(boxes_a, boxes_b, collector);
       slab_stats.results = collector.emitted();
 
-      std::lock_guard<std::mutex> lock(stats_mutex);
+      const MutexLock lock(stats_mutex);
       stats.MergeCounters(slab_stats);
       max_slab_bytes =
           std::max(max_slab_bytes, slab_stats.memory_bytes +

@@ -4,13 +4,13 @@
 #include <atomic>
 #include <optional>
 #include <cmath>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
 #include "geom/grid.h"
 #include "obs/trace.h"
 #include "util/memory.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace touch {
@@ -410,7 +410,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     // (single-threaded) collector under a mutex.
     std::vector<WorkerContext> contexts(static_cast<size_t>(threads));
     std::atomic<size_t> next_node{0};
-    std::mutex out_mutex;
+    Mutex out_mutex;
     const auto worker = [&](WorkerContext& ctx) {
       std::vector<std::pair<uint32_t, uint32_t>> pending;
       const auto emit = [&](uint32_t build_id, uint32_t probe_id) {
@@ -427,7 +427,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
         if (index >= active_nodes.size()) break;
         join_node(active_nodes[index], ctx, emit);
         if (!pending.empty()) {
-          const std::lock_guard<std::mutex> lock(out_mutex);
+          const MutexLock lock(out_mutex);
           for (const auto& [a_id, b_id] : pending) out.Emit(a_id, b_id);
           pending.clear();
         }

@@ -91,7 +91,7 @@ CostModel FitCostModel(size_t samples, double objects_sq,
 }
 
 void PlanFeedback::Record(const PlanOutcome& outcome) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   FamilySums& sums = sums_[outcome.family];
   const double objects = static_cast<double>(outcome.objects);
   const double results = outcome.estimated_results;  // see PlanOutcome
@@ -111,7 +111,7 @@ void PlanFeedback::Record(const PlanOutcome& outcome) {
 CalibrationSnapshot PlanFeedback::Snapshot(size_t min_samples) const {
   std::map<std::string, CostModel> models;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& [family, sums] : sums_) {
       CostModel model =
           FitCostModel(sums.n, sums.objects_sq, sums.objects_results,
@@ -129,17 +129,17 @@ CalibrationSnapshot PlanFeedback::Snapshot(size_t min_samples) const {
 }
 
 std::vector<PlanOutcome> PlanFeedback::RecentOutcomes() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return std::vector<PlanOutcome>(log_.begin(), log_.end());
 }
 
 uint64_t PlanFeedback::total_recorded() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return recorded_;
 }
 
 void PlanFeedback::Clear() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   sums_.clear();
   log_.clear();
   recorded_ = 0;

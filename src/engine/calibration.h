@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace touch {
 
@@ -125,21 +127,21 @@ class PlanFeedback {
   explicit PlanFeedback(size_t max_outcomes = 1024)
       : max_outcomes_(max_outcomes) {}
 
-  void Record(const PlanOutcome& outcome);
+  void Record(const PlanOutcome& outcome) EXCLUDES(mutex_);
 
   /// Fits one CostModel per family from the accumulated runs (see
   /// Calibrator) and snapshots them for the planner.
-  CalibrationSnapshot Snapshot(size_t min_samples = 3) const;
+  CalibrationSnapshot Snapshot(size_t min_samples = 3) const EXCLUDES(mutex_);
 
   /// Copy of the retained outcome log, newest last (capped at
   /// max_outcomes; older entries are dropped from the log only, never from
   /// the fit).
-  std::vector<PlanOutcome> RecentOutcomes() const;
+  std::vector<PlanOutcome> RecentOutcomes() const EXCLUDES(mutex_);
 
   /// Total outcomes ever recorded (not capped).
-  uint64_t total_recorded() const;
+  uint64_t total_recorded() const EXCLUDES(mutex_);
 
-  void Clear();
+  void Clear() EXCLUDES(mutex_);
 
  private:
   struct FamilySums {
@@ -152,11 +154,11 @@ class PlanFeedback {
     double objects_build = 0;    // sum o_i * build_i (build-rate fit)
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   const size_t max_outcomes_;
-  std::map<std::string, FamilySums> sums_;
-  std::deque<PlanOutcome> log_;
-  uint64_t recorded_ = 0;
+  std::map<std::string, FamilySums> sums_ GUARDED_BY(mutex_);
+  std::deque<PlanOutcome> log_ GUARDED_BY(mutex_);
+  uint64_t recorded_ GUARDED_BY(mutex_) = 0;
 };
 
 /// The fit itself (exposed for tests): ridge-regularized least squares of

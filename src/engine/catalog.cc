@@ -376,12 +376,14 @@ DatasetHandle DatasetCatalog::Register(std::string name, Dataset boxes,
   entry->name = std::move(name);
   entry->stats = std::move(stats);
   entry->boxes = std::move(boxes);
+  MutexLock lock(mutex_);
   entries_.push_back(std::move(entry));
   return static_cast<DatasetHandle>(entries_.size() - 1);
 }
 
 std::optional<DatasetHandle> DatasetCatalog::Find(
     const std::string& name) const {
+  MutexLock lock(mutex_);
   for (size_t i = entries_.size(); i-- > 0;) {
     if (entries_[i]->name == name) return static_cast<DatasetHandle>(i);
   }

@@ -1,6 +1,7 @@
 #ifndef TOUCH_ENGINE_CATALOG_H_
 #define TOUCH_ENGINE_CATALOG_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -11,6 +12,7 @@
 #include "datagen/dataset.h"
 #include "geom/box.h"
 #include "geom/vec3.h"
+#include "util/thread_annotations.h"
 
 namespace touch {
 
@@ -96,32 +98,49 @@ bool DeserializeDatasetStats(std::span<const uint8_t> bytes,
 /// and hands out stable references (entries are heap-allocated), so callers
 /// may hold spans across later registrations. Lookup by name returns the
 /// most recently registered dataset of that name.
+///
+/// Thread safety: the catalog is internally synchronized — Register may race
+/// with lookups and with other Register calls. Entries are append-only and
+/// immutable once registered, so the references the accessors return stay
+/// valid (and safely readable) after the internal lock is released; a handle
+/// is usable from the moment its Register call returned.
 class DatasetCatalog {
  public:
-  DatasetHandle Register(std::string name, Dataset boxes);
+  DatasetHandle Register(std::string name, Dataset boxes) EXCLUDES(mutex_);
 
   /// Registers with stats the caller already computed — the partition API's
   /// entry point: the sharded catalog computes each shard's stats once (to
   /// serialize them for central planning) and must not pay a second
   /// registration scan here. `stats` must describe `boxes` exactly; nothing
   /// is verified.
-  DatasetHandle Register(std::string name, Dataset boxes, DatasetStats stats);
+  DatasetHandle Register(std::string name, Dataset boxes, DatasetStats stats)
+      EXCLUDES(mutex_);
 
-  size_t size() const { return entries_.size(); }
-  bool Contains(DatasetHandle handle) const { return handle < entries_.size(); }
+  size_t size() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return entries_.size();
+  }
+  bool Contains(DatasetHandle handle) const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return handle < entries_.size();
+  }
 
-  const std::string& name(DatasetHandle handle) const {
+  const std::string& name(DatasetHandle handle) const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return entries_[handle]->name;
   }
-  const Dataset& boxes(DatasetHandle handle) const {
+  const Dataset& boxes(DatasetHandle handle) const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return entries_[handle]->boxes;
   }
-  const DatasetStats& stats(DatasetHandle handle) const {
+  const DatasetStats& stats(DatasetHandle handle) const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     return entries_[handle]->stats;
   }
 
   /// Handle of the most recently registered dataset named `name`.
-  std::optional<DatasetHandle> Find(const std::string& name) const;
+  std::optional<DatasetHandle> Find(const std::string& name) const
+      EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -130,8 +149,9 @@ class DatasetCatalog {
     DatasetStats stats;
   };
 
+  mutable Mutex mutex_;
   // unique_ptr keeps boxes/stats references stable across Register calls.
-  std::vector<std::unique_ptr<Entry>> entries_;
+  std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace touch

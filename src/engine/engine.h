@@ -1,6 +1,8 @@
 #ifndef TOUCH_ENGINE_ENGINE_H_
 #define TOUCH_ENGINE_ENGINE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <memory>
@@ -287,10 +289,21 @@ class BatchHandle {
 /// takes effect at the next boundary, and the artifact stays cached for
 /// other requests).
 ///
-/// Threading contract: RegisterDataset must not race with queries; Plan,
+/// Threading contract: every public method is safe to call concurrently.
+/// RegisterDataset may race with queries (the catalog is internally
+/// synchronized and entries are immutable once registered), though a query
+/// can of course only name handles whose registration has returned. Plan,
 /// Submit, SubmitBatch and the synchronous wrappers may all run
 /// concurrently with each other. The synchronous wrappers block on worker
 /// capacity, so they must not be called from sink callbacks.
+///
+/// Lock discipline: the engine itself holds no mutex — the request state
+/// machine is a lock-free atomic phase lifecycle (internal::RequestState)
+/// and all shared mutable state lives behind the internally-synchronized
+/// components (catalog, cache, feedback, pool, metrics), each annotated
+/// with the capability attributes in util/thread_annotations.h. Nothing is
+/// ever called back into user code (sinks, callbacks) while one of those
+/// component locks is held.
 class QueryEngine {
  public:
   explicit QueryEngine(const EngineOptions& options = {});

@@ -59,36 +59,41 @@ IndexCache::ArtifactPtr IndexCache::GetOrBuild(
   std::promise<ArtifactPtr> promise;
   std::shared_future<ArtifactPtr> future;
   uint64_t ticket = 0;
+  bool hit = false;
+  bool was_ready = false;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
+      hit = true;
       // Only a hit on a *completed* entry saved its build time; a
       // single-flight waiter on an in-flight build spends the build's
       // wall-clock blocked on the future and saves nothing.
-      const bool was_ready = it->second.ready;
+      was_ready = it->second.ready;
       lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
       future = it->second.future;
-      lock.unlock();
-      ArtifactPtr artifact = future.get();  // blocks while another builds
-      if (was_ready) {
-        std::lock_guard<std::mutex> relock(mutex_);
-        cost_saved_seconds_ += artifact->build_seconds;
-      }
-      return artifact;
+    } else {
+      ++misses_;
+      const bool admitted = AdmitMissLocked(key, expected_build_seconds);
+      ticket = next_ticket_++;
+      future = promise.get_future().share();
+      lru_.push_front(key);
+      Entry entry;
+      entry.future = future;
+      entry.ticket = ticket;
+      entry.admitted = admitted;
+      entry.lru_pos = lru_.begin();
+      entries_.emplace(key, std::move(entry));
     }
-    ++misses_;
-    const bool admitted = AdmitMissLocked(key, expected_build_seconds);
-    ticket = next_ticket_++;
-    future = promise.get_future().share();
-    lru_.push_front(key);
-    Entry entry;
-    entry.future = future;
-    entry.ticket = ticket;
-    entry.admitted = admitted;
-    entry.lru_pos = lru_.begin();
-    entries_.emplace(key, std::move(entry));
+  }
+  if (hit) {
+    ArtifactPtr artifact = future.get();  // blocks while another builds
+    if (was_ready) {
+      MutexLock lock(mutex_);
+      cost_saved_seconds_ += artifact->build_seconds;
+    }
+    return artifact;
   }
 
   ArtifactPtr artifact;
@@ -99,7 +104,7 @@ IndexCache::ArtifactPtr IndexCache::GetOrBuild(
     // blocked on the future rethrow this exception. The ticket check keeps
     // us from erasing a fresh entry installed after a concurrent Clear().
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end() && it->second.ticket == ticket) {
         lru_.erase(it->second.lru_pos);
@@ -111,7 +116,7 @@ IndexCache::ArtifactPtr IndexCache::GetOrBuild(
   }
   promise.set_value(artifact);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end() && it->second.ticket == ticket) {
       if (!it->second.admitted) {
@@ -168,7 +173,7 @@ void IndexCache::EvictOverCapLocked() {
 }
 
 IndexCache::Stats IndexCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats stats;
   stats.hits = hits_;
   stats.misses = misses_;
@@ -212,7 +217,7 @@ void IndexCache::RegisterMetricProviders(MetricsRegistry& registry,
 }
 
 void IndexCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   entries_.clear();
   lru_.clear();
   ghost_.clear();

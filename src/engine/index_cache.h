@@ -1,17 +1,18 @@
 #ifndef TOUCH_ENGINE_INDEX_CACHE_H_
 #define TOUCH_ENGINE_INDEX_CACHE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "engine/catalog.h"
+#include "util/thread_annotations.h"
 
 namespace touch {
 
@@ -180,9 +181,10 @@ class IndexCache {
   /// (absent or 0 = unknown, normal probation applies). See BuildCostFn
   /// for when it is invoked.
   ArtifactPtr GetOrBuild(const IndexCacheKey& key, const Builder& build,
-                         const BuildCostFn& expected_build_seconds = {});
+                         const BuildCostFn& expected_build_seconds = {})
+      EXCLUDES(mutex_);
 
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mutex_);
 
   /// Re-exposes the Stats snapshot through a metrics registry as sampled
   /// providers named `<prefix>hits_total`, `<prefix>misses_total`,
@@ -196,7 +198,7 @@ class IndexCache {
                                const std::string& prefix) const;
 
   /// Drops every entry and the ghost list's memory of rejected keys.
-  void Clear();
+  void Clear() EXCLUDES(mutex_);
 
   size_t max_bytes() const { return options_.max_bytes; }
   const IndexCacheOptions& options() const { return options_; }
@@ -225,29 +227,31 @@ class IndexCache {
   /// threshold, or admission is off); false rejects and remembers the key.
   /// Lock held.
   bool AdmitMissLocked(const IndexCacheKey& key,
-                       const BuildCostFn& expected_build_seconds);
+                       const BuildCostFn& expected_build_seconds)
+      REQUIRES(mutex_);
 
   /// Drops lowest-cost-density completed entries until bytes_ <= max_bytes.
   /// Lock held.
-  void EvictOverCapLocked();
+  void EvictOverCapLocked() REQUIRES(mutex_);
 
   const IndexCacheOptions options_;
-  mutable std::mutex mutex_;
-  std::map<IndexCacheKey, Entry> entries_;
+  mutable Mutex mutex_;
+  std::map<IndexCacheKey, Entry> entries_ GUARDED_BY(mutex_);
   /// Front = most recently used. Every map entry owns one list node.
-  std::list<IndexCacheKey> lru_;
+  std::list<IndexCacheKey> lru_ GUARDED_BY(mutex_);
   /// Ghost list: keys whose first build was rejected. Front = newest;
   /// ghost_index_ maps a key to its list node for O(log n) membership.
-  std::list<IndexCacheKey> ghost_;
-  std::map<IndexCacheKey, std::list<IndexCacheKey>::iterator> ghost_index_;
-  uint64_t next_ticket_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  uint64_t evictions_ = 0;
-  uint64_t admission_rejects_ = 0;
-  uint64_t admission_preadmits_ = 0;
-  double cost_saved_seconds_ = 0;
-  size_t bytes_ = 0;
+  std::list<IndexCacheKey> ghost_ GUARDED_BY(mutex_);
+  std::map<IndexCacheKey, std::list<IndexCacheKey>::iterator> ghost_index_
+      GUARDED_BY(mutex_);
+  uint64_t next_ticket_ GUARDED_BY(mutex_) = 0;
+  uint64_t hits_ GUARDED_BY(mutex_) = 0;
+  uint64_t misses_ GUARDED_BY(mutex_) = 0;
+  uint64_t evictions_ GUARDED_BY(mutex_) = 0;
+  uint64_t admission_rejects_ GUARDED_BY(mutex_) = 0;
+  uint64_t admission_preadmits_ GUARDED_BY(mutex_) = 0;
+  double cost_saved_seconds_ GUARDED_BY(mutex_) = 0;
+  size_t bytes_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace touch

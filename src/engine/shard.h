@@ -1,6 +1,7 @@
 #ifndef TOUCH_ENGINE_SHARD_H_
 #define TOUCH_ENGINE_SHARD_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
-#include <mutex>
 #include <optional>
 
 #include "util/format.h"
+#include "util/thread_annotations.h"
 #include "util/timer.h"
 
 namespace touch {
@@ -27,8 +27,10 @@ struct internal::GatherState {
   std::atomic<uint64_t> merged_results{0};
   /// Pairs dropped by the owner filter (boundary duplicates).
   std::atomic<uint64_t> deduplicated{0};
-  /// Serializes user_sink->Emit across concurrently executing pairs.
-  std::mutex sink_mutex;
+  /// Serializes user_sink->Emit across concurrently executing pairs. The
+  /// sink pointer itself is not GUARDED_BY it: Get() legitimately reads
+  /// user_sink un-mutexed once every pair handle has drained.
+  Mutex sink_mutex;
   std::vector<RequestHandle> handles;
   /// (shard_a, shard_b) of handles[k].
   std::vector<std::pair<int, int>> pair_ids;
@@ -84,7 +86,7 @@ class PairSink : public ResultSink {
     }
     state_->merged_results.fetch_add(1, std::memory_order_relaxed);
     if (state_->user_sink != nullptr) {
-      const std::lock_guard<std::mutex> lock(state_->sink_mutex);
+      const MutexLock lock(state_->sink_mutex);
       state_->user_sink->Emit(global_a, global_b);
     }
   }

@@ -1,6 +1,8 @@
 #ifndef TOUCH_ENGINE_SHARDED_ENGINE_H_
 #define TOUCH_ENGINE_SHARDED_ENGINE_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>

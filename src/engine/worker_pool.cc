@@ -1,6 +1,7 @@
 #include "engine/worker_pool.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace touch {
@@ -17,10 +18,10 @@ WorkerPool::WorkerPool(int threads) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -31,32 +32,54 @@ void WorkerPool::Submit(std::function<void()> task) {
 void WorkerPool::Submit(std::function<void()> task,
                         std::function<void()> on_done,
                         std::function<bool()> should_run) {
+  bool rejected = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push_back(
-        Task{std::move(task), std::move(on_done), std::move(should_run)});
-    ++in_flight_;
+    MutexLock lock(mutex_);
+    // Submitting into a stopping pool is a lifetime bug on the caller's
+    // side, but resolve the race deterministically rather than leaving a
+    // task in a queue no worker will drain: skip the body, deliver the
+    // completion inline below, and trip a debug assert.
+    assert(!stopping_ && "WorkerPool::Submit after destruction began");
+    if (stopping_) {
+      rejected = true;
+    } else {
+      queue_.push_back(
+          Task{std::move(task), std::move(on_done), std::move(should_run)});
+      ++in_flight_;
+    }
   }
-  work_available_.notify_one();
+  if (rejected) {
+    if (on_done) {
+      try {
+        on_done();
+      } catch (...) {
+      }
+    }
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  work_available_.NotifyOne();
 }
 
 size_t WorkerPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return queue_.size();
 }
 
 void WorkerPool::WaitIdle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_.Wait(lock);
 }
 
 void WorkerPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit predicate loop (not cv.wait(lock, pred)): the thread-safety
+      // analysis checks lambda bodies without the enclosing capability set,
+      // so a predicate lambda could not read the guarded fields.
+      while (!stopping_ && queue_.empty()) work_available_.Wait(lock);
       if (queue_.empty()) return;  // stopping and drained
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -80,8 +103,8 @@ void WorkerPool::WorkerLoop() {
     busy_workers_.fetch_sub(1, std::memory_order_relaxed);
     tasks_completed_.fetch_add(1, std::memory_order_relaxed);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) idle_.notify_all();
+      MutexLock lock(mutex_);
+      if (--in_flight_ == 0) idle_.NotifyAll();
     }
   }
 }

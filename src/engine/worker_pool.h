@@ -2,25 +2,47 @@
 #define TOUCH_ENGINE_WORKER_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace touch {
 
 /// Reusable fixed-size worker pool. Unlike the per-call thread spawning of
 /// PartitionedJoin, the engine keeps one pool alive across queries, so a
 /// steady stream of batches pays thread start-up once.
+///
+/// ## Shutdown ordering
+///
+/// The destructor (1) sets `stopping_` under `mutex_`, (2) wakes every
+/// worker, then (3) joins them. Workers drain the queue first: a worker only
+/// exits when `stopping_` is set AND the queue is empty, so every task that
+/// was enqueued before the destructor ran still executes (and delivers its
+/// `on_done`) before the join completes. Consequences callers rely on:
+///
+///   - Tasks and `on_done` callbacks may keep running between steps (1) and
+///     (3); anything they reference must outlive the pool.
+///   - `Submit` racing with destruction is a caller bug (the pool's memory
+///     is about to vanish). It is still handled deterministically: once
+///     `stopping_` is observed the task body is skipped, `on_done` runs
+///     inline on the submitting thread, and a debug assert fires — the
+///     completion contract ("every Submit is eventually delivered") holds
+///     even in that window, and nothing is left in the queue for a worker
+///     that may already have exited.
+///   - `should_run` gates are consulted by the worker *after* dequeue, so a
+///     task skipped by its gate still counts toward `tasks_completed()`.
 class WorkerPool {
  public:
   /// `threads` <= 0 uses the hardware concurrency (at least 1).
   explicit WorkerPool(int threads = 0);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains outstanding tasks, then joins the workers (see "Shutdown
+  /// ordering" above).
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -31,7 +53,7 @@ class WorkerPool {
   // --- Load signals (the metrics registry's pool gauges) -------------------
 
   /// Tasks waiting in the queue right now (excludes running ones).
-  size_t queue_depth() const;
+  size_t queue_depth() const EXCLUDES(mutex_);
 
   /// Workers currently inside a task or its on_done notification.
   int busy_workers() const {
@@ -46,7 +68,7 @@ class WorkerPool {
   }
 
   /// Enqueues a task; returns immediately.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Enqueues a task with a per-task completion notification: `on_done`
   /// runs on the worker thread immediately after `task` returns — or after
@@ -60,11 +82,11 @@ class WorkerPool {
   /// straight to `on_done` — a task obsoleted while queued (a cancelled
   /// request) costs the pool a function call, not an execution.
   void Submit(std::function<void()> task, std::function<void()> on_done,
-              std::function<bool()> should_run = nullptr);
+              std::function<bool()> should_run = nullptr) EXCLUDES(mutex_);
 
   /// Blocks until every task submitted so far has finished (tasks enqueued
   /// by other threads while waiting extend the wait).
-  void WaitIdle();
+  void WaitIdle() EXCLUDES(mutex_);
 
  private:
   struct Task {
@@ -73,16 +95,16 @@ class WorkerPool {
     std::function<bool()> should_run;  // may be null (always run)
   };
 
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
   std::atomic<int> busy_workers_{0};
   std::atomic<uint64_t> tasks_completed_{0};
-  mutable std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable idle_;
-  std::deque<Task> queue_;
-  size_t in_flight_ = 0;  // queued + currently running
-  bool stopping_ = false;
+  mutable Mutex mutex_;
+  CondVar work_available_;
+  CondVar idle_;
+  std::deque<Task> queue_ GUARDED_BY(mutex_);
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;  // queued + currently running
+  bool stopping_ GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

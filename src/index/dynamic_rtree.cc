@@ -24,12 +24,6 @@ double OverlapWith(const Box& box, std::span<const Box> others, size_t skip) {
   return overlap;
 }
 
-Box MbrOf(std::span<const Box> boxes) {
-  Box mbr = Box::Empty();
-  for (const Box& b : boxes) mbr.ExpandToContain(b);
-  return mbr;
-}
-
 }  // namespace
 
 DynamicRTree::DynamicRTree(const Options& options) : options_(options) {

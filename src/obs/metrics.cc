@@ -90,21 +90,21 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
@@ -112,17 +112,17 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
 
 void MetricsRegistry::SetProvider(const std::string& name, MetricType type,
                                   std::function<double()> sample) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   providers_[name] = Provider{type, std::move(sample)};
 }
 
 void MetricsRegistry::RemoveProvider(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   providers_.erase(name);
 }
 
 void MetricsRegistry::RemoveProvidersWithPrefix(const std::string& prefix) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto it = providers_.begin(); it != providers_.end();) {
     if (it->first.compare(0, prefix.size(), prefix) == 0) {
       it = providers_.erase(it);
@@ -133,7 +133,7 @@ void MetricsRegistry::RemoveProvidersWithPrefix(const std::string& prefix) {
 }
 
 size_t MetricsRegistry::FamilyCount() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::set<std::string> families;
   for (const auto& [name, _] : counters_) families.insert(FamilyOf(name));
   for (const auto& [name, _] : gauges_) families.insert(FamilyOf(name));
@@ -146,7 +146,7 @@ void MetricsRegistry::ExportPrometheus(std::ostream& out) const {
   // Sample providers outside the registry lock where possible? No:
   // provider callbacks only read atomics/snapshots, and holding the lock
   // keeps export consistent with concurrent Remove calls.
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::set<std::string> typed;
   for (const auto& [name, counter] : counters_) {
     EmitTypeLine(out, typed, FamilyOf(name), "counter");

@@ -3,13 +3,15 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
+
+#include "util/thread_annotations.h"
 
 namespace touch {
 
@@ -100,27 +102,28 @@ class MetricsRegistry {
   /// sense: one shared scrape surface unless a caller wires its own).
   static MetricsRegistry& Global();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) EXCLUDES(mutex_);
+  Histogram& histogram(const std::string& name) EXCLUDES(mutex_);
 
   /// Registers a sampled metric: `sample` runs at export time. Replaces an
   /// existing provider of the same name.
   void SetProvider(const std::string& name, MetricType type,
-                   std::function<double()> sample);
-  void RemoveProvider(const std::string& name);
+                   std::function<double()> sample) EXCLUDES(mutex_);
+  void RemoveProvider(const std::string& name) EXCLUDES(mutex_);
   /// Removes every provider whose name starts with `prefix` (owner
   /// teardown, e.g. the engine unregistering its cache/pool providers).
-  void RemoveProvidersWithPrefix(const std::string& prefix);
+  void RemoveProvidersWithPrefix(const std::string& prefix) EXCLUDES(mutex_);
 
   /// Number of distinct metric families (the `# TYPE` lines Prometheus
   /// export would emit) — the "≥ 12 distinct metrics" acceptance check.
-  size_t FamilyCount() const;
+  size_t FamilyCount() const EXCLUDES(mutex_);
 
   /// Prometheus text exposition format, sorted by name: one `# TYPE` line
   /// per family, counters/gauges as single samples, histograms in native
-  /// `_bucket{le=...}` / `_sum` / `_count` form.
-  void ExportPrometheus(std::ostream& out) const;
+  /// `_bucket{le=...}` / `_sum` / `_count` form. Provider callbacks run
+  /// under the registry lock; they must not call back into this registry.
+  void ExportPrometheus(std::ostream& out) const EXCLUDES(mutex_);
 
  private:
   struct Provider {
@@ -128,12 +131,13 @@ class MetricsRegistry {
     std::function<double()> sample;
   };
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // node-based maps: values never move, so returned references are stable.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, Provider> providers_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mutex_);
+  std::map<std::string, Provider> providers_ GUARDED_BY(mutex_);
 };
 
 }  // namespace touch

@@ -2,6 +2,7 @@
 #define TOUCH_OBS_TRACE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <ostream>
@@ -12,6 +13,12 @@
 namespace touch {
 
 class Tracer;
+
+// Thread-safety note: the tracer is deliberately mutex-free — span slots
+// are claimed with a fetch_add ticket and published with a release store
+// (readers acquire), so recording never blocks a kernel. There is no
+// capability to annotate; the invariants here are memory-ordering ones,
+// covered by the TSan CI leg rather than -Wthread-safety.
 
 /// One attribute of a span or instant event (both key and value are plain
 /// strings; numeric attrs are formatted by the caller).

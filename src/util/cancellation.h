@@ -3,9 +3,17 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 namespace touch {
+
+// Thread-safety note: cancellation is lock-free by design — a relaxed
+// atomic flag plus an atomic deadline — so it carries no capability
+// annotations (there is no mutex to guard anything with). Kernels poll
+// stop_requested() at an amortized stride; tools/lint_invariants.py
+// enforces that every kernel candidate loop keeps doing so.
 
 namespace internal {
 struct CancelFlag {

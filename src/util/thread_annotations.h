@@ -1,0 +1,135 @@
+// Clang thread-safety (capability) annotation macros and the mutex shims the
+// whole project locks through.
+//
+// Under clang the macros expand to the capability attributes consumed by
+// -Wthread-safety, turning the locking conventions documented in
+// docs/STATIC_ANALYSIS.md into compile-time proofs; under any other compiler
+// they expand to nothing, so the annotated tree builds identically with gcc.
+//
+// Conventions (see docs/STATIC_ANALYSIS.md for the full catalog):
+//   - Data shared across threads is declared `T field GUARDED_BY(mutex_);`.
+//   - Private helpers that assume the lock is already held are suffixed
+//     `Locked` and annotated `REQUIRES(mutex_)`.
+//   - Public entry points that take the lock themselves are annotated
+//     `EXCLUDES(mutex_)` so re-entrant acquisition is a compile error.
+//   - Raw `std::mutex` / `.lock()` / `.unlock()` outside this header is
+//     banned by tools/lint_invariants.py; lock through Mutex/MutexLock.
+#ifndef TOUCH_UTIL_THREAD_ANNOTATIONS_H_
+#define TOUCH_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op
+#endif
+
+#define CAPABILITY(x) TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+#define SCOPED_CAPABILITY TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+#define GUARDED_BY(x) TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+#define RETURN_CAPABILITY(x) \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  TOUCH_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+namespace touch {
+
+// Annotated wrapper over std::mutex. libstdc++'s mutex carries no capability
+// attributes, so this wrapper is the only way lock state becomes visible to
+// the analysis. Lock()/Unlock() exist for the rare manual pairing inside the
+// shims themselves; everything else uses MutexLock.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+// Scoped lock over Mutex (the project's lock_guard). Declared
+// SCOPED_CAPABILITY so the analysis tracks the critical section between
+// construction and destruction. The underlying std::unique_lock is exposed
+// only to CondVar::Wait, which re-acquires before returning, so the
+// capability is held across the whole lexical scope as far as the analysis
+// (and every invariant in this codebase) is concerned.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() RELEASE() {}
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+// Condition variable paired with MutexLock. Wait() atomically releases and
+// re-acquires the lock; callers must re-check their predicate in an explicit
+// `while` loop (a lambda predicate would be analyzed without the caller's
+// capability set and reject GUARDED_BY reads).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,19 @@
+// EXPECT-VIOLATION: cancellation-poll
+// Fixture: a kernel function that accepts a CancellationToken but never
+// polls it and never forwards it — the candidate loop would run to
+// completion no matter what the engine's cancel/deadline machinery says.
+#include "util/cancellation.h"
+
+namespace touch {
+
+int BadKernelJoin(int n, const CancellationToken& cancel) {
+  int pairs = 0;
+  for (int b_id = 0; b_id < n; ++b_id) {
+    for (int probe = 0; probe < n; ++probe) {
+      if ((b_id ^ probe) & 1) ++pairs;
+    }
+  }
+  return pairs;
+}
+
+}  // namespace touch

@@ -1,0 +1,18 @@
+// EXPECT-VIOLATION: cancellation-poll
+// Fixture: the kernel does poll, but its stride mask is 1000 — not a power
+// of two minus one — so `(i & 1000u) == 0` fires on an irregular
+// subsequence instead of every 1024th iteration.
+#include "util/cancellation.h"
+
+namespace touch {
+
+int BadStrideJoin(int n, const CancellationToken& cancel) {
+  int pairs = 0;
+  for (int i = 0; i < n; ++i) {
+    if ((i & 1000u) == 0 && cancel.stop_requested()) break;
+    pairs += i & 1;
+  }
+  return pairs;
+}
+
+}  // namespace touch

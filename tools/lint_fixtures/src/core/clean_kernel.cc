@@ -1,0 +1,20 @@
+// EXPECT-CLEAN
+// Fixture: the compliant kernel shape — an amortized-stride poll with a
+// power-of-two-minus-one mask, plus forwarding into a helper.
+#include "util/cancellation.h"
+
+namespace touch {
+
+void LeafJoin(int n, const CancellationToken& cancel);
+
+int CleanKernelJoin(int n, const CancellationToken& cancel) {
+  int pairs = 0;
+  for (int i = 0; i < n; ++i) {
+    if ((i & 1023u) == 0 && cancel.stop_requested()) break;
+    LeafJoin(i, cancel);
+    pairs += i & 1;
+  }
+  return pairs;
+}
+
+}  // namespace touch

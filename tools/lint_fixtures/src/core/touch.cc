@@ -1,0 +1,18 @@
+// EXPECT-VIOLATION: cancellation-poll
+// Fixture: mirrors the path of a designated kernel file
+// (STRIDE_POLL_REQUIRED). The function forwards its token — so the
+// per-function check passes — but the file has no amortized-stride poll
+// left, which is exactly the regression the per-file minimum catches.
+#include "util/cancellation.h"
+
+namespace touch {
+
+void LeafJoin(int n, const CancellationToken& cancel);
+
+void TouchJoin(int n, const CancellationToken& cancel) {
+  for (int node = 0; node < n; ++node) {
+    LeafJoin(node, cancel);
+  }
+}
+
+}  // namespace touch

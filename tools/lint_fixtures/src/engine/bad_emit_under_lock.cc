@@ -1,0 +1,30 @@
+// EXPECT-VIOLATION: emit-under-lock
+// Fixture: Emit() into a user-supplied ResultSink while an engine MutexLock
+// is held — the deadlock factory the rule exists to prevent (user code can
+// call back into the engine and re-acquire the same mutex).
+#include "util/thread_annotations.h"
+
+namespace touch {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void Emit(int a, int b) = 0;
+};
+
+class BadEmitter {
+ public:
+  void Flush(ResultSink* sink) {
+    MutexLock lock(mutex_);
+    for (int i = 0; i < pending_; ++i) {
+      sink->Emit(i, i + 1);
+    }
+    pending_ = 0;
+  }
+
+ private:
+  Mutex mutex_;
+  int pending_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace touch

@@ -1,0 +1,17 @@
+// EXPECT-VIOLATION: iwyu
+// Fixture: uses uint64_t and std::vector but includes neither <cstdint>
+// nor <vector> — it compiles only while some other header happens to drag
+// them in transitively.
+#ifndef TOUCH_LINT_FIXTURES_BAD_IWYU_H_
+#define TOUCH_LINT_FIXTURES_BAD_IWYU_H_
+
+namespace touch {
+
+struct BadIwyuStats {
+  uint64_t emitted = 0;
+  std::vector<uint64_t> per_shard;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_LINT_FIXTURES_BAD_IWYU_H_

@@ -1,0 +1,27 @@
+// EXPECT-VIOLATION: naked-lock
+// Fixture: manual lock()/unlock() calls outside the annotated shims. The
+// thread-safety analysis cannot see these acquisitions, and the early
+// return leaks the lock — the bug class the shims make unrepresentable.
+#include "util/thread_annotations.h"
+
+namespace touch {
+
+class BadUnlocker {
+ public:
+  int Take() {
+    mu_.lock();
+    if (value_ < 0) {
+      return -1;  // oops: returns with mu_ still held
+    }
+    const int taken = value_;
+    value_ = 0;
+    mu_.unlock();
+    return taken;
+  }
+
+ private:
+  Mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace touch

@@ -1,0 +1,21 @@
+// EXPECT-VIOLATION: naked-lock
+// Fixture: raw std locking primitives outside util/thread_annotations.h.
+// std::lock_guard over std::mutex is invisible to -Wthread-safety (no
+// capability attributes), so all locking must go through the shims.
+#include <mutex>
+
+namespace touch {
+
+class RawMutexHolder {
+ public:
+  void Bump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++count_;
+  }
+
+ private:
+  std::mutex mu_;
+  int count_ = 0;
+};
+
+}  // namespace touch

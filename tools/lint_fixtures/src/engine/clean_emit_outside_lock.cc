@@ -1,0 +1,43 @@
+// EXPECT-CLEAN
+// Fixture: both compliant Emit shapes — drain under the lock into a local,
+// emit after the scope closes; and Emit under a *sink_mutex* lock, whose
+// entire purpose is serializing Emit across producers (allowlisted).
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace touch {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void Emit(int a, int b) = 0;
+};
+
+class CleanEmitter {
+ public:
+  void Flush(ResultSink* sink) {
+    std::vector<int> drained;
+    {
+      MutexLock lock(mutex_);
+      drained = std::move(pending_);
+      pending_.clear();
+    }
+    for (int value : drained) {
+      sink->Emit(value, value + 1);
+    }
+  }
+
+  void SerializedEmit(ResultSink* sink, int a, int b) {
+    MutexLock lock(sink_mutex_);
+    sink->Emit(a, b);
+  }
+
+ private:
+  Mutex mutex_;
+  Mutex sink_mutex_;
+  std::vector<int> pending_ GUARDED_BY(mutex_);
+};
+
+}  // namespace touch

@@ -1,0 +1,19 @@
+// EXPECT-CLEAN
+// Fixture: same shape as bad_iwyu.h but with every used symbol's header
+// included directly.
+#ifndef TOUCH_LINT_FIXTURES_CLEAN_IWYU_H_
+#define TOUCH_LINT_FIXTURES_CLEAN_IWYU_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace touch {
+
+struct CleanIwyuStats {
+  uint64_t emitted = 0;
+  std::vector<uint64_t> per_shard;
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_LINT_FIXTURES_CLEAN_IWYU_H_

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's own sources with a bounded suppression
+list.
+
+Drives the checked-in .clang-tidy profile across every src/ translation unit
+in compile_commands.json (configure with CMAKE_EXPORT_COMPILE_COMMANDS, which
+the root CMakeLists sets unconditionally):
+
+    cmake -B build -S .
+    python3 tools/run_clang_tidy.py --build-dir build
+
+Diagnostics are matched against tools/clang_tidy_suppressions.txt; anything
+unsuppressed fails the run. The suppression list is a safety valve, not a
+policy: it is capped at MAX_SUPPRESSIONS entries so it cannot silently grow
+into a second, weaker .clang-tidy (docs/STATIC_ANALYSIS.md has the policy).
+
+Without clang-tidy on PATH the script reports a notice and exits 0 so
+GCC-only development containers are not blocked; CI passes --require, which
+turns the missing binary into a failure there.
+"""
+
+import argparse
+import concurrent.futures
+import contextlib
+import json
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+
+# Die silently when the consumer closes the pipe (`... | head`).
+with contextlib.suppress(AttributeError, ValueError):
+    signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SUPPRESSIONS_PATH = os.path.join(REPO_ROOT, "tools",
+                                 "clang_tidy_suppressions.txt")
+
+# Hard cap on suppression entries: past this, the list is hiding a systemic
+# problem that belongs in .clang-tidy (or fixed), not appended to.
+MAX_SUPPRESSIONS = 20
+
+# path:line:col: severity: message [check-name]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?P<severity>warning|error):\s+(?P<message>.*?)"
+    r"(?:\s+\[(?P<check>[\w.,-]+)\])?$")
+
+
+def find_clang_tidy(explicit):
+    if explicit:
+        return explicit if shutil.which(explicit) else None
+    for candidate in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                      "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        if shutil.which(candidate):
+            return candidate
+    return None
+
+
+def load_suppressions():
+    """Parses `<path-substring> <check> [# reason]` lines; enforces the cap."""
+    entries = []
+    if not os.path.exists(SUPPRESSIONS_PATH):
+        return entries
+    with open(SUPPRESSIONS_PATH, encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, 1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                sys.exit(f"{SUPPRESSIONS_PATH}:{lineno}: expected "
+                         f"'<path-substring> <check-name>', got: {raw.rstrip()}")
+            entries.append((parts[0], parts[1]))
+    if len(entries) > MAX_SUPPRESSIONS:
+        sys.exit(f"{SUPPRESSIONS_PATH}: {len(entries)} entries exceeds the "
+                 f"cap of {MAX_SUPPRESSIONS}; fix findings or adjust "
+                 f".clang-tidy instead of growing the list")
+    return entries
+
+
+def is_suppressed(diag, suppressions):
+    rel = os.path.relpath(diag["path"], REPO_ROOT)
+    for path_sub, check in suppressions:
+        if path_sub in rel and check in (diag.get("check") or ""):
+            return True
+    return False
+
+
+def collect_sources(build_dir):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(f"{db_path} not found; configure with `cmake -B {build_dir}`"
+                 " first (CMAKE_EXPORT_COMPILE_COMMANDS is on by default)")
+    with open(db_path, encoding="utf-8") as handle:
+        database = json.load(handle)
+    src_root = os.path.join(REPO_ROOT, "src") + os.sep
+    sources = sorted({
+        entry["file"]
+        for entry in database
+        if os.path.abspath(entry["file"]).startswith(src_root)
+    })
+    if not sources:
+        sys.exit(f"no src/ translation units in {db_path}")
+    return sources
+
+
+def run_one(binary, build_dir, source):
+    proc = subprocess.run(
+        [binary, "-p", build_dir, "--quiet", source],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    diags = []
+    for line in proc.stdout.splitlines():
+        match = DIAG_RE.match(line)
+        if match:
+            diags.append(match.groupdict())
+    return source, diags, proc.returncode, proc.stderr
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: auto-detect)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    parser.add_argument("--require", action="store_true",
+                        help="fail (not skip) when clang-tidy is missing")
+    parser.add_argument("--list-only", action="store_true",
+                        help="print the translation units and exit")
+    args = parser.parse_args()
+
+    build_dir = os.path.abspath(args.build_dir)
+    sources = collect_sources(build_dir)
+    if args.list_only:
+        print("\n".join(sources))
+        return 0
+
+    binary = find_clang_tidy(args.clang_tidy)
+    if binary is None:
+        message = "run_clang_tidy: no clang-tidy binary on PATH"
+        if args.require:
+            sys.exit(message + " (--require)")
+        print(message + "; skipping (install clang-tidy to run locally)")
+        return 0
+
+    suppressions = load_suppressions()
+    print(f"run_clang_tidy: {binary} over {len(sources)} translation units "
+          f"({len(suppressions)} suppression entries)")
+
+    failures = []
+    used_suppressions = set()
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        futures = [
+            pool.submit(run_one, binary, build_dir, source)
+            for source in sources
+        ]
+        for future in concurrent.futures.as_completed(futures):
+            source, diags, returncode, stderr = future.result()
+            # clang-tidy returns nonzero for tool-level errors (bad flags,
+            # unparseable TU) even with zero diagnostics; surface those too.
+            if returncode != 0 and not diags:
+                failures.append({
+                    "path": source, "line": "0", "col": "0",
+                    "severity": "error", "check": None,
+                    "message": f"clang-tidy exited {returncode}: "
+                               f"{stderr.strip().splitlines()[-1:] or 'n/a'}",
+                })
+                continue
+            for diag in diags:
+                if is_suppressed(diag, suppressions):
+                    used_suppressions.add((diag["path"], diag.get("check")))
+                    continue
+                failures.append(diag)
+
+    for diag in failures:
+        rel = os.path.relpath(diag["path"], REPO_ROOT)
+        check = f" [{diag['check']}]" if diag.get("check") else ""
+        print(f"{rel}:{diag['line']}:{diag['col']}: {diag['severity']}: "
+              f"{diag['message']}{check}")
+    if failures:
+        print(f"run_clang_tidy: {len(failures)} unsuppressed finding(s)")
+        return 1
+    print("run_clang_tidy: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
