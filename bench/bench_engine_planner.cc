@@ -7,6 +7,7 @@
 // bracket them between the best and worst static choice. The benchmark label
 // of the auto runs records which algorithm the planner picked.
 
+#include <algorithm>
 #include <cstdlib>
 #include <future>
 #include <memory>
@@ -14,6 +15,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "core/overlap_kernel.h"
 #include "engine/engine.h"
 #include "engine/sharded_engine.h"
 
@@ -227,6 +229,141 @@ void RegisterWorkload(const Workload& workload) {
   }
 }
 
+// --- per-kernel microbenches -------------------------------------------------
+//
+// The epsilon-overlap kernels of core/overlap_kernel.h, each measured in the
+// shape its consumer uses it, with the dispatched (SIMD) entry point against
+// its scalar reference twin. The batched/scalar ratio is the direct speedup
+// of the TOUCH_SIMD build; the benchmark label records which instruction set
+// the binary compiled in. Differential tests hold the two rows of each pair
+// to bit-identical results, so the ratio compares equal work.
+
+using RangeKernelFn = size_t (*)(const BoxSlab&, size_t, size_t, const Box&,
+                                 std::vector<uint32_t>&);
+
+void RegisterKernelBenches() {
+  const size_t slab_size = Scaled(60'000);
+  const SyntheticOptions opt = DensityMatchedOptions(slab_size, 1'600'000);
+  const Dataset* data =
+      &CachedDataset(Distribution::kClustered, slab_size, 91, opt);
+  const Dataset* queries =
+      &CachedDataset(Distribution::kClustered, Scaled(4'000), 92, opt);
+  const float epsilon = 5.0f;
+
+  // Full-range scans: the INL leaf visit / nested-loop inner loop shape.
+  const auto register_collect = [=](const char* name, RangeKernelFn kernel) {
+    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+      BoxSlab slab;
+      slab.Assign(*data, epsilon);
+      std::vector<uint32_t> hits;
+      uint64_t found = 0;
+      for (auto _ : state) {
+        found = 0;
+        for (const Box& query : *queries) {
+          hits.clear();
+          kernel(slab, 0, slab.size(), query, hits);
+          found += hits.size();
+        }
+      }
+      state.SetLabel(SimdLevelName());
+      state.counters["hits"] = static_cast<double>(found);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+  };
+  register_collect("overlap_kernel/collect/batched", &CollectOverlaps);
+  register_collect("overlap_kernel/collect/scalar", &CollectOverlapsScalar);
+
+  // Early-exit scans from a sorted slab: the plane-sweep inner loop. Every
+  // box sweeps the candidates after it until lo_x passes its hi_x.
+  const auto register_sweep = [=](const char* name, RangeKernelFn kernel) {
+    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+      Dataset sorted = *data;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Box& a, const Box& b) { return a.lo.x < b.lo.x; });
+      BoxSlab slab;
+      slab.Assign(sorted, epsilon);
+      std::vector<uint32_t> hits;
+      uint64_t found = 0;
+      for (auto _ : state) {
+        found = 0;
+        for (size_t i = 0; i < sorted.size(); ++i) {
+          hits.clear();
+          kernel(slab, i + 1, slab.size(), sorted[i].Enlarged(epsilon), hits);
+          found += hits.size();
+        }
+      }
+      state.SetLabel(SimdLevelName());
+      state.counters["hits"] = static_cast<double>(found);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+  };
+  register_sweep("overlap_kernel/sweep/batched", &CollectOverlapsUntilBeyondX);
+  register_sweep("overlap_kernel/sweep/scalar",
+                 &CollectOverlapsUntilBeyondXScalar);
+
+  // Fanout-sized windows with a stop-at-second-hit: the TOUCH assignment
+  // descent (Algorithm 3) classifying a box against a node's children.
+  using ClassifyFn = int (*)(const BoxSlab&, size_t, size_t, const Box&,
+                             size_t*, uint64_t*);
+  const auto register_classify = [=](const char* name, ClassifyFn kernel) {
+    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+      constexpr size_t kFanout = 64;
+      BoxSlab slab;
+      slab.Assign(*data, epsilon);
+      const size_t query_count = std::min<size_t>(queries->size(), 256);
+      uint64_t examined = 0;
+      uint64_t classified = 0;
+      for (auto _ : state) {
+        examined = 0;
+        classified = 0;
+        for (size_t q = 0; q < query_count; ++q) {
+          for (size_t base = 0; base + kFanout <= slab.size();
+               base += kFanout) {
+            size_t first = 0;
+            classified += static_cast<uint64_t>(
+                kernel(slab, base, base + kFanout, (*queries)[q], &first,
+                       &examined));
+          }
+        }
+      }
+      state.SetLabel(SimdLevelName());
+      state.counters["classified"] = static_cast<double>(classified);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+  };
+  register_classify("overlap_kernel/classify/batched", &ClassifyOverlaps);
+  register_classify("overlap_kernel/classify/scalar", &ClassifyOverlapsScalar);
+
+  // Position-list gathers: the TOUCH grid local join testing a probe box
+  // against a cell's occupant list (shuffled, non-contiguous positions).
+  using GatherFn = size_t (*)(const BoxSlab&, std::span<const uint32_t>,
+                              const Box&, std::vector<uint32_t>&);
+  const auto register_gather = [=](const char* name, GatherFn kernel) {
+    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+      BoxSlab slab;
+      slab.Assign(*data, epsilon);
+      std::vector<uint32_t> positions(slab.size());
+      for (uint32_t i = 0; i < positions.size(); ++i) positions[i] = i;
+      // Deterministic shuffle: cell occupants arrive in scatter order, not
+      // slab order, so the gather pays non-contiguous loads here too.
+      for (size_t i = positions.size(); i > 1; --i) {
+        std::swap(positions[i - 1], positions[(i * 2654435761u) % i]);
+      }
+      std::vector<uint32_t> hits;
+      uint64_t found = 0;
+      for (auto _ : state) {
+        found = 0;
+        for (const Box& query : *queries) {
+          hits.clear();
+          kernel(slab, positions, query, hits);
+          found += hits.size();
+        }
+      }
+      state.SetLabel(SimdLevelName());
+      state.counters["hits"] = static_cast<double>(found);
+    })->Unit(benchmark::kMillisecond)->Iterations(1);
+  };
+  register_gather("overlap_kernel/gather/batched", &CollectOverlapsGather);
+  register_gather("overlap_kernel/gather/scalar", &CollectOverlapsGatherScalar);
+}
+
 void RegisterAll() {
   const std::vector<Workload> workloads = {
       // Near-uniform mid-size pair: PBSM territory.
@@ -241,6 +378,7 @@ void RegisterAll() {
        Distribution::kClustered, Scaled(200'000), 2.0f},
   };
   for (const Workload& workload : workloads) RegisterWorkload(workload);
+  RegisterKernelBenches();
 }
 
 }  // namespace

@@ -1,0 +1,271 @@
+#ifndef TOUCH_CORE_OVERLAP_KERNEL_H_
+#define TOUCH_CORE_OVERLAP_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geom/box.h"
+#include "index/rtree.h"
+#include "join/algorithm.h"
+#include "util/cancellation.h"
+#include "util/simd.h"
+#include "util/stats.h"
+
+namespace touch {
+
+/// Batched epsilon-overlap kernels: the one instruction every join in this
+/// repo bottlenecks on — `Intersects(enlarged_box, candidate)` — restructured
+/// so 4–8 candidates are tested per SIMD instruction instead of one per
+/// branchy scalar call.
+///
+/// The shape is always the same: candidates are gathered once into a BoxSlab
+/// (structure-of-arrays: six 64-byte-aligned coordinate arrays in one arena
+/// allocation, epsilon folded in at store time), and a query box is tested
+/// against a contiguous slab range with branch-free mask extraction. Every
+/// kernel has a scalar reference twin (`...Scalar`) with identical
+/// semantics; tests/overlap_kernel_test.cc holds the pair to bit-identical
+/// results, and a TOUCH_SIMD=OFF build compiles the dispatched entry points
+/// down to the scalar path.
+///
+/// Contract shared by all kernels:
+///  - hit indices are appended in ascending order (so consumers that used
+///    to emit from an ascending scalar loop keep their emit order);
+///  - comparison counts returned/accumulated are *scalar-identical*: the
+///    number of candidates the reference loop would have examined,
+///    including its early exits — never the number of SIMD lanes touched —
+///    so JoinStats stays byte-comparable across SIMD on/off builds;
+///  - padded tail lanes are masked off structurally (not just by sentinel
+///    coordinates), so even a query box spanning ±infinity cannot produce
+///    phantom hits.
+
+/// Structure-of-arrays slab of candidate boxes. Arrays are 64-byte-aligned,
+/// live in one reusable arena allocation, and are padded to the SIMD chunk
+/// size with never-overlapping sentinel boxes (lo=+inf, hi=-inf). Assigning
+/// with an epsilon stores the Minkowski-enlarged coordinates (`lo - eps`,
+/// `hi + eps` — the exact float ops of Box::Enlarged), which is how a
+/// distance join's enlargement is paid once per slab build instead of once
+/// per comparison.
+class BoxSlab {
+ public:
+  /// Arrays are padded to a multiple of this many floats (covers the widest
+  /// SIMD level and keeps every array 64-byte aligned).
+  static constexpr size_t kPad = 16;
+
+  /// slab[i] = boxes[i], enlarged by epsilon.
+  void Assign(std::span<const Box> boxes, float epsilon = 0.0f) {
+    AssignGenerated(
+        boxes.size(), [boxes](size_t i) { return boxes[i]; }, epsilon);
+  }
+
+  /// slab[i] = boxes[ids[i]], enlarged by epsilon (candidate gather).
+  void AssignGather(std::span<const Box> boxes, std::span<const uint32_t> ids,
+                    float epsilon = 0.0f) {
+    AssignGenerated(
+        ids.size(), [boxes, ids](size_t i) { return boxes[ids[i]]; }, epsilon);
+  }
+
+  /// slab[i] = fn(i) for i in [0, count): the generic builder behind the
+  /// tree-MBR slabs (slab[i] = nodes[child_ids[i]].mbr and friends).
+  template <typename BoxFn>
+  void AssignGenerated(size_t count, BoxFn&& fn, float epsilon = 0.0f) {
+    Resize(count);
+    if (epsilon == 0.0f) {
+      // Store the raw coordinates, not `x ± 0.0f` — adding a zero flips the
+      // sign of -0.0f and would break bit-exact round-trips against the
+      // scalar paths, which use the un-enlarged boxes directly.
+      for (size_t i = 0; i < count; ++i) {
+        const Box box = fn(i);
+        lo_x_[i] = box.lo.x;
+        lo_y_[i] = box.lo.y;
+        lo_z_[i] = box.lo.z;
+        hi_x_[i] = box.hi.x;
+        hi_y_[i] = box.hi.y;
+        hi_z_[i] = box.hi.z;
+      }
+      return;
+    }
+    for (size_t i = 0; i < count; ++i) {
+      const Box box = fn(i);
+      lo_x_[i] = box.lo.x - epsilon;
+      lo_y_[i] = box.lo.y - epsilon;
+      lo_z_[i] = box.lo.z - epsilon;
+      hi_x_[i] = box.hi.x + epsilon;
+      hi_y_[i] = box.hi.y + epsilon;
+      hi_z_[i] = box.hi.z + epsilon;
+    }
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Exact reconstruction of the stored (epsilon-enlarged) box: the floats
+  /// round-trip bit-identically, so ReferencePoint() and sweep-order
+  /// comparisons computed from a slab match the scalar path.
+  Box BoxAt(size_t i) const {
+    return Box(Vec3(lo_x_[i], lo_y_[i], lo_z_[i]),
+               Vec3(hi_x_[i], hi_y_[i], hi_z_[i]));
+  }
+
+  const float* lo_x() const { return lo_x_; }
+  const float* lo_y() const { return lo_y_; }
+  const float* lo_z() const { return lo_z_; }
+  const float* hi_x() const { return hi_x_; }
+  const float* hi_y() const { return hi_y_; }
+  const float* hi_z() const { return hi_z_; }
+
+  /// Bytes held by the arena (capacity-based, deterministic in the sequence
+  /// of Assign sizes — see AlignedArena).
+  size_t MemoryUsageBytes() const { return arena_.MemoryUsageBytes(); }
+
+ private:
+  void Resize(size_t count) {
+    size_ = count;
+    // Pad so the last real element's chunk can always be loaded in full:
+    // a W-lane load starting at index size-1 stays inside the arrays.
+    stride_ = (count + kPad + kPad - 1) & ~(kPad - 1);
+    float* base = arena_.Reserve(6 * stride_);
+    lo_x_ = base;
+    hi_x_ = base + stride_;
+    lo_y_ = base + 2 * stride_;
+    hi_y_ = base + 3 * stride_;
+    lo_z_ = base + 4 * stride_;
+    hi_z_ = base + 5 * stride_;
+    constexpr float kInf = std::numeric_limits<float>::infinity();
+    for (size_t i = count; i < stride_; ++i) {
+      lo_x_[i] = kInf;
+      lo_y_[i] = kInf;
+      lo_z_[i] = kInf;
+      hi_x_[i] = -kInf;
+      hi_y_[i] = -kInf;
+      hi_z_[i] = -kInf;
+    }
+  }
+
+  simd::AlignedArena arena_;
+  float* lo_x_ = nullptr;
+  float* hi_x_ = nullptr;
+  float* lo_y_ = nullptr;
+  float* hi_y_ = nullptr;
+  float* lo_z_ = nullptr;
+  float* hi_z_ = nullptr;
+  size_t size_ = 0;
+  size_t stride_ = 0;
+};
+
+/// Scalar reference for one slab element — THE overlap semantics (closed
+/// boxes, NaN never matches) the SIMD paths are held to.
+inline bool SlabOverlapScalar(const BoxSlab& slab, size_t i, const Box& q) {
+  return q.lo.x <= slab.hi_x()[i] && slab.lo_x()[i] <= q.hi.x &&
+         q.lo.y <= slab.hi_y()[i] && slab.lo_y()[i] <= q.hi.y &&
+         q.lo.z <= slab.hi_z()[i] && slab.lo_z()[i] <= q.hi.z;
+}
+
+/// Appends the ascending slab indices in [begin, end) whose boxes overlap
+/// `query` to `hits` (not cleared). Returns the number of candidates
+/// examined (== end - begin), the consumer's `comparisons` increment.
+size_t CollectOverlaps(const BoxSlab& slab, size_t begin, size_t end,
+                       const Box& query, std::vector<uint32_t>& hits);
+size_t CollectOverlapsScalar(const BoxSlab& slab, size_t begin, size_t end,
+                             const Box& query, std::vector<uint32_t>& hits);
+
+/// Plane-sweep inner loop: the slab range must be sorted ascending by lo_x.
+/// Scans from `begin`, stopping at the first candidate whose lo_x exceeds
+/// query.hi.x; appends overlapping indices. Returns the number of
+/// candidates with lo_x <= query.hi.x — exactly the comparisons the scalar
+/// sweep counts before its break.
+size_t CollectOverlapsUntilBeyondX(const BoxSlab& slab, size_t begin,
+                                   size_t end, const Box& query,
+                                   std::vector<uint32_t>& hits);
+size_t CollectOverlapsUntilBeyondXScalar(const BoxSlab& slab, size_t begin,
+                                         size_t end, const Box& query,
+                                         std::vector<uint32_t>& hits);
+
+/// TOUCH-assignment classifier: how many boxes in [begin, end) overlap
+/// `query` — 0, 1 (with *first = its slab index), or 2 meaning "two or
+/// more" (with *first = the first hit; the scan stops at the second hit,
+/// like Algorithm 3's descent). *examined accumulates the scalar-identical
+/// candidate count: end - begin when fewer than two hits, or the position
+/// one past the second hit.
+int ClassifyOverlaps(const BoxSlab& slab, size_t begin, size_t end,
+                     const Box& query, size_t* first, uint64_t* examined);
+int ClassifyOverlapsScalar(const BoxSlab& slab, size_t begin, size_t end,
+                           const Box& query, size_t* first,
+                           uint64_t* examined);
+
+/// Gather variant for the TOUCH grid local join: candidates are the slab
+/// positions listed in `positions` (a cell's occupants, any order). Appends
+/// the *positions values* that overlap, in list order. Returns
+/// positions.size() (every occupant is one comparison, as in the scalar
+/// cell loop).
+size_t CollectOverlapsGather(const BoxSlab& slab,
+                             std::span<const uint32_t> positions,
+                             const Box& query, std::vector<uint32_t>& hits);
+size_t CollectOverlapsGatherScalar(const BoxSlab& slab,
+                                   std::span<const uint32_t> positions,
+                                   const Box& query,
+                                   std::vector<uint32_t>& hits);
+
+/// Slabs mirroring a bulk-loaded RTree's arena layout: `items[i]` is the
+/// box of tree.item_ids()[i] (so every leaf's objects are one contiguous
+/// slab range) and `child_mbrs[i]` is the MBR of tree.child_ids()[i] (one
+/// contiguous range per inner node). Build once per tree, probe many times.
+struct RTreeProbeSlabs {
+  BoxSlab items;
+  BoxSlab child_mbrs;
+
+  /// `boxes` must be the span the tree indexes. `epsilon` enlarges the
+  /// stored item/MBR coordinates (build-side enlargement of a distance
+  /// join); probe-side enlargement is BatchedTreeProbe's probe_epsilon.
+  void Build(const RTree& tree, std::span<const Box> boxes,
+             float epsilon = 0.0f);
+
+  size_t MemoryUsageBytes() const {
+    return items.MemoryUsageBytes() + child_mbrs.MemoryUsageBytes();
+  }
+};
+
+/// The INL probe kernel: probes every query box (enlarged on the fly by
+/// probe_epsilon when > 0) through the tree using the slabs, emitting
+/// (item_id, query_id) — or (query_id, item_id) when swap_emit — into `out`
+/// in the exact DFS order of RTree::Query. Counts object tests in
+/// stats->comparisons, node tests in stats->node_comparisons, and emitted
+/// pairs in stats->results. Polls `cancel` at an amortized power-of-two
+/// stride of queries. Returns the number of queries fully probed.
+uint64_t BatchedTreeProbe(const RTree& tree, const RTreeProbeSlabs& slabs,
+                          std::span<const Box> queries, float probe_epsilon,
+                          bool swap_emit, JoinStats* stats,
+                          ResultCollector& out,
+                          CancellationToken cancel = {});
+
+/// Below this many candidate ids the header-template local joins keep their
+/// scalar loops: a slab build costs one pass over the candidates, which
+/// only amortizes when the join examines them more than a few times.
+inline constexpr size_t kBatchedLocalJoinMinIds = 16;
+
+/// Per-thread scratch (slabs + hit buffer) reused by the local-join
+/// templates in join/local_join.h, so per-cell slab builds allocate nothing
+/// once warm. Never shared across threads.
+struct OverlapScratch {
+  BoxSlab slab_a;
+  BoxSlab slab_b;
+  std::vector<uint32_t> hits;
+};
+OverlapScratch& ThreadLocalOverlapScratch();
+
+/// The SIMD level compiled into this binary ("avx2", "sse2", "neon",
+/// "scalar") and its float lane count (1 for scalar). Build-time selection,
+/// runtime-queryable: the CLI's --explain report and the kernel
+/// microbenches record it.
+const char* SimdLevelName();
+int SimdWidth();
+/// False when the binary was configured with TOUCH_SIMD=OFF (or the target
+/// has no supported vector ISA) — the dispatched kernels run the scalar
+/// reference path.
+bool SimdEnabled();
+
+}  // namespace touch
+
+#endif  // TOUCH_CORE_OVERLAP_KERNEL_H_

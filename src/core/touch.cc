@@ -7,6 +7,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/overlap_kernel.h"
 #include "geom/grid.h"
 #include "obs/trace.h"
 #include "util/memory.h"
@@ -185,6 +186,13 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
   std::vector<std::vector<uint32_t>> entities(tree.nodes().size());
   const std::span<const TouchTree::Node> nodes = tree.nodes();
   const std::span<const uint32_t> child_ids = tree.child_ids();
+  // SoA slab over every node's child MBRs, in child_ids order, so each
+  // descent step classifies a node's whole child range with the batched
+  // overlap kernel (one node.children_begin/count range per node). Built
+  // once per join, shared read-only with the local-join phase below.
+  BoxSlab child_mbr_slab;
+  child_mbr_slab.AssignGenerated(
+      child_ids.size(), [&](size_t i) { return nodes[child_ids[i]].mbr; });
   for (uint32_t probe_id = 0; probe_id < probe.size(); ++probe_id) {
     // Cooperative cancellation, amortized over a power-of-two stride so the
     // check costs one branch on the hot path.
@@ -198,35 +206,29 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     }
     bool placed = false;
     while (!nodes[current].IsLeaf()) {
-      // Count children whose MBR overlaps the object; stop at the second.
-      int hit = -1;
-      bool multiple = false;
+      // Count children whose MBR overlaps the object; stop at the second
+      // (ClassifyOverlaps keeps the scalar loop's early exit and examined
+      // count, so node_comparisons stays the paper's metric).
       const TouchTree::Node& node = nodes[current];
-      for (uint32_t i = 0; i < node.children_count; ++i) {
-        const uint32_t child = child_ids[node.children_begin + i];
-        ++stats.node_comparisons;
-        if (Intersects(box, nodes[child].mbr)) {
-          if (hit >= 0) {
-            multiple = true;
-            break;
-          }
-          hit = static_cast<int>(child);
-        }
-      }
-      if (multiple) {
+      size_t first = 0;
+      const int hits = ClassifyOverlaps(
+          child_mbr_slab, node.children_begin,
+          node.children_begin + node.children_count, box, &first,
+          &stats.node_comparisons);
+      if (hits >= 2) {
         // Overlaps several children: assign to their parent (this node).
         entities[current].push_back(probe_id);
         placed = true;
         break;
       }
-      if (hit < 0) {
+      if (hits == 0) {
         // Inside the node's MBR but outside every child: dead space, the
         // object cannot intersect anything in this subtree.
         ++stats.filtered;
         placed = true;  // handled (filtered)
         break;
       }
-      current = static_cast<uint32_t>(hit);
+      current = child_ids[first];
     }
     if (!placed) {
       // Reached a leaf: assign to the leaf (lowest possible placement).
@@ -258,8 +260,23 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     JoinStats stats;
     ReusableGrid cells;
     std::vector<uint32_t> descent_stack;
+    std::vector<uint32_t> hits;
     size_t max_grid_bytes = 0;
   };
+
+  // Slabs for the grid local join, built once per join and shared
+  // read-only across workers: the build items in item_ids order (so every
+  // leaf's items are one contiguous range) and the probe boxes by probe id
+  // with the remaining enlargement folded in (BoxAt round-trips the exact
+  // ProbeBox floats, so reference-point dedup is unchanged). Like the
+  // sweep's sorted copies, this probe scratch stays out of memory_bytes.
+  BoxSlab item_slab;
+  BoxSlab probe_slab;
+  if (options_.local_join == LocalJoinStrategy::kGrid) {
+    item_slab.AssignGenerated(
+        item_ids.size(), [&](size_t i) { return build[item_ids[i]]; });
+    probe_slab.Assign(probe, probe_epsilon);
+  }
 
   // Joins one inner node's assigned probe entities against the build items
   // of its descendant leaves. `emit(build_id, probe_id)` must already handle
@@ -274,28 +291,28 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
     // node's own hierarchy, pruning children by MBR, and is compared only
     // against the items of the leaves it reaches.
     const auto subtree_join = [&](uint32_t start_node, uint32_t probe_id) {
-      const Box probe_box = ProbeBox(probe_id);
+      const Box probe_box = probe_slab.BoxAt(probe_id);
       ctx.descent_stack.clear();
       ctx.descent_stack.push_back(start_node);
       while (!ctx.descent_stack.empty()) {
         const TouchTree::Node& current = nodes[ctx.descent_stack.back()];
         ctx.descent_stack.pop_back();
+        ctx.hits.clear();
         if (current.IsLeaf()) {
-          for (uint32_t i = current.item_begin; i < current.item_end; ++i) {
-            const uint32_t build_id = item_ids[i];
-            ++ctx.stats.comparisons;
-            if (Intersects(build[build_id], probe_box)) {
-              emit(build_id, probe_id);
-            }
-          }
+          ctx.stats.comparisons +=
+              CollectOverlaps(item_slab, current.item_begin,
+                              current.item_end, probe_box, ctx.hits);
+          for (const uint32_t pos : ctx.hits) emit(item_ids[pos], probe_id);
           continue;
         }
-        for (uint32_t i = 0; i < current.children_count; ++i) {
-          const uint32_t child = child_ids[current.children_begin + i];
-          ++ctx.stats.node_comparisons;
-          if (Intersects(probe_box, nodes[child].mbr)) {
-            ctx.descent_stack.push_back(child);
-          }
+        // Matching children push in ascending order, as the scalar loop
+        // did — this stack visits them last-pushed-first either way.
+        ctx.stats.node_comparisons += CollectOverlaps(
+            child_mbr_slab, current.children_begin,
+            current.children_begin + current.children_count, probe_box,
+            ctx.hits);
+        for (const uint32_t pos : ctx.hits) {
+          ctx.descent_stack.push_back(child_ids[pos]);
         }
       }
     };
@@ -328,7 +345,7 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
       const uint64_t stride_x = stride_y * static_cast<uint64_t>(res[1]);
       ctx.cells.Reset(static_cast<uint64_t>(res[0]) * res[1] * res[2]);
       for (const uint32_t probe_id : node_entities) {
-        const CellRange range = grid.RangeOf(ProbeBox(probe_id));
+        const CellRange range = grid.RangeOf(probe_slab.BoxAt(probe_id));
         for (int x = range.lo.x; x <= range.hi.x; ++x) {
           for (int y = range.lo.y; y <= range.hi.y; ++y) {
             const uint64_t base = static_cast<uint64_t>(x) * stride_x +
@@ -350,11 +367,17 @@ JoinStats TouchJoin::JoinOriented(std::span<const Box> build,
             const uint64_t base = static_cast<uint64_t>(x) * stride_x +
                                   static_cast<uint64_t>(y) * stride_y;
             for (int z = range.lo.z; z <= range.hi.z; ++z) {
-              for (const uint32_t probe_id :
-                   ctx.cells.Occupants(base + static_cast<uint64_t>(z))) {
-                ++ctx.stats.comparisons;
-                const Box probe_box = ProbeBox(probe_id);
-                if (!Intersects(build_box, probe_box)) continue;
+              // The cell's occupants are probe ids in scatter order; the
+              // gather kernel tests them against this item in that order
+              // and counts one comparison per occupant, like the scalar
+              // loop it replaces.
+              ctx.hits.clear();
+              ctx.stats.comparisons += CollectOverlapsGather(
+                  probe_slab,
+                  ctx.cells.Occupants(base + static_cast<uint64_t>(z)),
+                  build_box, ctx.hits);
+              for (const uint32_t probe_id : ctx.hits) {
+                const Box probe_box = probe_slab.BoxAt(probe_id);
                 const CellCoord home =
                     grid.CellOf(ReferencePoint(build_box, probe_box));
                 if (home.x == x && home.y == y && home.z == z) {

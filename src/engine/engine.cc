@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/factory.h"
+#include "core/overlap_kernel.h"
 #include "core/touch.h"
 #include "index/rtree.h"
 #include "join/pbsm.h"
@@ -89,13 +90,25 @@ struct CachedTouchIndex : CachedArtifact {
 struct CachedInlIndex : CachedArtifact {
   Dataset boxes;
   RTree tree;
+  /// SoA probe slabs over the tree's items and child MBRs
+  /// (core/overlap_kernel.h): built once with the tree, reused by every
+  /// probe of this cached artifact, and — unlike the library join's
+  /// transient slabs — part of the artifact's accounted footprint, because
+  /// the cache really does hold these bytes between requests.
+  RTreeProbeSlabs slabs;
 
-  CachedInlIndex(Dataset boxes_in, RTree tree_in, double seconds)
+  /// `raw_boxes` is the un-enlarged source span, used for the slab build
+  /// only when no enlarged copy is owned (boxes empty).
+  CachedInlIndex(Dataset boxes_in, RTree tree_in,
+                 std::span<const Box> raw_boxes, double seconds)
       : boxes(std::move(boxes_in)), tree(std::move(tree_in)) {
+    slabs.Build(tree,
+                boxes.empty() ? raw_boxes : std::span<const Box>(boxes));
     build_seconds = seconds;
   }
   size_t MemoryUsageBytes() const override {
-    return tree.MemoryUsageBytes() + VectorBytes(boxes);
+    return tree.MemoryUsageBytes() + VectorBytes(boxes) +
+           slabs.MemoryUsageBytes();
   }
 };
 
@@ -929,7 +942,8 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
         RTree tree(tree_input, tree_options.leaf_capacity, tree_options.fanout,
                    tree_options.bulkload);
         return std::make_shared<CachedInlIndex>(
-            std::move(boxes), std::move(tree), build_timer.Seconds());
+            std::move(boxes), std::move(tree),
+            std::span<const Box>(build_src), build_timer.Seconds());
       },
       [&] { return PredictedBuildSeconds("inl", request); });
   result.index_cache_hit = !missed;
@@ -949,48 +963,27 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
   exec_span.AddAttr("algorithm", "inl");
   Timer exec_timer;
   const auto* entry = static_cast<const CachedInlIndex*>(artifact.get());
-
-  const std::span<const Box> tree_boxes =
-      entry->boxes.empty() ? std::span<const Box>(build_src)
-                           : std::span<const Box>(entry->boxes);
   JoinStats& stats = result.stats;
   Timer join_timer;
   // The probe loop is the INL kernel; it lives inline here, so its span
-  // does too (the library's IndexedNestedLoopJoin opens its own).
+  // does too (the library's IndexedNestedLoopJoin opens its own). The
+  // batched probe polls cancellation at the same power-of-two query stride
+  // the scalar loops used, and emits in RTree::Query's DFS order.
   SpanScope probe_span("inl-probe");
   if (plan.build_on_a) {
-    for (uint32_t b_id = 0; b_id < b.size(); ++b_id) {
-      // Cooperative cancellation, amortized over a power-of-two stride.
-      if ((b_id & 1023u) == 0 && ctx.cancel.stop_requested()) break;
-      entry->tree.Query(
-          tree_boxes, b[b_id],
-          [&](uint32_t a_id) {
-            ++stats.results;
-            out.Emit(a_id, b_id);
-          },
-          &stats);
-    }
+    BatchedTreeProbe(entry->tree, entry->slabs, b, /*probe_epsilon=*/0.0f,
+                     /*swap_emit=*/false, &stats, out, ctx.cancel);
   } else {
-    for (uint32_t a_id = 0; a_id < a.size(); ++a_id) {
-      if ((a_id & 1023u) == 0 && ctx.cancel.stop_requested()) break;
-      const Box query = request.epsilon > 0
-                            ? a[a_id].Enlarged(request.epsilon)
-                            : a[a_id];
-      entry->tree.Query(
-          tree_boxes, query,
-          [&](uint32_t b_id) {
-            ++stats.results;
-            out.Emit(a_id, b_id);
-          },
-          &stats);
-    }
+    BatchedTreeProbe(entry->tree, entry->slabs, a, request.epsilon,
+                     /*swap_emit=*/true, &stats, out, ctx.cancel);
   }
   probe_span.End();
   stats.join_seconds = join_timer.Seconds();
   exec_span.End();
   metrics_->histogram("touch_engine_execute_seconds")
       .Observe(exec_timer.Seconds());
-  // Tree plus any owned enlarged copy — the same accounting the cache uses.
+  // Tree, any owned enlarged copy, and the probe slabs — the same
+  // accounting the cache uses.
   stats.memory_bytes = entry->MemoryUsageBytes();
   stats.build_seconds = missed ? entry->build_seconds : 0.0;
   stats.total_seconds = total.Seconds();

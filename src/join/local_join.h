@@ -1,10 +1,12 @@
 #ifndef TOUCH_JOIN_LOCAL_JOIN_H_
 #define TOUCH_JOIN_LOCAL_JOIN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "core/overlap_kernel.h"
 #include "geom/box.h"
 #include "util/stats.h"
 
@@ -24,18 +26,35 @@ const char* LocalJoinStrategyName(LocalJoinStrategy strategy);
 
 /// All-pairs test of boxes_a[ids_a] x boxes_b[ids_b]. Every test counts as
 /// one object comparison. Emit(a_id, b_id) is called for intersecting pairs.
+///
+/// Large inner lists are gathered into a SoA slab once and probed with the
+/// batched overlap kernel (core/overlap_kernel.h); small ones keep the
+/// scalar loop, whose pair set, emit order, and comparison count the
+/// batched path reproduces exactly.
 template <typename Emit>
 void LocalNestedLoop(std::span<const Box> boxes_a,
                      std::span<const uint32_t> ids_a,
                      std::span<const Box> boxes_b,
                      std::span<const uint32_t> ids_b, JoinStats* stats,
                      Emit&& emit) {
-  for (const uint32_t a_id : ids_a) {
-    const Box& box_a = boxes_a[a_id];
-    for (const uint32_t b_id : ids_b) {
-      ++stats->comparisons;
-      if (Intersects(box_a, boxes_b[b_id])) emit(a_id, b_id);
+  if (ids_a.empty() || ids_b.empty()) return;
+  if (ids_b.size() < kBatchedLocalJoinMinIds) {
+    for (const uint32_t a_id : ids_a) {
+      const Box& box_a = boxes_a[a_id];
+      for (const uint32_t b_id : ids_b) {
+        ++stats->comparisons;
+        if (Intersects(box_a, boxes_b[b_id])) emit(a_id, b_id);
+      }
     }
+    return;
+  }
+  OverlapScratch& scratch = ThreadLocalOverlapScratch();
+  scratch.slab_b.AssignGather(boxes_b, ids_b);
+  for (const uint32_t a_id : ids_a) {
+    scratch.hits.clear();
+    stats->comparisons += CollectOverlaps(scratch.slab_b, 0, ids_b.size(),
+                                          boxes_a[a_id], scratch.hits);
+    for (const uint32_t pos : scratch.hits) emit(a_id, ids_b[pos]);
   }
 }
 
@@ -47,36 +66,67 @@ void SortByXLow(std::span<const Box> boxes, std::vector<uint32_t>& ids);
 /// SortByXLow. Only pairs whose x-extents overlap are tested in full (one
 /// comparison each); pairs far apart on x are skipped, pairs far apart on y/z
 /// but close on x are the redundant tests the paper attributes to the sweep.
+///
+/// When both lists clear the batching threshold they are gathered into SoA
+/// slabs and the inner scans run the batched sweep kernel
+/// (CollectOverlapsUntilBeyondX); the slab keeps the lists' sorted order, so
+/// pair set, emit order, and comparison count match the scalar sweep below.
 template <typename Emit>
 void LocalPlaneSweepSorted(std::span<const Box> boxes_a,
                            std::span<const uint32_t> sorted_a,
                            std::span<const Box> boxes_b,
                            std::span<const uint32_t> sorted_b,
                            JoinStats* stats, Emit&& emit) {
+  if (std::min(sorted_a.size(), sorted_b.size()) <
+      kBatchedLocalJoinMinIds) {
+    size_t i = 0;
+    size_t j = 0;
+    while (i < sorted_a.size() && j < sorted_b.size()) {
+      const Box& box_a = boxes_a[sorted_a[i]];
+      const Box& box_b = boxes_b[sorted_b[j]];
+      if (box_a.lo.x <= box_b.lo.x) {
+        // box_a enters the sweep plane: scan B objects that start before
+        // box_a ends.
+        for (size_t k = j; k < sorted_b.size(); ++k) {
+          const Box& candidate = boxes_b[sorted_b[k]];
+          if (candidate.lo.x > box_a.hi.x) break;
+          ++stats->comparisons;
+          if (Intersects(box_a, candidate)) emit(sorted_a[i], sorted_b[k]);
+        }
+        ++i;
+      } else {
+        // box_b enters the sweep plane: scan A objects strictly after
+        // box_b's start (equal starts were handled by the branch above).
+        for (size_t k = i; k < sorted_a.size(); ++k) {
+          const Box& candidate = boxes_a[sorted_a[k]];
+          if (candidate.lo.x > box_b.hi.x) break;
+          ++stats->comparisons;
+          if (Intersects(candidate, box_b)) emit(sorted_a[k], sorted_b[j]);
+        }
+        ++j;
+      }
+    }
+    return;
+  }
+  OverlapScratch& scratch = ThreadLocalOverlapScratch();
+  scratch.slab_a.AssignGather(boxes_a, sorted_a);
+  scratch.slab_b.AssignGather(boxes_b, sorted_b);
+  const BoxSlab& slab_a = scratch.slab_a;
+  const BoxSlab& slab_b = scratch.slab_b;
   size_t i = 0;
   size_t j = 0;
   while (i < sorted_a.size() && j < sorted_b.size()) {
-    const Box& box_a = boxes_a[sorted_a[i]];
-    const Box& box_b = boxes_b[sorted_b[j]];
-    if (box_a.lo.x <= box_b.lo.x) {
-      // box_a enters the sweep plane: scan B objects that start before box_a
-      // ends.
-      for (size_t k = j; k < sorted_b.size(); ++k) {
-        const Box& candidate = boxes_b[sorted_b[k]];
-        if (candidate.lo.x > box_a.hi.x) break;
-        ++stats->comparisons;
-        if (Intersects(box_a, candidate)) emit(sorted_a[i], sorted_b[k]);
-      }
+    if (slab_a.lo_x()[i] <= slab_b.lo_x()[j]) {
+      scratch.hits.clear();
+      stats->comparisons += CollectOverlapsUntilBeyondX(
+          slab_b, j, sorted_b.size(), slab_a.BoxAt(i), scratch.hits);
+      for (const uint32_t k : scratch.hits) emit(sorted_a[i], sorted_b[k]);
       ++i;
     } else {
-      // box_b enters the sweep plane: scan A objects strictly after box_b's
-      // start (equal starts were handled by the branch above).
-      for (size_t k = i; k < sorted_a.size(); ++k) {
-        const Box& candidate = boxes_a[sorted_a[k]];
-        if (candidate.lo.x > box_b.hi.x) break;
-        ++stats->comparisons;
-        if (Intersects(candidate, box_b)) emit(sorted_a[k], sorted_b[j]);
-      }
+      scratch.hits.clear();
+      stats->comparisons += CollectOverlapsUntilBeyondX(
+          slab_a, i, sorted_a.size(), slab_b.BoxAt(j), scratch.hits);
+      for (const uint32_t k : scratch.hits) emit(sorted_a[k], sorted_b[j]);
       ++j;
     }
   }

@@ -1,0 +1,158 @@
+#ifndef TOUCH_UTIL_SIMD_H_
+#define TOUCH_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+/// Portable SIMD wrapper for the epsilon-overlap kernels
+/// (core/overlap_kernel.cc is the only intended user).
+///
+/// The instruction set is selected at BUILD time from the compiler's target
+/// macros, gated by the TOUCH_SIMD CMake option (which defines
+/// TOUCH_SIMD_ENABLED). Precedence: AVX2 (8 lanes) > SSE2 (4) > NEON (4) >
+/// scalar fallback. There is no runtime dispatch: a binary compiled with
+/// -mavx2 uses AVX2 everywhere, a default x86-64 build uses SSE2, an
+/// aarch64 build uses NEON, and TOUCH_SIMD=OFF (or an unknown target) runs
+/// the scalar reference path. The active level is queryable at runtime via
+/// SimdLevelName()/SimdWidth() in core/overlap_kernel.h so the CLI's
+/// --explain report and the benches can record which kernel actually ran.
+///
+/// Comparison semantics: every CmpLE below implements IEEE-754 ordered
+/// quiet less-or-equal — false when either operand is NaN — exactly like
+/// the scalar `<=` in Intersects(). This is what makes the SIMD and scalar
+/// paths produce bit-identical pair sets (the differential harness in
+/// tests/overlap_kernel_test.cc holds the two paths to set equality).
+
+#if defined(TOUCH_SIMD_ENABLED)
+#if defined(__AVX2__)
+#define TOUCH_SIMD_LEVEL 3  // AVX2, 8 float lanes
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
+#define TOUCH_SIMD_LEVEL 2  // SSE2, 4 float lanes
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__)
+#define TOUCH_SIMD_LEVEL 1  // NEON, 4 float lanes
+#include <arm_neon.h>
+#else
+#define TOUCH_SIMD_LEVEL 0  // unknown target: scalar fallback
+#endif
+#else
+#define TOUCH_SIMD_LEVEL 0  // TOUCH_SIMD=OFF: scalar reference path
+#endif
+
+namespace touch {
+namespace simd {
+
+#if TOUCH_SIMD_LEVEL == 3
+
+inline constexpr int kWidth = 8;
+inline constexpr const char* kLevelName = "avx2";
+using FloatVec = __m256;
+using MaskVec = __m256;
+inline FloatVec LoadUnaligned(const float* p) { return _mm256_loadu_ps(p); }
+inline FloatVec Broadcast(float v) { return _mm256_set1_ps(v); }
+inline MaskVec CmpLE(FloatVec a, FloatVec b) {
+  return _mm256_cmp_ps(a, b, _CMP_LE_OQ);
+}
+inline MaskVec CmpGT(FloatVec a, FloatVec b) {
+  return _mm256_cmp_ps(a, b, _CMP_GT_OQ);
+}
+inline MaskVec MaskAnd(MaskVec a, MaskVec b) { return _mm256_and_ps(a, b); }
+inline uint32_t MoveMask(MaskVec m) {
+  return static_cast<uint32_t>(_mm256_movemask_ps(m));
+}
+
+#elif TOUCH_SIMD_LEVEL == 2
+
+inline constexpr int kWidth = 4;
+inline constexpr const char* kLevelName = "sse2";
+using FloatVec = __m128;
+using MaskVec = __m128;
+inline FloatVec LoadUnaligned(const float* p) { return _mm_loadu_ps(p); }
+inline FloatVec Broadcast(float v) { return _mm_set1_ps(v); }
+inline MaskVec CmpLE(FloatVec a, FloatVec b) { return _mm_cmple_ps(a, b); }
+inline MaskVec CmpGT(FloatVec a, FloatVec b) { return _mm_cmpgt_ps(a, b); }
+inline MaskVec MaskAnd(MaskVec a, MaskVec b) { return _mm_and_ps(a, b); }
+inline uint32_t MoveMask(MaskVec m) {
+  return static_cast<uint32_t>(_mm_movemask_ps(m));
+}
+
+#elif TOUCH_SIMD_LEVEL == 1
+
+inline constexpr int kWidth = 4;
+inline constexpr const char* kLevelName = "neon";
+using FloatVec = float32x4_t;
+using MaskVec = uint32x4_t;
+inline FloatVec LoadUnaligned(const float* p) { return vld1q_f32(p); }
+inline FloatVec Broadcast(float v) { return vdupq_n_f32(v); }
+inline MaskVec CmpLE(FloatVec a, FloatVec b) { return vcleq_f32(a, b); }
+inline MaskVec CmpGT(FloatVec a, FloatVec b) { return vcgtq_f32(a, b); }
+inline MaskVec MaskAnd(MaskVec a, MaskVec b) { return vandq_u32(a, b); }
+inline uint32_t MoveMask(MaskVec m) {
+  // Each lane is all-ones or all-zero; collapse lane i into bit i.
+  const uint32x4_t bits = {1u, 2u, 4u, 8u};
+  const uint32x4_t masked = vandq_u32(m, bits);
+#if defined(__aarch64__)
+  return vaddvq_u32(masked);
+#else
+  const uint32x2_t sum =
+      vadd_u32(vget_low_u32(masked), vget_high_u32(masked));
+  return vget_lane_u32(vpadd_u32(sum, sum), 0);
+#endif
+}
+
+#else
+
+inline constexpr int kWidth = 1;
+inline constexpr const char* kLevelName = "scalar";
+
+#endif  // TOUCH_SIMD_LEVEL
+
+/// 64-byte-aligned float arena backing the SoA slabs. One allocation holds
+/// all six coordinate arrays of a slab; capacity is retained across
+/// Reserve() calls so reusing a slab (per tree node, per PBSM cell) costs
+/// no allocation once warmed up. Growth is deterministic in the sequence of
+/// requested sizes — analytic memory accounting that includes an arena must
+/// therefore be reproducible run to run (the prebuilt-tree footprint
+/// equality tests rely on this).
+class AlignedArena {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  /// Returns a 64-byte-aligned block of at least `count` floats, reusing
+  /// the existing allocation when it is big enough.
+  float* Reserve(size_t count) {
+    if (count > capacity_) {
+      // Grow by at least 1.5x, rounded up to a whole cache line of floats,
+      // so repeated slightly-larger requests don't reallocate every time.
+      size_t grown = capacity_ + capacity_ / 2;
+      if (grown < count) grown = count;
+      grown = (grown + 15) & ~size_t{15};
+      data_.reset(static_cast<float*>(
+          ::operator new[](grown * sizeof(float), std::align_val_t{kAlignment})));
+      capacity_ = grown;
+    }
+    return data_.get();
+  }
+
+  /// Floats currently allocated (0 before the first Reserve).
+  size_t capacity() const { return capacity_; }
+  size_t MemoryUsageBytes() const { return capacity_ * sizeof(float); }
+
+ private:
+  struct AlignedDelete {
+    void operator()(float* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+  std::unique_ptr<float, AlignedDelete> data_;
+  size_t capacity_ = 0;
+};
+
+}  // namespace simd
+}  // namespace touch
+
+#endif  // TOUCH_UTIL_SIMD_H_

@@ -1,0 +1,21 @@
+// EXPECT-VIOLATION: cancellation-poll
+// Fixture: mirrors the batched overlap kernel's designated path
+// (STRIDE_POLL_REQUIRED). The tree-probe loop forwards its token into a
+// helper — satisfying the per-function check — but the file has lost its
+// amortized-stride poll over the query loop, so a cancelled request would
+// ride out the whole probe batch. The per-file minimum must flag this.
+#include "util/cancellation.h"
+
+namespace touch {
+
+int ProbeOne(int query, const CancellationToken& cancel);
+
+int BatchedTreeProbe(int queries, const CancellationToken& cancel) {
+  int emitted = 0;
+  for (int q = 0; q < queries; ++q) {
+    emitted += ProbeOne(q, cancel);
+  }
+  return emitted;
+}
+
+}  // namespace touch

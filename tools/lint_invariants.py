@@ -52,10 +52,12 @@ FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
 
 # Files that implement join kernels: each must keep at least one
 # amortized-stride cancellation poll (`(i & 1023u) == 0 && ...`).
+# engine.cc left this list when its last inline kernel loop (the INL probe)
+# moved into the batched overlap kernel; the poll moved with it.
 STRIDE_POLL_REQUIRED = (
+    "src/core/overlap_kernel.cc",
     "src/core/touch.cc",
     "src/join/pbsm.cc",
-    "src/engine/engine.cc",
 )
 
 # The only file allowed to touch raw std locking primitives.

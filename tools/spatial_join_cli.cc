@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/factory.h"
+#include "core/overlap_kernel.h"
 #include "core/partitioned.h"
 #include "datagen/distributions.h"
 #include "datagen/neuro.h"
@@ -335,6 +336,14 @@ int RunJoin(const CliOptions& options) {
       std::find(algorithms.begin(), algorithms.end(), "auto") ==
           algorithms.end()) {
     std::fprintf(stderr, "note: --explain only applies to --algo=auto\n");
+  }
+  if (options.explain) {
+    // Build-time kernel dispatch: which instruction set the epsilon-overlap
+    // kernels were compiled against (TOUCH_SIMD), and the batch width.
+    std::fprintf(options.csv ? stderr : stdout,
+                 "explain: simd dispatch: %s, %d lanes/batch%s\n",
+                 SimdLevelName(), SimdWidth(),
+                 SimdEnabled() ? "" : " (TOUCH_SIMD=OFF, scalar kernels)");
   }
 
   if (options.csv) {
