@@ -232,14 +232,26 @@ void RegisterWorkload(const Workload& workload) {
 // --- per-kernel microbenches -------------------------------------------------
 //
 // The epsilon-overlap kernels of core/overlap_kernel.h, each measured in the
-// shape its consumer uses it, with the dispatched (SIMD) entry point against
-// its scalar reference twin. The batched/scalar ratio is the direct speedup
-// of the TOUCH_SIMD build; the benchmark label records which instruction set
-// the binary compiled in. Differential tests hold the two rows of each pair
-// to bit-identical results, so the ratio compares equal work.
+// shape its consumer uses it — with one row per runtime-available dispatch
+// level (scalar, sse2, avx2 / neon), all produced in ONE run of this binary
+// by forcing each level around the timing loop. The <level>/scalar ratio is
+// the direct speedup of that instruction set; the differential tests hold
+// every level to bit-identical results, so the ratios compare equal work.
 
-using RangeKernelFn = size_t (*)(const BoxSlab&, size_t, size_t, const Box&,
-                                 std::vector<uint32_t>&);
+/// Runs `body` (the timing loop) with the dispatch level forced to `level`,
+/// restoring the entry level after so later benches see auto dispatch.
+template <typename Body>
+void WithForcedLevel(benchmark::State& state, simd::Level level, Body&& body) {
+  const simd::Level entry = ActiveSimdLevel();
+  std::string error;
+  if (!ForceSimdLevel(level, &error)) {
+    state.SkipWithError(error.c_str());
+    return;
+  }
+  body();
+  state.SetLabel(SimdLevelName());
+  ForceSimdLevel(entry);
+}
 
 void RegisterKernelBenches() {
   const size_t slab_size = Scaled(60'000);
@@ -251,31 +263,31 @@ void RegisterKernelBenches() {
   const float epsilon = 5.0f;
 
   // Full-range scans: the INL leaf visit / nested-loop inner loop shape.
-  const auto register_collect = [=](const char* name, RangeKernelFn kernel) {
-    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+  const auto register_collect = [=](const std::string& name,
+                                    simd::Level level) {
+    benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
       BoxSlab slab;
       slab.Assign(*data, epsilon);
       std::vector<uint32_t> hits;
       uint64_t found = 0;
-      for (auto _ : state) {
-        found = 0;
-        for (const Box& query : *queries) {
-          hits.clear();
-          kernel(slab, 0, slab.size(), query, hits);
-          found += hits.size();
+      WithForcedLevel(state, level, [&] {
+        for (auto _ : state) {
+          found = 0;
+          for (const Box& query : *queries) {
+            hits.clear();
+            CollectOverlaps(slab, 0, slab.size(), query, hits);
+            found += hits.size();
+          }
         }
-      }
-      state.SetLabel(SimdLevelName());
+      });
       state.counters["hits"] = static_cast<double>(found);
     })->Unit(benchmark::kMillisecond)->Iterations(1);
   };
-  register_collect("overlap_kernel/collect/batched", &CollectOverlaps);
-  register_collect("overlap_kernel/collect/scalar", &CollectOverlapsScalar);
 
   // Early-exit scans from a sorted slab: the plane-sweep inner loop. Every
   // box sweeps the candidates after it until lo_x passes its hi_x.
-  const auto register_sweep = [=](const char* name, RangeKernelFn kernel) {
-    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+  const auto register_sweep = [=](const std::string& name, simd::Level level) {
+    benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
       Dataset sorted = *data;
       std::sort(sorted.begin(), sorted.end(),
                 [](const Box& a, const Box& b) { return a.lo.x < b.lo.x; });
@@ -283,60 +295,56 @@ void RegisterKernelBenches() {
       slab.Assign(sorted, epsilon);
       std::vector<uint32_t> hits;
       uint64_t found = 0;
-      for (auto _ : state) {
-        found = 0;
-        for (size_t i = 0; i < sorted.size(); ++i) {
-          hits.clear();
-          kernel(slab, i + 1, slab.size(), sorted[i].Enlarged(epsilon), hits);
-          found += hits.size();
+      WithForcedLevel(state, level, [&] {
+        for (auto _ : state) {
+          found = 0;
+          for (size_t i = 0; i < sorted.size(); ++i) {
+            hits.clear();
+            CollectOverlapsUntilBeyondX(slab, i + 1, slab.size(),
+                                        sorted[i].Enlarged(epsilon), hits);
+            found += hits.size();
+          }
         }
-      }
-      state.SetLabel(SimdLevelName());
+      });
       state.counters["hits"] = static_cast<double>(found);
     })->Unit(benchmark::kMillisecond)->Iterations(1);
   };
-  register_sweep("overlap_kernel/sweep/batched", &CollectOverlapsUntilBeyondX);
-  register_sweep("overlap_kernel/sweep/scalar",
-                 &CollectOverlapsUntilBeyondXScalar);
 
   // Fanout-sized windows with a stop-at-second-hit: the TOUCH assignment
   // descent (Algorithm 3) classifying a box against a node's children.
-  using ClassifyFn = int (*)(const BoxSlab&, size_t, size_t, const Box&,
-                             size_t*, uint64_t*);
-  const auto register_classify = [=](const char* name, ClassifyFn kernel) {
-    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+  const auto register_classify = [=](const std::string& name,
+                                     simd::Level level) {
+    benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
       constexpr size_t kFanout = 64;
       BoxSlab slab;
       slab.Assign(*data, epsilon);
       const size_t query_count = std::min<size_t>(queries->size(), 256);
       uint64_t examined = 0;
       uint64_t classified = 0;
-      for (auto _ : state) {
-        examined = 0;
-        classified = 0;
-        for (size_t q = 0; q < query_count; ++q) {
-          for (size_t base = 0; base + kFanout <= slab.size();
-               base += kFanout) {
-            size_t first = 0;
-            classified += static_cast<uint64_t>(
-                kernel(slab, base, base + kFanout, (*queries)[q], &first,
-                       &examined));
+      WithForcedLevel(state, level, [&] {
+        for (auto _ : state) {
+          examined = 0;
+          classified = 0;
+          for (size_t q = 0; q < query_count; ++q) {
+            for (size_t base = 0; base + kFanout <= slab.size();
+                 base += kFanout) {
+              size_t first = 0;
+              classified += static_cast<uint64_t>(
+                  ClassifyOverlaps(slab, base, base + kFanout, (*queries)[q],
+                                   &first, &examined));
+            }
           }
         }
-      }
-      state.SetLabel(SimdLevelName());
+      });
       state.counters["classified"] = static_cast<double>(classified);
     })->Unit(benchmark::kMillisecond)->Iterations(1);
   };
-  register_classify("overlap_kernel/classify/batched", &ClassifyOverlaps);
-  register_classify("overlap_kernel/classify/scalar", &ClassifyOverlapsScalar);
 
   // Position-list gathers: the TOUCH grid local join testing a probe box
   // against a cell's occupant list (shuffled, non-contiguous positions).
-  using GatherFn = size_t (*)(const BoxSlab&, std::span<const uint32_t>,
-                              const Box&, std::vector<uint32_t>&);
-  const auto register_gather = [=](const char* name, GatherFn kernel) {
-    benchmark::RegisterBenchmark(name, [=](benchmark::State& state) {
+  const auto register_gather = [=](const std::string& name,
+                                   simd::Level level) {
+    benchmark::RegisterBenchmark(name.c_str(), [=](benchmark::State& state) {
       BoxSlab slab;
       slab.Assign(*data, epsilon);
       std::vector<uint32_t> positions(slab.size());
@@ -348,20 +356,27 @@ void RegisterKernelBenches() {
       }
       std::vector<uint32_t> hits;
       uint64_t found = 0;
-      for (auto _ : state) {
-        found = 0;
-        for (const Box& query : *queries) {
-          hits.clear();
-          kernel(slab, positions, query, hits);
-          found += hits.size();
+      WithForcedLevel(state, level, [&] {
+        for (auto _ : state) {
+          found = 0;
+          for (const Box& query : *queries) {
+            hits.clear();
+            CollectOverlapsGather(slab, positions, query, hits);
+            found += hits.size();
+          }
         }
-      }
-      state.SetLabel(SimdLevelName());
+      });
       state.counters["hits"] = static_cast<double>(found);
     })->Unit(benchmark::kMillisecond)->Iterations(1);
   };
-  register_gather("overlap_kernel/gather/batched", &CollectOverlapsGather);
-  register_gather("overlap_kernel/gather/scalar", &CollectOverlapsGatherScalar);
+
+  for (const simd::Level level : simd::RuntimeAvailableLevels()) {
+    const std::string suffix = simd::LevelName(level);
+    register_collect("overlap_kernel/collect/" + suffix, level);
+    register_sweep("overlap_kernel/sweep/" + suffix, level);
+    register_classify("overlap_kernel/classify/" + suffix, level);
+    register_gather("overlap_kernel/gather/" + suffix, level);
+  }
 }
 
 void RegisterAll() {

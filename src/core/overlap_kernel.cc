@@ -1,9 +1,14 @@
 #include "core/overlap_kernel.h"
 
-#include <bit>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "geom/box.h"
@@ -13,229 +18,170 @@
 #include "util/simd.h"
 #include "util/stats.h"
 
+// Runtime kernel dispatcher. The kernels themselves live in the per-ISA
+// translation units (overlap_kernel_{scalar,sse2,avx2,neon}.cc, each a
+// TOUCH_SIMD_TU_LEVEL instantiation of overlap_kernel_impl.h with its own
+// compile flags); this TU — built with baseline flags only — picks which
+// table the entry points forward through.
+
 namespace touch {
 namespace {
 
-#if TOUCH_SIMD_LEVEL > 0
-
-constexpr uint32_t kFullMask = (1u << simd::kWidth) - 1u;
-
-/// Lanes of the chunk at `base` that are real slab elements (the rest is
-/// sentinel padding). Padding is excluded structurally here — not only by
-/// the ±inf sentinels — so even a ±inf query box cannot match a pad lane.
-inline uint32_t ValidMask(size_t base, size_t end) {
-  const size_t remaining = end - base;
-  if (remaining >= static_cast<size_t>(simd::kWidth)) return kFullMask;
-  return (1u << remaining) - 1u;
-}
-
-/// The query box broadcast across all lanes, one vector per bound.
-struct QueryVecs {
-  simd::FloatVec lo_x, hi_x, lo_y, hi_y, lo_z, hi_z;
-};
-
-inline QueryVecs BroadcastQuery(const Box& q) {
-  return QueryVecs{simd::Broadcast(q.lo.x), simd::Broadcast(q.hi.x),
-                   simd::Broadcast(q.lo.y), simd::Broadcast(q.hi.y),
-                   simd::Broadcast(q.lo.z), simd::Broadcast(q.hi.z)};
-}
-
-/// Bit i set iff slab[base+i] overlaps the query: six lane-parallel
-/// ordered-quiet <= tests ANDed together, collapsed to a bitmask. The exact
-/// vector form of Intersects() / SlabOverlapScalar() — NaN in any bound
-/// clears the lane, as scalar <= would.
-inline uint32_t ChunkMask(const BoxSlab& slab, size_t base,
-                          const QueryVecs& q) {
-  using simd::CmpLE;
-  using simd::LoadUnaligned;
-  using simd::MaskAnd;
-  simd::MaskVec m = CmpLE(q.lo_x, LoadUnaligned(slab.hi_x() + base));
-  m = MaskAnd(m, CmpLE(LoadUnaligned(slab.lo_x() + base), q.hi_x));
-  m = MaskAnd(m, CmpLE(q.lo_y, LoadUnaligned(slab.hi_y() + base)));
-  m = MaskAnd(m, CmpLE(LoadUnaligned(slab.lo_y() + base), q.hi_y));
-  m = MaskAnd(m, CmpLE(q.lo_z, LoadUnaligned(slab.hi_z() + base)));
-  m = MaskAnd(m, CmpLE(LoadUnaligned(slab.lo_z() + base), q.hi_z));
-  return simd::MoveMask(m);
-}
-
-/// Appends base+lane for every set bit, ascending — the same visit order as
-/// the scalar loop, one ctz per hit instead of one branch per candidate.
-inline void EmitMask(uint32_t mask, size_t base, std::vector<uint32_t>& hits) {
-  while (mask != 0) {
-    const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
-    hits.push_back(static_cast<uint32_t>(base + lane));
-    mask &= mask - 1;
+/// The table for `level`, or nullptr when this binary/CPU cannot run it.
+/// Getters for levels another architecture compiles are not referenced at
+/// all (their TUs are empty there), mirroring simd::LevelCompiledIn.
+const OverlapKernelTable* TableFor(simd::Level level) {
+  if (!simd::LevelSupported(level)) return nullptr;
+  switch (level) {
+    case simd::Level::kScalar:
+      return &internal::KernelTableScalar();
+    case simd::Level::kNeon:
+#if defined(__aarch64__) || defined(__ARM_NEON) || defined(__ARM_NEON__)
+      return &internal::KernelTableNeon();
+#else
+      return nullptr;
+#endif
+    case simd::Level::kSse2:
+#if defined(__x86_64__) || defined(__i386__)
+      return &internal::KernelTableSse2();
+#else
+      return nullptr;
+#endif
+    case simd::Level::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return &internal::KernelTableAvx2();
+#else
+      return nullptr;
+#endif
   }
+  return nullptr;
 }
 
-#endif  // TOUCH_SIMD_LEVEL > 0
+std::string AvailableLevelNames() {
+  std::string out;
+  for (const simd::Level level : simd::RuntimeAvailableLevels()) {
+    if (!out.empty()) out += ' ';
+    out += simd::LevelName(level);
+  }
+  return out;
+}
+
+/// Active table + whether an override picked it. Tables are immutable
+/// static-storage constants, so lock-free pointer swaps are safe: a reader
+/// that loaded the previous table just runs the previously-selected (still
+/// correct) kernels for that call.
+std::atomic<const OverlapKernelTable*> g_active{nullptr};
+std::atomic<bool> g_forced{false};
+
+/// First-use resolution: TOUCH_SIMD_LEVEL (when set and not "auto") wins and
+/// MUST be honored — an impossible request terminates the process with a
+/// diagnostic rather than silently running a different ISA, so a forced CI
+/// leg can never green-wash itself — otherwise widest-supported dispatch.
+const OverlapKernelTable& ResolveInitialTable() {
+  const char* env = std::getenv("TOUCH_SIMD_LEVEL");
+  if (env != nullptr && *env != '\0' && std::string_view(env) != "auto") {
+    const std::optional<simd::Level> level = simd::ParseLevelName(env);
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "fatal: TOUCH_SIMD_LEVEL=%s is not a simd level "
+                   "(expected auto, scalar, sse2, avx2, or neon)\n",
+                   env);
+      std::exit(EXIT_FAILURE);
+    }
+    const OverlapKernelTable* table = TableFor(*level);
+    if (table == nullptr) {
+      std::fprintf(stderr,
+                   "fatal: TOUCH_SIMD_LEVEL=%s is not runnable here "
+                   "(detected cpu features: %s; levels this binary can run: "
+                   "%s)\n",
+                   env, simd::DetectCpuFeatures().ToString().c_str(),
+                   AvailableLevelNames().c_str());
+      std::exit(EXIT_FAILURE);
+    }
+    g_forced.store(true, std::memory_order_relaxed);
+    return *table;
+  }
+  return *TableFor(simd::DetectBestLevel());
+}
 
 }  // namespace
 
-size_t CollectOverlapsScalar(const BoxSlab& slab, size_t begin, size_t end,
-                             const Box& query, std::vector<uint32_t>& hits) {
-  for (size_t i = begin; i < end; ++i) {
-    if (SlabOverlapScalar(slab, i, query)) {
-      hits.push_back(static_cast<uint32_t>(i));
+const OverlapKernelTable& ActiveKernels() {
+  const OverlapKernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    // Lazy idempotent init: concurrent first calls all resolve to the same
+    // table (resolution is deterministic in env + cpuid), so losing the CAS
+    // just means another thread installed that identical choice first.
+    const OverlapKernelTable* resolved = &ResolveInitialTable();
+    if (g_active.compare_exchange_strong(table, resolved,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+      table = resolved;
     }
   }
-  return end - begin;
+  return *table;
 }
+
+simd::Level ActiveSimdLevel() { return ActiveKernels().level; }
+
+bool ForceSimdLevel(simd::Level level, std::string* error) {
+  const OverlapKernelTable* table = TableFor(level);
+  if (table == nullptr) {
+    if (error != nullptr) {
+      *error = std::string("simd level '") + simd::LevelName(level) +
+               "' is not runnable here (detected cpu features: " +
+               simd::DetectCpuFeatures().ToString() +
+               "; levels this binary can run: " + AvailableLevelNames() + ")";
+    }
+    return false;
+  }
+  g_forced.store(true, std::memory_order_relaxed);
+  g_active.store(table, std::memory_order_release);
+  return true;
+}
+
+bool SimdLevelForced() {
+  ActiveKernels();  // resolve first, so a TOUCH_SIMD_LEVEL override is seen
+  return g_forced.load(std::memory_order_relaxed);
+}
+
+const char* SimdLevelName() { return simd::LevelName(ActiveSimdLevel()); }
+int SimdWidth() { return ActiveKernels().width; }
+bool SimdEnabled() { return ActiveSimdLevel() != simd::Level::kScalar; }
+
+// --- Entry points: forward through the active table --------------------------
 
 size_t CollectOverlaps(const BoxSlab& slab, size_t begin, size_t end,
                        const Box& query, std::vector<uint32_t>& hits) {
-#if TOUCH_SIMD_LEVEL > 0
-  const QueryVecs q = BroadcastQuery(query);
-  for (size_t base = begin; base < end; base += simd::kWidth) {
-    const uint32_t mask = ChunkMask(slab, base, q) & ValidMask(base, end);
-    EmitMask(mask, base, hits);
-  }
-  return end - begin;
-#else
-  return CollectOverlapsScalar(slab, begin, end, query, hits);
-#endif
-}
-
-size_t CollectOverlapsUntilBeyondXScalar(const BoxSlab& slab, size_t begin,
-                                         size_t end, const Box& query,
-                                         std::vector<uint32_t>& hits) {
-  size_t examined = 0;
-  for (size_t i = begin; i < end; ++i) {
-    if (slab.lo_x()[i] > query.hi.x) break;
-    ++examined;
-    if (SlabOverlapScalar(slab, i, query)) {
-      hits.push_back(static_cast<uint32_t>(i));
-    }
-  }
-  return examined;
+  return ActiveKernels().collect(slab, begin, end, query, hits);
 }
 
 size_t CollectOverlapsUntilBeyondX(const BoxSlab& slab, size_t begin,
                                    size_t end, const Box& query,
                                    std::vector<uint32_t>& hits) {
-#if TOUCH_SIMD_LEVEL > 0
-  const QueryVecs q = BroadcastQuery(query);
-  size_t examined = 0;
-  for (size_t base = begin; base < end; base += simd::kWidth) {
-    const uint32_t valid = ValidMask(base, end);
-    // A lane "precedes" when NOT (lo_x > query.hi.x) — the inverted form of
-    // the scalar break predicate, so NaN bounds land on the same side. With
-    // the range sorted by lo_x the precede set is a prefix; its popcount is
-    // exactly the scalar examined-before-break count.
-    const uint32_t precede =
-        ~simd::MoveMask(simd::CmpGT(simd::LoadUnaligned(slab.lo_x() + base),
-                                    q.hi_x)) &
-        valid;
-    examined += static_cast<size_t>(std::popcount(precede));
-    EmitMask(ChunkMask(slab, base, q) & precede, base, hits);
-    if (precede != valid) break;
-  }
-  return examined;
-#else
-  return CollectOverlapsUntilBeyondXScalar(slab, begin, end, query, hits);
-#endif
-}
-
-int ClassifyOverlapsScalar(const BoxSlab& slab, size_t begin, size_t end,
-                           const Box& query, size_t* first,
-                           uint64_t* examined) {
-  int found = 0;
-  for (size_t i = begin; i < end; ++i) {
-    ++*examined;
-    if (SlabOverlapScalar(slab, i, query)) {
-      if (found == 1) return 2;
-      *first = i;
-      found = 1;
-    }
-  }
-  return found;
+  return ActiveKernels().sweep(slab, begin, end, query, hits);
 }
 
 int ClassifyOverlaps(const BoxSlab& slab, size_t begin, size_t end,
                      const Box& query, size_t* first, uint64_t* examined) {
-#if TOUCH_SIMD_LEVEL > 0
-  const QueryVecs q = BroadcastQuery(query);
-  int found = 0;
-  size_t scanned_end = end;
-  for (size_t base = begin; base < end && found < 2; base += simd::kWidth) {
-    uint32_t mask = ChunkMask(slab, base, q) & ValidMask(base, end);
-    while (mask != 0) {
-      const size_t idx = base + static_cast<unsigned>(std::countr_zero(mask));
-      mask &= mask - 1;
-      if (found == 0) {
-        *first = idx;
-        found = 1;
-      } else {
-        // Scalar stops examining at the second hit.
-        found = 2;
-        scanned_end = idx + 1;
-        break;
-      }
-    }
-  }
-  *examined += found == 2 ? scanned_end - begin : end - begin;
-  return found;
-#else
-  return ClassifyOverlapsScalar(slab, begin, end, query, first, examined);
-#endif
-}
-
-size_t CollectOverlapsGatherScalar(const BoxSlab& slab,
-                                   std::span<const uint32_t> positions,
-                                   const Box& query,
-                                   std::vector<uint32_t>& hits) {
-  for (const uint32_t pos : positions) {
-    if (SlabOverlapScalar(slab, pos, query)) hits.push_back(pos);
-  }
-  return positions.size();
+  return ActiveKernels().classify(slab, begin, end, query, first, examined);
 }
 
 size_t CollectOverlapsGather(const BoxSlab& slab,
                              std::span<const uint32_t> positions,
                              const Box& query, std::vector<uint32_t>& hits) {
-#if TOUCH_SIMD_LEVEL == 3
-  // AVX2 has a real vector gather; on SSE2/NEON a manual gather is slower
-  // than the scalar loop, so only this level batches the indexed case.
-  const QueryVecs q = BroadcastQuery(query);
-  const size_t n = positions.size();
-  size_t i = 0;
-  for (; i + simd::kWidth <= n; i += simd::kWidth) {
-    const __m256i idx = _mm256_loadu_si256(
-        reinterpret_cast<const __m256i*>(positions.data() + i));
-    __m256 m = _mm256_cmp_ps(
-        q.lo_x, _mm256_i32gather_ps(slab.hi_x(), idx, 4), _CMP_LE_OQ);
-    m = _mm256_and_ps(
-        m, _mm256_cmp_ps(_mm256_i32gather_ps(slab.lo_x(), idx, 4), q.hi_x,
-                         _CMP_LE_OQ));
-    m = _mm256_and_ps(
-        m, _mm256_cmp_ps(q.lo_y, _mm256_i32gather_ps(slab.hi_y(), idx, 4),
-                         _CMP_LE_OQ));
-    m = _mm256_and_ps(
-        m, _mm256_cmp_ps(_mm256_i32gather_ps(slab.lo_y(), idx, 4), q.hi_y,
-                         _CMP_LE_OQ));
-    m = _mm256_and_ps(
-        m, _mm256_cmp_ps(q.lo_z, _mm256_i32gather_ps(slab.hi_z(), idx, 4),
-                         _CMP_LE_OQ));
-    m = _mm256_and_ps(
-        m, _mm256_cmp_ps(_mm256_i32gather_ps(slab.lo_z(), idx, 4), q.hi_z,
-                         _CMP_LE_OQ));
-    uint32_t mask = static_cast<uint32_t>(_mm256_movemask_ps(m));
-    while (mask != 0) {
-      const unsigned lane = static_cast<unsigned>(std::countr_zero(mask));
-      hits.push_back(positions[i + lane]);
-      mask &= mask - 1;
-    }
-  }
-  for (; i < n; ++i) {
-    if (SlabOverlapScalar(slab, positions[i], query)) {
-      hits.push_back(positions[i]);
-    }
-  }
-  return n;
-#else
-  return CollectOverlapsGatherScalar(slab, positions, query, hits);
-#endif
+  return ActiveKernels().gather(slab, positions, query, hits);
 }
+
+uint64_t BatchedTreeProbe(const RTree& tree, const RTreeProbeSlabs& slabs,
+                          std::span<const Box> queries, float probe_epsilon,
+                          bool swap_emit, JoinStats* stats,
+                          ResultCollector& out, CancellationToken cancel) {
+  return ActiveKernels().tree_probe(tree, slabs, queries, probe_epsilon,
+                                    swap_emit, stats, out, cancel);
+}
+
+// --- ISA-independent pieces ---------------------------------------------------
 
 void RTreeProbeSlabs::Build(const RTree& tree, std::span<const Box> boxes,
                             float epsilon) {
@@ -249,66 +195,9 @@ void RTreeProbeSlabs::Build(const RTree& tree, std::span<const Box> boxes,
       epsilon);
 }
 
-uint64_t BatchedTreeProbe(const RTree& tree, const RTreeProbeSlabs& slabs,
-                          std::span<const Box> queries, float probe_epsilon,
-                          bool swap_emit, JoinStats* stats,
-                          ResultCollector& out, CancellationToken cancel) {
-  const std::span<const RTree::Node> nodes = tree.nodes();
-  const std::span<const uint32_t> child_ids = tree.child_ids();
-  const std::span<const uint32_t> item_ids = tree.item_ids();
-  std::vector<uint32_t> stack;
-  std::vector<uint32_t> hits;
-  uint64_t probed = 0;
-  for (size_t q = 0; q < queries.size(); ++q) {
-    if ((q & 1023u) == 0 && cancel.stop_requested()) break;
-    if (!tree.empty()) {
-      const Box query = probe_epsilon > 0.0f
-                            ? queries[q].Enlarged(probe_epsilon)
-                            : queries[q];
-      const uint32_t query_id = static_cast<uint32_t>(q);
-      stack.clear();
-      stack.push_back(tree.root());
-      while (!stack.empty()) {
-        const RTree::Node& node = nodes[stack.back()];
-        stack.pop_back();
-        const size_t begin = node.begin;
-        const size_t end = begin + node.count;
-        hits.clear();
-        if (node.IsLeaf()) {
-          stats->comparisons +=
-              CollectOverlaps(slabs.items, begin, end, query, hits);
-          for (const uint32_t pos : hits) {
-            const uint32_t item = item_ids[pos];
-            if (swap_emit) {
-              out.Emit(query_id, item);
-            } else {
-              out.Emit(item, query_id);
-            }
-            ++stats->results;
-          }
-        } else {
-          stats->node_comparisons +=
-              CollectOverlaps(slabs.child_mbrs, begin, end, query, hits);
-          // Push matching children reversed so they pop in ascending order —
-          // the DFS emit order of RTree::Query's recursion.
-          for (size_t i = hits.size(); i-- > 0;) {
-            stack.push_back(child_ids[hits[i]]);
-          }
-        }
-      }
-    }
-    ++probed;
-  }
-  return probed;
-}
-
 OverlapScratch& ThreadLocalOverlapScratch() {
   thread_local OverlapScratch scratch;
   return scratch;
 }
-
-const char* SimdLevelName() { return simd::kLevelName; }
-int SimdWidth() { return simd::kWidth; }
-bool SimdEnabled() { return TOUCH_SIMD_LEVEL != 0; }
 
 }  // namespace touch

@@ -26,9 +26,18 @@ namespace touch {
 /// allocation, epsilon folded in at store time), and a query box is tested
 /// against a contiguous slab range with branch-free mask extraction. Every
 /// kernel has a scalar reference twin (`...Scalar`) with identical
-/// semantics; tests/overlap_kernel_test.cc holds the pair to bit-identical
-/// results, and a TOUCH_SIMD=OFF build compiles the dispatched entry points
-/// down to the scalar path.
+/// semantics; tests/overlap_kernel_test.cc holds every runtime-available
+/// level to bit-identical results against the scalar twins within one
+/// binary.
+///
+/// Dispatch is at RUNTIME: the entry points below forward through the
+/// active OverlapKernelTable, selected at first use from cpuid feature
+/// detection (widest supported ISA wins) or forced narrower via
+/// ForceSimdLevel / the TOUCH_SIMD_LEVEL environment variable / the CLI's
+/// --simd= flag. One shipped binary carries every ISA its architecture can
+/// express; per-ISA code lives in overlap_kernel_{scalar,sse2,avx2,neon}.cc
+/// (each a thin wrapper around overlap_kernel_impl.h compiled with that
+/// ISA's flags).
 ///
 /// Contract shared by all kernels:
 ///  - hit indices are appended in ascending order (so consumers that used
@@ -36,7 +45,8 @@ namespace touch {
 ///  - comparison counts returned/accumulated are *scalar-identical*: the
 ///    number of candidates the reference loop would have examined,
 ///    including its early exits — never the number of SIMD lanes touched —
-///    so JoinStats stays byte-comparable across SIMD on/off builds;
+///    so JoinStats stays byte-comparable across forced dispatch levels
+///    within one process (and across machines with different ISAs);
 ///  - padded tail lanes are masked off structurally (not just by sentinel
 ///    coordinates), so even a query box spanning ±infinity cannot produce
 ///    phantom hits.
@@ -255,15 +265,72 @@ struct OverlapScratch {
 };
 OverlapScratch& ThreadLocalOverlapScratch();
 
-/// The SIMD level compiled into this binary ("avx2", "sse2", "neon",
-/// "scalar") and its float lane count (1 for scalar). Build-time selection,
-/// runtime-queryable: the CLI's --explain report and the kernel
-/// microbenches record it.
+// --- Runtime dispatch seam ---------------------------------------------------
+
+/// One per-ISA kernel set. Each per-ISA translation unit exports exactly
+/// one immutable table; the dispatcher installs a pointer to the active one
+/// and the entry points above forward through it. Tables are static-storage
+/// constants, so a stale pointer read during a concurrent ForceSimdLevel is
+/// still a valid (just previously-selected) kernel set.
+struct OverlapKernelTable {
+  simd::Level level;
+  int width;  // float lanes per batch (simd::LevelWidth(level))
+  size_t (*collect)(const BoxSlab&, size_t, size_t, const Box&,
+                    std::vector<uint32_t>&);
+  size_t (*sweep)(const BoxSlab&, size_t, size_t, const Box&,
+                  std::vector<uint32_t>&);
+  int (*classify)(const BoxSlab&, size_t, size_t, const Box&, size_t*,
+                  uint64_t*);
+  size_t (*gather)(const BoxSlab&, std::span<const uint32_t>, const Box&,
+                   std::vector<uint32_t>&);
+  uint64_t (*tree_probe)(const RTree&, const RTreeProbeSlabs&,
+                         std::span<const Box>, float, bool, JoinStats*,
+                         ResultCollector&, CancellationToken);
+};
+
+namespace internal {
+/// Per-ISA table getters, defined by the matching kernel TU. Only the
+/// architecture's own getters exist (x86: scalar/sse2/avx2; ARM:
+/// scalar/neon) — the dispatcher references them behind the same
+/// architecture guards as simd::LevelCompiledIn.
+const OverlapKernelTable& KernelTableScalar();
+const OverlapKernelTable& KernelTableSse2();
+const OverlapKernelTable& KernelTableAvx2();
+const OverlapKernelTable& KernelTableNeon();
+}  // namespace internal
+
+/// The active kernel table. First use resolves it: TOUCH_SIMD_LEVEL in the
+/// environment (if set and not "auto") wins — an impossible request (level
+/// not compiled in, or CPU lacks it) prints a clear diagnostic and
+/// terminates the process, so a forced CI leg can never silently run a
+/// different ISA — otherwise the widest cpuid-supported level is installed.
+const OverlapKernelTable& ActiveKernels();
+
+/// The resolved dispatch level (== ActiveKernels().level).
+simd::Level ActiveSimdLevel();
+
+/// Forces the dispatch level for this process (the seam behind --simd= and
+/// the cross-level differential tests, which iterate
+/// simd::RuntimeAvailableLevels() and compare results at each). Fails —
+/// returning false and, when `error` is non-null, a message naming the
+/// detected CPU features and the levels this binary can actually run —
+/// when the level is not compiled in or the CPU lacks it; the active level
+/// is unchanged on failure. Thread-safe; in-flight kernels finish on the
+/// table they started with.
+bool ForceSimdLevel(simd::Level level, std::string* error = nullptr);
+
+/// True when the active level came from an override (TOUCH_SIMD_LEVEL or
+/// ForceSimdLevel) rather than auto-detection. --explain reports it.
+bool SimdLevelForced();
+
+/// The *resolved* SIMD level name ("avx2", "sse2", "neon", "scalar") and
+/// its float lane count (1 for scalar): what the dispatched kernels
+/// actually run right now. The CLI's --explain report and the kernel
+/// microbenches record these.
 const char* SimdLevelName();
 int SimdWidth();
-/// False when the binary was configured with TOUCH_SIMD=OFF (or the target
-/// has no supported vector ISA) — the dispatched kernels run the scalar
-/// reference path.
+/// False when dispatch resolved to the scalar reference path (no supported
+/// vector ISA, or scalar was forced).
 bool SimdEnabled();
 
 }  // namespace touch

@@ -1,0 +1,12 @@
+// AVX2 kernel TU (8 lanes). CMake compiles this file — and only this file —
+// with -mavx2 on x86 targets, so the binary stays runnable on pre-AVX2
+// hosts: the only AVX2 instructions anywhere are behind the dispatcher's
+// cpuid check. Elsewhere the TU is empty and the getter is never referenced.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#define TOUCH_SIMD_TU_LEVEL 3
+#define TOUCH_SIMD_TU_TABLE KernelTableAvx2
+#include "core/overlap_kernel_impl.h"
+
+#endif  // x86

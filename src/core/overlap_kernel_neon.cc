@@ -1,0 +1,12 @@
+// NEON kernel TU (4 lanes). Compiled on ARM targets, where NEON is either
+// architecturally mandatory (aarch64) or already assumed by the compiler
+// (32-bit builds with __ARM_NEON); no per-TU flag is needed. Elsewhere the
+// TU is empty and the dispatcher never references its getter.
+
+#if defined(__aarch64__) || defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+#define TOUCH_SIMD_TU_LEVEL 1
+#define TOUCH_SIMD_TU_TABLE KernelTableNeon
+#include "core/overlap_kernel_impl.h"
+
+#endif  // ARM

@@ -1,0 +1,37 @@
+// Scalar kernel TU: TOUCH_SIMD_TU_LEVEL 0 compiles overlap_kernel_impl.h's
+// reference loops — the semantics every vector level is differentially
+// tested against. Always present on every architecture, and additionally
+// re-exported below as the public `...Scalar` twins so tests can name the
+// reference directly regardless of the active dispatch level.
+
+#define TOUCH_SIMD_TU_LEVEL 0
+#define TOUCH_SIMD_TU_TABLE KernelTableScalar
+#include "core/overlap_kernel_impl.h"
+
+namespace touch {
+
+size_t CollectOverlapsScalar(const BoxSlab& slab, size_t begin, size_t end,
+                             const Box& query, std::vector<uint32_t>& hits) {
+  return CollectImpl(slab, begin, end, query, hits);
+}
+
+size_t CollectOverlapsUntilBeyondXScalar(const BoxSlab& slab, size_t begin,
+                                         size_t end, const Box& query,
+                                         std::vector<uint32_t>& hits) {
+  return SweepImpl(slab, begin, end, query, hits);
+}
+
+int ClassifyOverlapsScalar(const BoxSlab& slab, size_t begin, size_t end,
+                           const Box& query, size_t* first,
+                           uint64_t* examined) {
+  return ClassifyImpl(slab, begin, end, query, first, examined);
+}
+
+size_t CollectOverlapsGatherScalar(const BoxSlab& slab,
+                                   std::span<const uint32_t> positions,
+                                   const Box& query,
+                                   std::vector<uint32_t>& hits) {
+  return GatherImpl(slab, positions, query, hits);
+}
+
+}  // namespace touch

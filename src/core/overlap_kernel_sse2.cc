@@ -1,0 +1,11 @@
+// SSE2 kernel TU (4 lanes). CMake compiles this file with -msse2 (the
+// x86-64 baseline, so effectively a no-op flag) on x86 targets; elsewhere
+// the TU is empty and the dispatcher never references its getter.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#define TOUCH_SIMD_TU_LEVEL 2
+#define TOUCH_SIMD_TU_TABLE KernelTableSse2
+#include "core/overlap_kernel_impl.h"
+
+#endif  // x86

@@ -370,6 +370,10 @@ QueryEngine::QueryEngine(const EngineOptions& options)
                                options.cache_preadmit_build_seconds}),
       feedback_(options.calibration.max_outcomes),
       pool_(options.threads) {
+  // Resolve kernel dispatch now, not on the first worker probe: a bad
+  // TOUCH_SIMD_LEVEL terminates at engine construction with its diagnostic
+  // instead of mid-join on a pool thread.
+  ActiveKernels();
   cache_.RegisterMetricProviders(*metrics_, "touch_cache_");
   metrics_->SetProvider("touch_pool_queue_depth", MetricType::kGauge, [this] {
     return static_cast<double>(pool_.queue_depth());

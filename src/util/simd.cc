@@ -1,0 +1,176 @@
+#include "util/simd.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace touch {
+namespace simd {
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+/// xgetbv(0) without requiring -mxsave at compile time (the detection TU is
+/// built with baseline flags; only the per-ISA kernel TUs get ISA flags).
+/// Callers must have verified CPUID.OSXSAVE first.
+uint64_t ReadXcr0() {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  __asm__ __volatile__("xgetbv" : "=a"(lo), "=d"(hi) : "c"(0));
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+CpuFeatures DetectOnce() {
+  CpuFeatures features;
+  unsigned eax = 0;
+  unsigned ebx = 0;
+  unsigned ecx = 0;
+  unsigned edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return features;
+  features.sse2 = (edx & bit_SSE2) != 0;
+  // AVX/AVX2 are only *usable* when the OS saves the ymm state: CPUID
+  // alone says the silicon exists, xcr0 bits 1|2 say context switches
+  // preserve it. A kernel dispatched on the CPUID bit alone would fault
+  // on the first vmovaps under a no-ymm OS.
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  const bool ymm_os = osxsave && (ReadXcr0() & 0x6) == 0x6;
+  features.avx = ymm_os && (ecx & bit_AVX) != 0;
+  if (features.avx &&
+      __get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
+    features.avx2 = (ebx & bit_AVX2) != 0;
+  }
+  return features;
+}
+
+#elif defined(__aarch64__)
+
+// NEON (Advanced SIMD) is architecturally mandatory on AArch64.
+CpuFeatures DetectOnce() {
+  CpuFeatures features;
+  features.neon = true;
+  return features;
+}
+
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+
+// 32-bit ARM built with NEON enabled: the compiler already assumes it.
+CpuFeatures DetectOnce() {
+  CpuFeatures features;
+  features.neon = true;
+  return features;
+}
+
+#else
+
+CpuFeatures DetectOnce() { return CpuFeatures{}; }
+
+#endif
+
+}  // namespace
+
+std::string CpuFeatures::ToString() const {
+  std::string out;
+  const auto append = [&out](const char* name) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  if (sse2) append("sse2");
+  if (avx) append("avx");
+  if (avx2) append("avx2");
+  if (neon) append("neon");
+  if (out.empty()) out = "none";
+  return out;
+}
+
+CpuFeatures DetectCpuFeatures() {
+  // cpuid is not free (it serializes); cache the probe for the dispatcher,
+  // the CLI report, and the per-level bench registration.
+  static const CpuFeatures features = DetectOnce();
+  return features;
+}
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar: return "scalar";
+    case Level::kNeon: return "neon";
+    case Level::kSse2: return "sse2";
+    case Level::kAvx2: return "avx2";
+  }
+  return "scalar";
+}
+
+int LevelWidth(Level level) {
+  switch (level) {
+    case Level::kScalar: return 1;
+    case Level::kNeon: return 4;
+    case Level::kSse2: return 4;
+    case Level::kAvx2: return 8;
+  }
+  return 1;
+}
+
+std::optional<Level> ParseLevelName(std::string_view name) {
+  if (name == "scalar") return Level::kScalar;
+  if (name == "neon") return Level::kNeon;
+  if (name == "sse2") return Level::kSse2;
+  if (name == "avx2") return Level::kAvx2;
+  return std::nullopt;
+}
+
+bool LevelCompiledIn(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kNeon:
+#if defined(__aarch64__) || defined(__ARM_NEON) || defined(__ARM_NEON__)
+      return true;
+#else
+      return false;
+#endif
+    case Level::kSse2:
+    case Level::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool LevelSupported(Level level) {
+  if (!LevelCompiledIn(level)) return false;
+  const CpuFeatures features = DetectCpuFeatures();
+  switch (level) {
+    case Level::kScalar: return true;
+    case Level::kNeon: return features.neon;
+    case Level::kSse2: return features.sse2;
+    case Level::kAvx2: return features.avx2;
+  }
+  return false;
+}
+
+Level DetectBestLevel() {
+  for (const Level level : {Level::kAvx2, Level::kSse2, Level::kNeon}) {
+    if (LevelSupported(level)) return level;
+  }
+  return Level::kScalar;
+}
+
+std::vector<Level> RuntimeAvailableLevels() {
+  std::vector<Level> levels;
+  for (const Level level :
+       {Level::kScalar, Level::kNeon, Level::kSse2, Level::kAvx2}) {
+    if (LevelSupported(level)) levels.push_back(level);
+  }
+  return levels;
+}
+
+}  // namespace simd
+}  // namespace touch

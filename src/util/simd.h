@@ -5,51 +5,112 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
 
-/// Portable SIMD wrapper for the epsilon-overlap kernels
-/// (core/overlap_kernel.cc is the only intended user).
+/// Portable SIMD support for the epsilon-overlap kernels: the runtime level
+/// taxonomy + cpuid feature detection (always compiled), and the per-ISA
+/// intrinsic wrappers (compiled only into the per-ISA kernel translation
+/// units, core/overlap_kernel_{scalar,sse2,avx2,neon}.cc).
 ///
-/// The instruction set is selected at BUILD time from the compiler's target
-/// macros, gated by the TOUCH_SIMD CMake option (which defines
-/// TOUCH_SIMD_ENABLED). Precedence: AVX2 (8 lanes) > SSE2 (4) > NEON (4) >
-/// scalar fallback. There is no runtime dispatch: a binary compiled with
-/// -mavx2 uses AVX2 everywhere, a default x86-64 build uses SSE2, an
-/// aarch64 build uses NEON, and TOUCH_SIMD=OFF (or an unknown target) runs
-/// the scalar reference path. The active level is queryable at runtime via
-/// SimdLevelName()/SimdWidth() in core/overlap_kernel.h so the CLI's
-/// --explain report and the benches can record which kernel actually ran.
+/// The instruction set is selected at RUNTIME, not build time: every binary
+/// carries kernels for each ISA its architecture can express (scalar + SSE2
+/// + AVX2 on x86-64, scalar + NEON on aarch64), each compiled in its own
+/// translation unit with per-TU flags (CMake adds -mavx2 to the AVX2 TU
+/// only). At first kernel use, core/overlap_kernel.cc's dispatcher probes
+/// the CPU (DetectCpuFeatures below) and installs the widest supported
+/// kernel table; the `TOUCH_SIMD_LEVEL` environment variable and the CLI's
+/// `--simd=` flag force a narrower level (impossible requests fail loudly —
+/// never a silent fallback). The resolved level is queryable at runtime via
+/// SimdLevelName()/SimdWidth() in core/overlap_kernel.h.
+///
+/// A per-ISA kernel TU defines TOUCH_SIMD_TU_LEVEL (a Level value, below)
+/// before including this header to get that ISA's wrapper ops; every other
+/// includer sees only the level/detection API and AlignedArena.
 ///
 /// Comparison semantics: every CmpLE below implements IEEE-754 ordered
 /// quiet less-or-equal — false when either operand is NaN — exactly like
-/// the scalar `<=` in Intersects(). This is what makes the SIMD and scalar
-/// paths produce bit-identical pair sets (the differential harness in
-/// tests/overlap_kernel_test.cc holds the two paths to set equality).
+/// the scalar `<=` in Intersects(). This is what makes every SIMD level and
+/// the scalar path produce bit-identical pair sets (the differential
+/// harness in tests/overlap_kernel_test.cc holds all runtime-available
+/// levels to sequence equality within one process).
 
-#if defined(TOUCH_SIMD_ENABLED)
-#if defined(__AVX2__)
-#define TOUCH_SIMD_LEVEL 3  // AVX2, 8 float lanes
+#if defined(TOUCH_SIMD_TU_LEVEL) && TOUCH_SIMD_TU_LEVEL == 3
 #include <immintrin.h>
-#elif defined(__SSE2__) || defined(_M_X64) || \
-    (defined(_M_IX86_FP) && _M_IX86_FP >= 2)
-#define TOUCH_SIMD_LEVEL 2  // SSE2, 4 float lanes
+#elif defined(TOUCH_SIMD_TU_LEVEL) && TOUCH_SIMD_TU_LEVEL == 2
 #include <emmintrin.h>
-#elif defined(__ARM_NEON) || defined(__ARM_NEON__) || defined(__aarch64__)
-#define TOUCH_SIMD_LEVEL 1  // NEON, 4 float lanes
+#elif defined(TOUCH_SIMD_TU_LEVEL) && TOUCH_SIMD_TU_LEVEL == 1
 #include <arm_neon.h>
-#else
-#define TOUCH_SIMD_LEVEL 0  // unknown target: scalar fallback
-#endif
-#else
-#define TOUCH_SIMD_LEVEL 0  // TOUCH_SIMD=OFF: scalar reference path
 #endif
 
 namespace touch {
 namespace simd {
 
-#if TOUCH_SIMD_LEVEL == 3
+/// Kernel instruction-set levels, ordered so a larger value is never a
+/// narrower ISA. kScalar is always available; the rest require both the
+/// matching per-ISA TU (architecture-dependent, see LevelCompiledIn) and
+/// CPU support detected at runtime (LevelSupported).
+enum class Level : int {
+  kScalar = 0,  // reference loops, 1 float lane
+  kNeon = 1,    // aarch64/ARM NEON, 4 float lanes
+  kSse2 = 2,    // x86-64 baseline, 4 float lanes
+  kAvx2 = 3,    // x86 AVX2, 8 float lanes
+};
+
+/// Stable lowercase name ("scalar", "neon", "sse2", "avx2") — also the
+/// accepted spelling for TOUCH_SIMD_LEVEL / --simd= / ParseLevelName.
+const char* LevelName(Level level);
+
+/// Float lanes per batch at this level (1 for scalar).
+int LevelWidth(Level level);
+
+/// Parses a LevelName spelling; nullopt on anything else ("auto" included —
+/// callers treat auto as "don't force").
+std::optional<Level> ParseLevelName(std::string_view name);
+
+/// True when this binary contains a kernel TU for the level (decided by the
+/// target architecture: x86 builds carry scalar/sse2/avx2, ARM builds carry
+/// scalar/neon). Independent of what the host CPU supports.
+bool LevelCompiledIn(Level level);
+
+/// CPU capability bits relevant to kernel dispatch, read once via cpuid
+/// (x86) or implied by the architecture (aarch64 NEON).
+struct CpuFeatures {
+  bool sse2 = false;
+  bool avx = false;      // CPUID AVX + OS xsave of the ymm state
+  bool avx2 = false;     // requires avx (OS support) as well
+  bool neon = false;
+  /// Space-separated detected feature list for reports ("sse2 avx avx2",
+  /// "neon", or "none").
+  std::string ToString() const;
+};
+CpuFeatures DetectCpuFeatures();
+
+/// True when the level is both compiled into this binary and supported by
+/// the host CPU — i.e. ForceSimdLevel(level) would succeed.
+bool LevelSupported(Level level);
+
+/// The widest supported level (what auto-dispatch resolves to).
+Level DetectBestLevel();
+
+/// Every level ForceSimdLevel can select on this host, ascending (always
+/// starts with kScalar). The cross-level differential tests and the forced
+/// -level microbenches iterate exactly this set.
+std::vector<Level> RuntimeAvailableLevels();
+
+// --- Per-ISA intrinsic wrappers (kernel TUs only) ----------------------------
+//
+// kWidth/FloatVec/LoadUnaligned/Broadcast/CmpLE/CmpGT/MaskAnd/MoveMask for
+// the TU's level. TOUCH_SIMD_TU_LEVEL is set per translation unit by the
+// per-ISA kernel .cc files; the block is absent (not scalar-stubbed) for
+// all other includers so nothing outside the kernel layer can accidentally
+// depend on one ISA.
+
+#if defined(TOUCH_SIMD_TU_LEVEL) && TOUCH_SIMD_TU_LEVEL == 3
 
 inline constexpr int kWidth = 8;
-inline constexpr const char* kLevelName = "avx2";
 using FloatVec = __m256;
 using MaskVec = __m256;
 inline FloatVec LoadUnaligned(const float* p) { return _mm256_loadu_ps(p); }
@@ -65,10 +126,9 @@ inline uint32_t MoveMask(MaskVec m) {
   return static_cast<uint32_t>(_mm256_movemask_ps(m));
 }
 
-#elif TOUCH_SIMD_LEVEL == 2
+#elif defined(TOUCH_SIMD_TU_LEVEL) && TOUCH_SIMD_TU_LEVEL == 2
 
 inline constexpr int kWidth = 4;
-inline constexpr const char* kLevelName = "sse2";
 using FloatVec = __m128;
 using MaskVec = __m128;
 inline FloatVec LoadUnaligned(const float* p) { return _mm_loadu_ps(p); }
@@ -80,10 +140,9 @@ inline uint32_t MoveMask(MaskVec m) {
   return static_cast<uint32_t>(_mm_movemask_ps(m));
 }
 
-#elif TOUCH_SIMD_LEVEL == 1
+#elif defined(TOUCH_SIMD_TU_LEVEL) && TOUCH_SIMD_TU_LEVEL == 1
 
 inline constexpr int kWidth = 4;
-inline constexpr const char* kLevelName = "neon";
 using FloatVec = float32x4_t;
 using MaskVec = uint32x4_t;
 inline FloatVec LoadUnaligned(const float* p) { return vld1q_f32(p); }
@@ -104,12 +163,7 @@ inline uint32_t MoveMask(MaskVec m) {
 #endif
 }
 
-#else
-
-inline constexpr int kWidth = 1;
-inline constexpr const char* kLevelName = "scalar";
-
-#endif  // TOUCH_SIMD_LEVEL
+#endif  // TOUCH_SIMD_TU_LEVEL
 
 /// 64-byte-aligned float arena backing the SoA slabs. One allocation holds
 /// all six coordinate arrays of a slab; capacity is retained across

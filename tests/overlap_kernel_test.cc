@@ -4,9 +4,13 @@
 // scalar reference twin, on the paper's synthetic distributions and on
 // adversarial inputs (epsilon = 0, boxes touching exactly at a boundary,
 // negative coordinates, denormals, infinities, NaN, and slab tails of every
-// length shorter than a vector). CI runs this suite with TOUCH_SIMD ON and
-// OFF; under OFF the dispatched entry points are the scalar paths and the
-// suite pins the references against themselves.
+// length shorter than a vector). Dispatch is at runtime, so one binary
+// carries every level: the cross-level pass below iterates
+// simd::RuntimeAvailableLevels(), forces each via ForceSimdLevel, and
+// re-runs the whole differential surface — upgrading the old "dispatched
+// build vs scalar build" CI matrix to "every available level vs scalar
+// within one process". CI additionally runs the full suite once per forced
+// TOUCH_SIMD_LEVEL, which pins the suite at that level end to end.
 
 #include "core/overlap_kernel.h"
 
@@ -309,11 +313,35 @@ TEST(OverlapKernelEndToEndTest, IndexedNestedLoopMatchesOracle) {
   EXPECT_EQ(RunJoinSorted(inl, a, b), OracleJoin(a, b));
 }
 
-// --- runtime dispatch reporting ----------------------------------------------
+// --- runtime dispatch --------------------------------------------------------
+
+/// Forces a dispatch level for one scope, restoring the entry level after —
+/// so cross-level tests never leak a narrowed level into later tests (the
+/// suite may be running under a forced TOUCH_SIMD_LEVEL it must preserve).
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(simd::Level level) : entry_(ActiveSimdLevel()) {
+    std::string error;
+    forced_ = ForceSimdLevel(level, &error);
+    EXPECT_TRUE(forced_) << error;
+  }
+  ~ScopedSimdLevel() {
+    if (forced_) ForceSimdLevel(entry_);
+  }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  simd::Level entry_;
+  bool forced_ = false;
+};
 
 TEST(SimdDispatchTest, ReportsConsistentLevel) {
   const std::string name = SimdLevelName();
   const int width = SimdWidth();
+  EXPECT_EQ(name, simd::LevelName(ActiveSimdLevel()));
+  EXPECT_EQ(width, simd::LevelWidth(ActiveSimdLevel()));
+  EXPECT_EQ(width, ActiveKernels().width);
   if (SimdEnabled()) {
     EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "neon") << name;
     EXPECT_TRUE(width == 4 || width == 8) << width;
@@ -323,6 +351,140 @@ TEST(SimdDispatchTest, ReportsConsistentLevel) {
     EXPECT_EQ(width, 1);
   }
 }
+
+TEST(SimdDispatchTest, AvailableLevelsStartWithScalarAndMatchCpu) {
+  const std::vector<simd::Level> levels = simd::RuntimeAvailableLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), simd::Level::kScalar);
+  for (const simd::Level level : levels) {
+    EXPECT_TRUE(simd::LevelCompiledIn(level));
+    EXPECT_TRUE(simd::LevelSupported(level));
+  }
+  // Auto-detection picks the widest available level, and that level is in
+  // the available set.
+  EXPECT_EQ(simd::DetectBestLevel(), levels.back());
+}
+
+TEST(SimdDispatchTest, ForceSucceedsOnEveryAvailableLevel) {
+  const simd::Level entry = ActiveSimdLevel();
+  for (const simd::Level level : simd::RuntimeAvailableLevels()) {
+    ScopedSimdLevel forced(level);
+    EXPECT_EQ(ActiveSimdLevel(), level);
+    EXPECT_STREQ(SimdLevelName(), simd::LevelName(level));
+    EXPECT_EQ(SimdWidth(), simd::LevelWidth(level));
+    EXPECT_TRUE(SimdLevelForced());
+  }
+  EXPECT_EQ(ActiveSimdLevel(), entry);
+}
+
+TEST(SimdDispatchTest, ForceFailsLoudlyOnUnavailableLevel) {
+  const simd::Level entry = ActiveSimdLevel();
+  std::vector<simd::Level> unavailable;
+  for (const simd::Level level :
+       {simd::Level::kNeon, simd::Level::kSse2, simd::Level::kAvx2}) {
+    if (!simd::LevelSupported(level)) unavailable.push_back(level);
+  }
+  for (const simd::Level level : unavailable) {
+    std::string error;
+    EXPECT_FALSE(ForceSimdLevel(level, &error));
+    // The error names the request and what the host can actually run.
+    EXPECT_NE(error.find(simd::LevelName(level)), std::string::npos) << error;
+    EXPECT_NE(error.find("scalar"), std::string::npos) << error;
+    EXPECT_EQ(ActiveSimdLevel(), entry);  // active level unchanged
+  }
+}
+
+// --- cross-level differential pass -------------------------------------------
+//
+// The tentpole guarantee: every level this host can run produces the exact
+// hit sequences and scalar-identical examined counts, verified in ONE
+// process by forcing each level and re-running the differential surface.
+
+class CrossLevelTest : public ::testing::TestWithParam<simd::Level> {};
+
+TEST_P(CrossLevelTest, DistributionsMatchScalar) {
+  ScopedSimdLevel forced(GetParam());
+  for (const float epsilon : {0.0f, 2.5f}) {
+    const Dataset boxes =
+        GenerateSynthetic(Distribution::kClustered, 700, /*seed=*/11);
+    const Dataset queries =
+        GenerateSynthetic(Distribution::kClustered, 120, /*seed=*/22);
+    BoxSlab slab;
+    slab.Assign(boxes, epsilon);
+    ExpectAllKernelsIdentical(slab, queries);
+    const Dataset sorted =
+        SortedByXLow(GenerateSynthetic(Distribution::kUniform, 700, 33));
+    BoxSlab sweep_slab;
+    sweep_slab.Assign(sorted, epsilon);
+    for (const Box& query : queries) {
+      ExpectSweepIdentity(sweep_slab, 0, sweep_slab.size(), query);
+    }
+  }
+}
+
+TEST_P(CrossLevelTest, AdversarialInputsMatchScalar) {
+  ScopedSimdLevel forced(GetParam());
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  Dataset boxes = AdversarialBoxes();
+  boxes.push_back(MakeBox(nan, 0, 0, nan, 1, 1));
+  boxes.push_back(MakeBox(nan, nan, nan, nan, nan, nan));
+  Dataset queries = boxes;
+  queries.push_back(MakeBox(2, 2, 2, 3, 3, 3));
+  for (const float epsilon : {0.0f, 0.25f}) {
+    BoxSlab slab;
+    slab.Assign(boxes, epsilon);
+    ExpectAllKernelsIdentical(slab, queries);
+  }
+  // Tail lengths at this level: partially valid final chunks everywhere.
+  const Box everything = MakeBox(-kInf, -kInf, -kInf, kInf, kInf, kInf);
+  for (size_t n = 1; n < BoxSlab::kPad; ++n) {
+    Dataset tail;
+    for (size_t i = 0; i < n; ++i) {
+      tail.push_back(CenteredBox(static_cast<float>(i), 0.0f, 0.0f));
+    }
+    BoxSlab slab;
+    slab.Assign(tail);
+    ExpectAllKernelsIdentical(slab, {&everything, 1});
+    ExpectSweepIdentity(slab, 0, n, everything);
+  }
+}
+
+// JoinStats byte-comparability across levels: the same probe at every
+// available level must yield the identical pair sequence AND the identical
+// comparison counters, all within this one process.
+TEST(CrossLevelTest, TreeProbePairsAndStatsIdenticalAcrossLevels) {
+  const Dataset a = GenerateSynthetic(Distribution::kClustered, 900, 5);
+  const Dataset b = GenerateSynthetic(Distribution::kUniform, 500, 6);
+  const RTree tree(a, /*leaf_capacity=*/16, /*fanout=*/8);
+  RTreeProbeSlabs slabs;
+  slabs.Build(tree, a);
+
+  JoinStats reference_stats;
+  VectorCollector reference_out;
+  {
+    ScopedSimdLevel forced(simd::Level::kScalar);
+    BatchedTreeProbe(tree, slabs, b, 3.0f, /*swap_emit=*/false,
+                     &reference_stats, reference_out);
+  }
+  for (const simd::Level level : simd::RuntimeAvailableLevels()) {
+    ScopedSimdLevel forced(level);
+    JoinStats stats;
+    VectorCollector out;
+    BatchedTreeProbe(tree, slabs, b, 3.0f, /*swap_emit=*/false, &stats, out);
+    EXPECT_EQ(out.pairs(), reference_out.pairs()) << simd::LevelName(level);
+    EXPECT_EQ(stats.comparisons, reference_stats.comparisons)
+        << simd::LevelName(level);
+    EXPECT_EQ(stats.node_comparisons, reference_stats.node_comparisons)
+        << simd::LevelName(level);
+    EXPECT_EQ(stats.results, reference_stats.results)
+        << simd::LevelName(level);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRuntimeLevels, CrossLevelTest,
+    ::testing::ValuesIn(simd::RuntimeAvailableLevels()),
+    [](const auto& info) { return simd::LevelName(info.param); });
 
 }  // namespace
 }  // namespace touch

@@ -53,9 +53,11 @@ FIXTURE_DIR = os.path.join(REPO_ROOT, "tools", "lint_fixtures")
 # Files that implement join kernels: each must keep at least one
 # amortized-stride cancellation poll (`(i & 1023u) == 0 && ...`).
 # engine.cc left this list when its last inline kernel loop (the INL probe)
-# moved into the batched overlap kernel; the poll moved with it.
+# moved into the batched overlap kernel; overlap_kernel.cc left it when the
+# kernel bodies (and the poll with them) moved into overlap_kernel_impl.h,
+# the header the per-ISA dispatch TUs compile.
 STRIDE_POLL_REQUIRED = (
-    "src/core/overlap_kernel.cc",
+    "src/core/overlap_kernel_impl.h",
     "src/core/touch.cc",
     "src/join/pbsm.cc",
 )
@@ -336,7 +338,9 @@ def lint_file(path, rules=None):
         return rules is None or rule in rules
 
     in_kernel_layer = rel.startswith(("src/core/", "src/join/", "src/engine/"))
-    if want("cancellation-poll") and rel.endswith(".cc") and in_kernel_layer:
+    if want("cancellation-poll") and (
+            (rel.endswith(".cc") and in_kernel_layer)
+            or rel in STRIDE_POLL_REQUIRED):
         check_cancellation(path, rel, stripped, violations)
     if want("emit-under-lock") and rel.endswith(".cc") and rel.startswith(
             ("src/engine/", "src/obs/")):
@@ -424,8 +428,9 @@ def lint_fixture(path):
     stripped = strip_comments_and_strings(raw)
     rel = os.path.relpath(path, FIXTURE_DIR).replace(os.sep, "/")
     violations = []
-    if rel.endswith(".cc") and rel.startswith(
-            ("src/core/", "src/join/", "src/engine/")):
+    if (rel.endswith(".cc") and rel.startswith(
+            ("src/core/", "src/join/", "src/engine/"))) or (
+            rel in STRIDE_POLL_REQUIRED):
         check_cancellation(path, rel, stripped, violations)
     if rel.endswith(".cc") and rel.startswith(("src/engine/", "src/obs/")):
         check_emit_under_lock(path, raw, stripped, violations)

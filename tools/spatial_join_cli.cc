@@ -20,6 +20,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -72,6 +73,8 @@ struct CliOptions {
   int shards = 1;
   /// --algo=auto: print histogram-based estimates vs measured actuals.
   bool explain = false;
+  /// Kernel dispatch level: "auto" (cpuid-widest) or a forced level name.
+  std::string simd = "auto";
   /// --algo=auto: measured-run feedback calibrating the planner.
   bool calibration = true;
   /// Write a Chrome/Perfetto trace of the engine-run requests here.
@@ -144,6 +147,11 @@ void PrintUsage() {
       "  --explain              after each --algo=auto run, print the plan's\n"
       "                         histogram-based estimates next to the\n"
       "                         measured actuals\n"
+      "  --simd=LEVEL           kernel dispatch: auto|scalar|sse2|avx2|neon\n"
+      "                         (default auto = widest cpuid-supported level;\n"
+      "                         forcing a level this host cannot run is an\n"
+      "                         error, never a silent fallback; equivalent\n"
+      "                         env var: TOUCH_SIMD_LEVEL)\n"
       "  --calibration=on|off   measured-run feedback: cold runs train the\n"
       "                         planner's cost models, overriding its static\n"
       "                         rules (default on)\n"
@@ -243,6 +251,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->metrics_out = value;
     } else if (arg == "--explain") {
       options->explain = true;
+    } else if (ParseFlag(arg, "simd", &value)) {
+      options->simd = value;
     } else if (ParseFlag(arg, "calibration", &value)) {
       if (value == "on" || value == "1") {
         options->calibration = true;
@@ -338,12 +348,14 @@ int RunJoin(const CliOptions& options) {
     std::fprintf(stderr, "note: --explain only applies to --algo=auto\n");
   }
   if (options.explain) {
-    // Build-time kernel dispatch: which instruction set the epsilon-overlap
-    // kernels were compiled against (TOUCH_SIMD), and the batch width.
+    // Runtime kernel dispatch: the level the epsilon-overlap kernels
+    // actually resolved to (auto-detected or forced), the batch width, and
+    // what the cpuid probe saw.
     std::fprintf(options.csv ? stderr : stdout,
-                 "explain: simd dispatch: %s, %d lanes/batch%s\n",
+                 "explain: simd dispatch: %s, %d lanes/batch (%s; cpu: %s)\n",
                  SimdLevelName(), SimdWidth(),
-                 SimdEnabled() ? "" : " (TOUCH_SIMD=OFF, scalar kernels)");
+                 SimdLevelForced() ? "forced" : "auto-detected",
+                 simd::DetectCpuFeatures().ToString().c_str());
   }
 
   if (options.csv) {
@@ -672,6 +684,22 @@ int Main(int argc, char** argv) {
   if (options.help) {
     PrintUsage();
     return 0;
+  }
+  if (options.simd != "auto") {
+    const std::optional<simd::Level> level = simd::ParseLevelName(options.simd);
+    if (!level.has_value()) {
+      std::fprintf(stderr,
+                   "bad --simd value: %s (expected auto|scalar|sse2|avx2|"
+                   "neon)\n",
+                   options.simd.c_str());
+      return 1;
+    }
+    std::string error;
+    if (!ForceSimdLevel(*level, &error)) {
+      std::fprintf(stderr, "--simd=%s: %s\n", options.simd.c_str(),
+                   error.c_str());
+      return 1;
+    }
   }
   if (!options.generate.empty()) return RunGenerate(options);
   return RunJoin(options);
