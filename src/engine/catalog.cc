@@ -54,36 +54,57 @@ double DatasetStats::HistogramSkew() const {
   return static_cast<double>(max_count) / mean;
 }
 
+namespace {
+
+/// Shared by the from-scratch and incremental stats paths so both produce
+/// the same bits: avg/density are computed from an order-independent extent
+/// (multiset min/max), ExactSum extent sums, and the object count.
+void FinalizeDerivedStats(const ExactSum& sx, const ExactSum& sy,
+                          const ExactSum& sz, DatasetStats* stats) {
+  const double inv = 1.0 / static_cast<double>(stats->count);
+  stats->avg_object_extent =
+      Vec3(static_cast<float>(sx.ToDouble() * inv),
+           static_cast<float>(sy.ToDouble() * inv),
+           static_cast<float>(sz.ToDouble() * inv));
+  const double volume = stats->extent.Volume();
+  stats->density =
+      volume > 0 ? static_cast<double>(stats->count) / volume : 0;
+}
+
+size_t HistogramCell(const GridMapper& grid, int res, const Box& box) {
+  const CellCoord c = grid.CellOf(box.Center());
+  return (static_cast<size_t>(c.x) * res + c.y) * res + c.z;
+}
+
+}  // namespace
+
 DatasetStats ComputeDatasetStats(std::span<const Box> boxes,
                                  int histogram_resolution) {
   DatasetStats stats;
   stats.count = boxes.size();
   if (boxes.empty()) return stats;
 
-  double sx = 0;
-  double sy = 0;
-  double sz = 0;
+  // ExactSum (not a running double) so the incremental mutation path —
+  // which adds and subtracts extents in arbitrary order — lands on the
+  // same accumulator state, and therefore the same avg bits, as this scan.
+  ExactSum sx;
+  ExactSum sy;
+  ExactSum sz;
   for (const Box& box : boxes) {
     stats.extent.ExpandToContain(box);
     const Vec3 e = box.Extent();
-    sx += e.x;
-    sy += e.y;
-    sz += e.z;
+    sx.Add(e.x);
+    sy.Add(e.y);
+    sz.Add(e.z);
   }
-  const double inv = 1.0 / static_cast<double>(boxes.size());
-  stats.avg_object_extent = Vec3(static_cast<float>(sx * inv),
-                                 static_cast<float>(sy * inv),
-                                 static_cast<float>(sz * inv));
-  const double volume = stats.extent.Volume();
-  stats.density = volume > 0 ? static_cast<double>(boxes.size()) / volume : 0;
+  FinalizeDerivedStats(sx, sy, sz, &stats);
 
   const int res = std::max(1, histogram_resolution);
   stats.histogram_resolution = res;
   stats.histogram.assign(static_cast<size_t>(res) * res * res, 0);
   const GridMapper grid(stats.extent, res);
   for (const Box& box : boxes) {
-    const CellCoord c = grid.CellOf(box.Center());
-    ++stats.histogram[(static_cast<size_t>(c.x) * res + c.y) * res + c.z];
+    ++stats.histogram[HistogramCell(grid, res, box)];
   }
   return stats;
 }
@@ -374,11 +395,260 @@ DatasetHandle DatasetCatalog::Register(std::string name, Dataset boxes,
                                        DatasetStats stats) {
   auto entry = std::make_unique<Entry>();
   entry->name = std::move(name);
-  entry->stats = std::move(stats);
-  entry->boxes = std::move(boxes);
+  auto snapshot = std::make_shared<DatasetSnapshot>();
+  snapshot->stats = std::move(stats);
+  snapshot->boxes = std::move(boxes);
+  snapshot->version = 0;
+  entry->snapshot = std::move(snapshot);
+  entry->next_id = static_cast<uint32_t>(entry->snapshot->boxes.size());
   MutexLock lock(mutex_);
   entries_.push_back(std::move(entry));
   return static_cast<DatasetHandle>(entries_.size() - 1);
+}
+
+DatasetCatalog::Entry* DatasetCatalog::entry(DatasetHandle handle) const {
+  MutexLock lock(mutex_);
+  return entries_[handle].get();
+}
+
+const std::string& DatasetCatalog::name(DatasetHandle handle) const {
+  return entry(handle)->name;
+}
+
+const Dataset& DatasetCatalog::boxes(DatasetHandle handle) const {
+  Entry* e = entry(handle);
+  MutexLock lock(e->m);
+  // The entry keeps the snapshot pinned, so this reference stays valid
+  // until the dataset's next mutation (the documented contract).
+  return e->snapshot->boxes;
+}
+
+const DatasetStats& DatasetCatalog::stats(DatasetHandle handle) const {
+  Entry* e = entry(handle);
+  MutexLock lock(e->m);
+  return e->snapshot->stats;
+}
+
+DatasetSnapshotPtr DatasetCatalog::snapshot(DatasetHandle handle) const {
+  Entry* e = entry(handle);
+  MutexLock lock(e->m);
+  return e->snapshot;
+}
+
+uint64_t DatasetCatalog::version(DatasetHandle handle) const {
+  Entry* e = entry(handle);
+  MutexLock lock(e->m);
+  return e->version;
+}
+
+void DatasetCatalog::EnsureDynamicLocked(Entry& e) {
+  if (e.dynamic_ready) return;
+  const Dataset& boxes = e.snapshot->boxes;
+  e.cur_boxes.assign(boxes.begin(), boxes.end());
+  e.cur_ids.resize(boxes.size());
+  e.slot_of.reserve(boxes.size());
+  for (uint32_t i = 0; i < boxes.size(); ++i) {
+    e.cur_ids[i] = i;
+    e.slot_of.emplace(i, i);
+    e.tree.Insert(i, boxes[i]);
+    const Vec3 ext = boxes[i].Extent();
+    e.sum_x.Add(ext.x);
+    e.sum_y.Add(ext.y);
+    e.sum_z.Add(ext.z);
+  }
+  e.dynamic_ready = true;
+}
+
+void DatasetCatalog::RebuildStatsLocked(Entry& e, DatasetStats* stats) {
+  // Extent from the tree: a multiset min/max over the same boxes, so it is
+  // bitwise identical to ComputeDatasetStats' ExpandToContain fold.
+  stats->count = e.cur_boxes.size();
+  stats->extent = e.tree.bounds();
+  if (stats->count == 0) {
+    *stats = DatasetStats{};
+    return;
+  }
+  FinalizeDerivedStats(e.sum_x, e.sum_y, e.sum_z, stats);
+}
+
+uint64_t DatasetCatalog::ApplyMutations(
+    DatasetHandle handle, std::span<const Mutation> mutations,
+    std::vector<AppliedMutation>* applied) {
+  Entry* ep = entry(handle);
+  Entry& e = *ep;
+  MutexLock lock(e.m);
+  EnsureDynamicLocked(e);
+
+  const Box old_extent = e.snapshot->stats.extent;
+  const int res = e.snapshot->stats.histogram_resolution;
+  // Center-cell deltas against the *old* extent, applied only if the hull
+  // did not move; a hull change forces a full (still order-independent)
+  // rebin over the current boxes.
+  std::vector<std::pair<size_t, int>> cell_deltas;
+  const GridMapper old_grid(old_extent.IsEmpty() ? Box() : old_extent,
+                            std::max(1, res));
+
+  for (const Mutation& m : mutations) {
+    AppliedMutation record;
+    switch (m.kind) {
+      case MutationKind::kInsert: {
+        uint32_t id = m.id;
+        if (id == kInvalidObjectId) {
+          id = e.next_id++;
+        } else if (e.slot_of.contains(id)) {
+          continue;  // live id: inapplicable
+        } else if (id >= e.next_id) {
+          e.next_id = id + 1;
+        }
+        const uint32_t slot = static_cast<uint32_t>(e.cur_boxes.size());
+        e.cur_boxes.push_back(m.box);
+        e.cur_ids.push_back(id);
+        e.slot_of.emplace(id, slot);
+        e.tree.Insert(id, m.box);
+        const Vec3 ext = m.box.Extent();
+        e.sum_x.Add(ext.x);
+        e.sum_y.Add(ext.y);
+        e.sum_z.Add(ext.z);
+        if (id != slot) e.identity = false;
+        if (res > 0) {
+          cell_deltas.emplace_back(HistogramCell(old_grid, res, m.box), 1);
+        }
+        record = AppliedMutation{id, false, true, Box(), m.box};
+        break;
+      }
+      case MutationKind::kDelete: {
+        const auto it = e.slot_of.find(m.id);
+        if (it == e.slot_of.end()) continue;
+        const uint32_t slot = it->second;
+        const Box old_box = e.cur_boxes[slot];
+        e.tree.Remove(m.id, old_box);
+        const Vec3 ext = old_box.Extent();
+        e.sum_x.Subtract(ext.x);
+        e.sum_y.Subtract(ext.y);
+        e.sum_z.Subtract(ext.z);
+        const uint32_t last = static_cast<uint32_t>(e.cur_boxes.size() - 1);
+        if (slot != last) {
+          e.cur_boxes[slot] = e.cur_boxes[last];
+          e.cur_ids[slot] = e.cur_ids[last];
+          e.slot_of[e.cur_ids[slot]] = slot;
+          e.identity = false;
+        } else if (m.id != last) {
+          e.identity = false;
+        }
+        e.cur_boxes.pop_back();
+        e.cur_ids.pop_back();
+        e.slot_of.erase(it);
+        if (res > 0) {
+          cell_deltas.emplace_back(HistogramCell(old_grid, res, old_box),
+                                   -1);
+        }
+        record = AppliedMutation{m.id, true, false, old_box, Box()};
+        break;
+      }
+      case MutationKind::kUpdate: {
+        const auto it = e.slot_of.find(m.id);
+        if (it == e.slot_of.end()) continue;
+        const uint32_t slot = it->second;
+        const Box old_box = e.cur_boxes[slot];
+        e.tree.Update(m.id, old_box, m.box);
+        e.cur_boxes[slot] = m.box;
+        const Vec3 old_ext = old_box.Extent();
+        const Vec3 new_ext = m.box.Extent();
+        e.sum_x.Subtract(old_ext.x);
+        e.sum_y.Subtract(old_ext.y);
+        e.sum_z.Subtract(old_ext.z);
+        e.sum_x.Add(new_ext.x);
+        e.sum_y.Add(new_ext.y);
+        e.sum_z.Add(new_ext.z);
+        if (res > 0) {
+          cell_deltas.emplace_back(HistogramCell(old_grid, res, old_box),
+                                   -1);
+          cell_deltas.emplace_back(HistogramCell(old_grid, res, m.box), 1);
+        }
+        record = AppliedMutation{m.id, true, true, old_box, m.box};
+        break;
+      }
+    }
+    if (applied != nullptr) applied->push_back(record);
+  }
+
+  auto next = std::make_shared<DatasetSnapshot>();
+  next->boxes.assign(e.cur_boxes.begin(), e.cur_boxes.end());
+  if (!e.identity) next->ids = e.cur_ids;
+  RebuildStatsLocked(e, &next->stats);
+  if (next->stats.count > 0) {
+    const int new_res =
+        res > 0 ? res : std::max(1, e.snapshot->stats.histogram_resolution);
+    next->stats.histogram_resolution = std::max(1, new_res);
+    const int r = next->stats.histogram_resolution;
+    if (!(next->stats.extent == old_extent) || res <= 0) {
+      // Hull moved (or the dataset was empty before): rebin every center.
+      // Per-box binning is independent, so this matches the scratch scan.
+      next->stats.histogram.assign(static_cast<size_t>(r) * r * r, 0);
+      const GridMapper grid(next->stats.extent, r);
+      for (const Box& box : next->boxes) {
+        ++next->stats.histogram[HistogramCell(grid, r, box)];
+      }
+    } else {
+      next->stats.histogram = e.snapshot->stats.histogram;
+      for (const auto& [cell, delta] : cell_deltas) {
+        next->stats.histogram[cell] =
+            static_cast<uint32_t>(static_cast<int64_t>(
+                next->stats.histogram[cell]) + delta);
+      }
+    }
+  }
+  next->version = ++e.version;
+  e.snapshot = std::move(next);
+  return e.version;
+}
+
+uint32_t DatasetCatalog::Insert(DatasetHandle handle, const Box& box,
+                                uint32_t id) {
+  const Mutation m{MutationKind::kInsert, id, box};
+  std::vector<AppliedMutation> applied;
+  ApplyMutations(handle, std::span(&m, 1), &applied);
+  return applied.empty() ? kInvalidObjectId : applied.front().id;
+}
+
+bool DatasetCatalog::Delete(DatasetHandle handle, uint32_t id) {
+  const Mutation m{MutationKind::kDelete, id, Box()};
+  std::vector<AppliedMutation> applied;
+  ApplyMutations(handle, std::span(&m, 1), &applied);
+  return !applied.empty();
+}
+
+bool DatasetCatalog::Update(DatasetHandle handle, uint32_t id,
+                            const Box& box) {
+  const Mutation m{MutationKind::kUpdate, id, box};
+  std::vector<AppliedMutation> applied;
+  ApplyMutations(handle, std::span(&m, 1), &applied);
+  return !applied.empty();
+}
+
+std::optional<Box> DatasetCatalog::FindObject(DatasetHandle handle,
+                                              uint32_t id) const {
+  Entry* ep = entry(handle);
+  Entry& e = *ep;
+  MutexLock lock(e.m);
+  if (!e.dynamic_ready) {
+    const Dataset& boxes = e.snapshot->boxes;
+    if (id < boxes.size()) return boxes[id];
+    return std::nullopt;
+  }
+  const auto it = e.slot_of.find(id);
+  if (it == e.slot_of.end()) return std::nullopt;
+  return e.cur_boxes[it->second];
+}
+
+void DatasetCatalog::QueryObjects(
+    DatasetHandle handle, const Box& query,
+    const std::function<void(uint32_t, const Box&)>& emit) const {
+  Entry* ep = entry(handle);
+  Entry& e = *ep;
+  MutexLock lock(e.m);
+  EnsureDynamicLocked(e);
+  e.tree.Query(query, [&](uint32_t id, const Box& box) { emit(id, box); });
 }
 
 std::optional<DatasetHandle> DatasetCatalog::Find(

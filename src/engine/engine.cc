@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 
 #include "core/factory.h"
@@ -25,6 +26,25 @@ class SwappedCollector : public ResultCollector {
 
  private:
   ResultCollector& out_;
+};
+
+/// Translates the dense slot indices the kernels emit into stable object
+/// ids (DatasetSnapshot::id_of). Only interposed when a dataset has been
+/// mutated out of slot/id identity, so never-mutated datasets keep the
+/// zero-cost emission path.
+class RemapCollector : public ResultCollector {
+ public:
+  RemapCollector(ResultCollector& out, const DatasetSnapshot& a,
+                 const DatasetSnapshot& b)
+      : out_(out), a_(a), b_(b) {}
+  void Emit(uint32_t a_slot, uint32_t b_slot) override {
+    out_.Emit(a_.id_of(a_slot), b_.id_of(b_slot));
+  }
+
+ private:
+  ResultCollector& out_;
+  const DatasetSnapshot& a_;
+  const DatasetSnapshot& b_;
 };
 
 /// Measures time-to-first-Emit generically — for every algorithm, not just
@@ -216,6 +236,26 @@ struct internal::RequestState {
   /// roots hang under the sharded request's root).
   uint64_t root_parent_id = 0;
   int64_t submit_ns = 0;
+  /// Standing continuous join (JoinRequest::continuous): the request never
+  /// enters the worker pool; its phase stays kExecuting while subscribed
+  /// and Cancel is the only terminal transition.
+  bool continuous = false;
+  /// Serializes this subscription's delta emission against its Cancel:
+  /// every EmitDelta runs under it, and Cancel barrier-locks it after
+  /// raising the stop flag, so delivery (which frees the sink) can never
+  /// race an in-flight delta burst. A probe that acquires it after the
+  /// stop flag rose bails before touching the sink.
+  Mutex cont_sink_mutex;
+};
+
+/// One standing continuous join: the submitted request plus the shared
+/// state its deltas, Cancel and future run through. Registered in the
+/// engine's subscription list under delta_sink_mutex_; removed lazily (on
+/// the first mutation batch that finds it delivered) or by the engine's
+/// destructor.
+struct internal::ContinuousSub {
+  JoinRequest request;
+  std::shared_ptr<internal::RequestState> state;
 };
 
 namespace {
@@ -300,6 +340,19 @@ bool CancelRequest(const RequestStatePtr& state) {
   if (first && state->tracer != nullptr) {
     state->tracer->RecordInstant(state->trace_id, state->root_span_id,
                                  "cancel-requested");
+  }
+  if (state->continuous) {
+    // Unsubscribe a standing query: the stop flag is up, so no *new* delta
+    // burst will touch the sink; the barrier lock waits out a burst already
+    // holding the emission mutex. After it, delivery is safe — the sink can
+    // no longer be mid-call. (The subscription list entry is pruned lazily
+    // by the next mutation batch, which sees `delivered`.)
+    { MutexLock barrier(state->cont_sink_mutex); }
+    RequestPhase expected = RequestPhase::kExecuting;
+    state->phase.compare_exchange_strong(expected, RequestPhase::kCancelled,
+                                         std::memory_order_acq_rel);
+    Deliver(state, CancelledResult());
+    return first;
   }
   RequestPhase expected = RequestPhase::kQueued;
   if (state->phase.compare_exchange_strong(expected, RequestPhase::kCancelled,
@@ -390,6 +443,21 @@ QueryEngine::QueryEngine(const EngineOptions& options)
 }
 
 QueryEngine::~QueryEngine() {
+  // Outstanding continuous subscriptions complete as Cancelled here, so
+  // their futures and OnComplete fire exactly once even when the caller
+  // never cancelled. Same barrier discipline as CancelRequest.
+  {
+    MutexLock lock(delta_sink_mutex_);
+    for (const std::shared_ptr<internal::ContinuousSub>& sub : subs_) {
+      sub->state->cancel.RequestStop();
+      { MutexLock barrier(sub->state->cont_sink_mutex); }
+      RequestPhase expected = RequestPhase::kExecuting;
+      sub->state->phase.compare_exchange_strong(
+          expected, RequestPhase::kCancelled, std::memory_order_acq_rel);
+      Deliver(sub->state, CancelledResult());
+    }
+    subs_.clear();
+  }
   // Providers sample cache_/pool_, which die with this engine; a scrape
   // after this point must not reach them. (The pool itself drains after
   // this body, before the members destruct.)
@@ -405,6 +473,68 @@ DatasetHandle QueryEngine::RegisterDataset(std::string name, Dataset boxes,
                                            DatasetStats stats) {
   return catalog_.Register(std::move(name), std::move(boxes),
                            std::move(stats));
+}
+
+uint64_t QueryEngine::ApplyMutations(DatasetHandle dataset,
+                                     std::span<const Mutation> mutations) {
+  if (!catalog_.Contains(dataset)) return 0;
+  MutexLock mutation_lock(mutation_mutex_);
+  // Mutation batches trace as their own root: they belong to no request,
+  // and several requests' artifacts may be invalidated by one batch.
+  TraceContext mutate_ctx;
+  if (tracer_ != nullptr) {
+    mutate_ctx = TraceContext{tracer_.get(), tracer_->NewTraceId(), 0};
+  }
+  SpanScope mutate_span(mutate_ctx, "mutate");
+  std::vector<AppliedMutation> applied;
+  const uint64_t version = catalog_.ApplyMutations(dataset, mutations,
+                                                   &applied);
+  // First post-mutation query must rebuild: drop every ready artifact built
+  // against an older version of this dataset (counted as evictions).
+  cache_.InvalidateDataset(dataset, version);
+  metrics_->counter("touch_mutations_total").Increment(applied.size());
+  mutate_span.AddAttr("dataset", catalog_.name(dataset));
+  mutate_span.AddAttr("applied", std::to_string(applied.size()));
+  mutate_span.AddAttr("version", std::to_string(version));
+
+  // Fold the batch per object — first old box, last new box — so an object
+  // mutated repeatedly in one batch is probed once, against its net move.
+  std::vector<AppliedMutation> net;
+  net.reserve(applied.size());
+  {
+    std::unordered_map<uint32_t, size_t> slot;
+    for (const AppliedMutation& m : applied) {
+      const auto [it, fresh] = slot.emplace(m.id, net.size());
+      if (fresh) {
+        net.push_back(m);
+      } else {
+        net[it->second].has_new = m.has_new;
+        net[it->second].new_box = m.new_box;
+      }
+    }
+    // An insert+delete that nets out inside the batch touches nothing.
+    std::erase_if(net, [](const AppliedMutation& m) {
+      return !m.had_old && !m.has_new;
+    });
+  }
+  if (net.empty()) return version;
+
+  MutexLock sink_lock(delta_sink_mutex_);
+  for (auto it = subs_.begin(); it != subs_.end();) {
+    const std::shared_ptr<internal::ContinuousSub>& sub = *it;
+    if (sub->state->delivered.load(std::memory_order_acquire)) {
+      it = subs_.erase(it);  // cancelled since the last batch
+      continue;
+    }
+    if (sub->request.a == dataset || sub->request.b == dataset) {
+      SpanScope probe_span(mutate_span.context(), "delta-probe");
+      const size_t deltas = DeltaProbeLocked(**it, dataset, net);
+      probe_span.AddAttr("deltas", std::to_string(deltas));
+      metrics_->counter("touch_delta_results_total").Increment(deltas);
+    }
+    ++it;
+  }
+  return version;
 }
 
 JoinPlan QueryEngine::Plan(const JoinRequest& request) const {
@@ -428,8 +558,13 @@ void QueryEngine::RecordOutcome(const JoinRequest& request,
       result.partial_index_cache_hit) {
     return;
   }
-  const DatasetStats& stats_a = catalog_.stats(request.a);
-  const DatasetStats& stats_b = catalog_.stats(request.b);
+  // Pinned reads: the ref-returning stats accessor is only stable while no
+  // mutation of the dataset can run concurrently, which this path can't
+  // assume.
+  const DatasetSnapshotPtr snap_a = catalog_.snapshot(request.a);
+  const DatasetSnapshotPtr snap_b = catalog_.snapshot(request.b);
+  const DatasetStats& stats_a = snap_a->stats;
+  const DatasetStats& stats_b = snap_b->stats;
   PlanOutcome outcome;
   outcome.family = AlgorithmFamily(result.plan.algorithm);
   outcome.objects = stats_a.count + stats_b.count;
@@ -459,8 +594,8 @@ double QueryEngine::PredictedBuildSeconds(const char* family,
   // feature keeps prediction consistent with the recorded evidence even
   // though the artifact covers only the build side.
   const double objects =
-      static_cast<double>(catalog_.stats(request.a).count) +
-      static_cast<double>(catalog_.stats(request.b).count);
+      static_cast<double>(catalog_.snapshot(request.a)->stats.count) +
+      static_cast<double>(catalog_.snapshot(request.b)->stats.count);
   return snapshot.PredictBuildSeconds(family, objects).value_or(0.0);
 }
 
@@ -575,18 +710,30 @@ RequestHandle QueryEngine::SubmitInternal(const JoinRequest& request,
 
 RequestHandle QueryEngine::Submit(const JoinRequest& request,
                                   std::unique_ptr<ResultSink> sink) {
+  if (request.continuous) {
+    return SubmitContinuous(request, std::move(sink), nullptr);
+  }
   return SubmitInternal(request, std::move(sink), nullptr);
 }
 
 RequestHandle QueryEngine::Submit(const JoinRequest& request,
                                   std::unique_ptr<ResultSink> sink,
                                   CompletionCallback on_complete) {
+  if (request.continuous) {
+    return SubmitContinuous(request, std::move(sink),
+                            std::move(on_complete));
+  }
   return SubmitInternal(request, std::move(sink), std::move(on_complete));
 }
 
 RequestHandle QueryEngine::SubmitPlanned(JoinPlan plan,
                                          const JoinRequest& request,
                                          std::unique_ptr<ResultSink> sink) {
+  if (request.continuous) {
+    // A standing query has no one-shot plan to execute; the scatter path
+    // never sets the flag, so reject rather than silently drop the plan.
+    return SubmitContinuous(request, nullptr, nullptr);
+  }
   return SubmitInternal(request, std::move(sink), nullptr,
                         std::make_unique<JoinPlan>(std::move(plan)));
 }
@@ -596,11 +743,170 @@ BatchHandle QueryEngine::SubmitBatch(std::span<const JoinRequest> requests,
   BatchHandle batch;
   batch.requests_.reserve(requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
+    std::unique_ptr<ResultSink> sink =
+        make_sink ? make_sink(i) : nullptr;
     batch.requests_.push_back(
-        SubmitInternal(requests[i], make_sink ? make_sink(i) : nullptr,
-                       nullptr));
+        requests[i].continuous
+            ? SubmitContinuous(requests[i], std::move(sink), nullptr)
+            : SubmitInternal(requests[i], std::move(sink), nullptr));
   }
   return batch;
+}
+
+// --- Continuous joins -------------------------------------------------------
+
+RequestHandle QueryEngine::SubmitContinuous(const JoinRequest& request,
+                                            std::unique_ptr<ResultSink> sink,
+                                            CompletionCallback on_complete) {
+  auto state = std::make_shared<internal::RequestState>();
+  state->request = request;
+  state->continuous = true;
+  state->sink = std::move(sink);
+  state->on_complete = std::move(on_complete);
+  state->tracer = tracer_.get();
+  state->metrics = metrics_.get();
+  state->submit_ns = TraceClockNs();
+  if (request.deadline.time_since_epoch().count() != 0) {
+    state->cancel.SetDeadline(request.deadline);
+  }
+  if (state->tracer != nullptr) {
+    state->trace_id = request.trace_id != 0 ? request.trace_id
+                                            : state->tracer->NewTraceId();
+    state->root_span_id = state->tracer->NewSpanId();
+    state->root_parent_id = request.trace_parent_span;
+  }
+  RequestHandle handle(state, state->promise.get_future());
+  // Validation failures deliver an error result through the normal path, so
+  // the future, sink OnComplete and completion callback all still fire.
+  if (state->sink == nullptr) {
+    Deliver(state, ErrorResult("continuous join requires a result sink "
+                               "(deltas have nowhere to go)"));
+    return handle;
+  }
+  if (!catalog_.Contains(request.a) || !catalog_.Contains(request.b)) {
+    Deliver(state, ErrorResult("invalid dataset handle (catalog has " +
+                               std::to_string(catalog_.size()) +
+                               " datasets)"));
+    return handle;
+  }
+  if (request.a == request.b) {
+    Deliver(state, ErrorResult(
+                       "continuous join requires two distinct datasets"));
+    return handle;
+  }
+  state->phase.store(RequestPhase::kExecuting, std::memory_order_release);
+
+  // The baseline runs under the mutation serialization: no batch can land
+  // between "current pair set emitted" and "subscribed for deltas", so the
+  // caller's folded view is the full join at every instant.
+  MutexLock mutation_lock(mutation_mutex_);
+  TraceContext root{state->tracer, state->trace_id, state->root_span_id};
+  SpanScope baseline_span(root, "baseline-join");
+  const DatasetSnapshotPtr snap_a = catalog_.snapshot(request.a);
+  size_t deltas = 0;
+  {
+    MutexLock emit_lock(state->cont_sink_mutex);
+    for (size_t slot = 0; slot < snap_a->boxes.size(); ++slot) {
+      if (state->cancel.stop_requested()) break;
+      const uint32_t a_id = snap_a->id_of(slot);
+      catalog_.QueryObjects(
+          request.b, snap_a->boxes[slot].Enlarged(request.epsilon),
+          [&](uint32_t b_id, const Box&) {
+            state->sink->EmitDelta(DeltaKind::kAdded, a_id, b_id);
+            ++deltas;
+          });
+    }
+  }
+  baseline_span.AddAttr("deltas", std::to_string(deltas));
+  baseline_span.End();
+  metrics_->counter("touch_delta_results_total").Increment(deltas);
+  if (state->cancel.stop_requested()) {
+    // Deadline (or a racing Cancel) fired during the baseline: complete now
+    // instead of subscribing a dead query.
+    RequestPhase expected = RequestPhase::kExecuting;
+    state->phase.compare_exchange_strong(expected, RequestPhase::kCancelled,
+                                         std::memory_order_acq_rel);
+    Deliver(state, CancelledResult());
+    return handle;
+  }
+  MutexLock sink_lock(delta_sink_mutex_);
+  subs_.push_back(std::make_shared<internal::ContinuousSub>(
+      internal::ContinuousSub{request, state}));
+  return handle;
+}
+
+size_t QueryEngine::DeltaProbeLocked(internal::ContinuousSub& sub,
+                                     DatasetHandle mutated,
+                                     std::span<const AppliedMutation> net) {
+  internal::RequestState& state = *sub.state;
+  const bool mutated_is_a = sub.request.a == mutated;
+  const DatasetHandle partner =
+      mutated_is_a ? sub.request.b : sub.request.a;
+  const float epsilon = sub.request.epsilon;
+  size_t deltas = 0;
+  MutexLock emit_lock(state.cont_sink_mutex);
+  // A Cancel that raised the stop flag before we took the emission lock may
+  // already be past its barrier and freeing the sink — the flag check must
+  // come before any sink access, and a mid-burst stop only breaks the loop
+  // (the canceller is then still parked on the barrier, so the sink stays
+  // alive until we release).
+  if (state.cancel.stop_requested() ||
+      state.delivered.load(std::memory_order_acquire)) {
+    return 0;
+  }
+  ResultSink& sink = *state.sink;
+  std::vector<uint32_t> old_ids;
+  std::vector<uint32_t> new_ids;
+  const auto emit = [&](DeltaKind kind, uint32_t partner_id,
+                        uint32_t moved_id) {
+    if (mutated_is_a) {
+      sink.EmitDelta(kind, moved_id, partner_id);
+    } else {
+      sink.EmitDelta(kind, partner_id, moved_id);
+    }
+    ++deltas;
+  };
+  for (const AppliedMutation& m : net) {
+    // Cooperative cancellation between objects: a standing query being
+    // torn down must not hold the mutation path for the whole burst.
+    if (state.cancel.stop_requested()) break;
+    old_ids.clear();
+    new_ids.clear();
+    // The epsilon window moves with the object: pairs live in the old
+    // window, the new window, or both. Enlarging the moved side is
+    // equivalent to enlarging the partner (closed-box intersection is
+    // symmetric under enlargement), so one probe orientation serves both.
+    if (m.had_old) {
+      catalog_.QueryObjects(
+          partner, m.old_box.Enlarged(epsilon),
+          [&](uint32_t id, const Box&) { old_ids.push_back(id); });
+    }
+    if (m.has_new) {
+      catalog_.QueryObjects(
+          partner, m.new_box.Enlarged(epsilon),
+          [&](uint32_t id, const Box&) { new_ids.push_back(id); });
+    }
+    std::sort(old_ids.begin(), old_ids.end());
+    std::sort(new_ids.begin(), new_ids.end());
+    // Merge-diff: in-old-only pairs left the result set, in-new-only pairs
+    // entered it, in-both pairs persist and emit nothing.
+    size_t oi = 0;
+    size_t ni = 0;
+    while (oi < old_ids.size() || ni < new_ids.size()) {
+      if (ni == new_ids.size() ||
+          (oi < old_ids.size() && old_ids[oi] < new_ids[ni])) {
+        emit(DeltaKind::kRemoved, old_ids[oi], m.id);
+        ++oi;
+      } else if (oi == old_ids.size() || new_ids[ni] < old_ids[oi]) {
+        emit(DeltaKind::kAdded, new_ids[ni], m.id);
+        ++ni;
+      } else {
+        ++oi;
+        ++ni;
+      }
+    }
+  }
+  return deltas;
 }
 
 // --- Synchronous wrappers ---------------------------------------------------
@@ -626,18 +932,20 @@ JoinResult QueryEngine::ExecuteFixed(const std::string& algorithm,
   if (MakeAlgorithm(algorithm) == nullptr) {
     return ErrorResult(UnknownAlgorithmMessage(algorithm));
   }
+  // Fixed runs get the same request root span and status counters as
+  // submitted ones (attr fixed=true tells them apart), on the caller's
+  // thread with a default (never-cancelled) context — pinned to the current
+  // dataset snapshots like every submitted request.
+  ExecContext ctx;
+  ctx.snap_a = catalog_.snapshot(request.a);
+  ctx.snap_b = catalog_.snapshot(request.b);
   JoinPlan plan;
   plan.algorithm = algorithm;
-  plan.build_on_a =
-      catalog_.stats(request.a).count <= catalog_.stats(request.b).count;
+  plan.build_on_a = ctx.snap_a->stats.count <= ctx.snap_b->stats.count;
   plan.touch.join_order = plan.build_on_a ? TouchOptions::JoinOrder::kBuildOnA
                                           : TouchOptions::JoinOrder::kBuildOnB;
   plan.touch.threads = 1;
   plan.rationale = "algorithm fixed by caller";
-  // Fixed runs get the same request root span and status counters as
-  // submitted ones (attr fixed=true tells them apart), on the caller's
-  // thread with a default (never-cancelled) context.
-  ExecContext ctx;
   const int64_t start_ns = TraceClockNs();
   if (tracer_ != nullptr) {
     const uint64_t trace_id =
@@ -695,20 +1003,36 @@ JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
     return ErrorResult("invalid dataset handle (catalog has " +
                        std::to_string(catalog_.size()) + " datasets)");
   }
+  // Pin both datasets for the request's whole execution: geometry, stats
+  // and cache-key versions all come from these snapshots, so a mutation
+  // batch landing mid-request affects the *next* request, never this one.
+  ExecContext pinned = ctx;
+  pinned.snap_a = catalog_.snapshot(request.a);
+  pinned.snap_b = catalog_.snapshot(request.b);
   // Failures (e.g. an index build running out of memory) become per-request
   // errors instead of escaping — a batch must not die for one bad join, and
   // a submitted future must always complete with a result.
   try {
-    EnterPhase(ctx, RequestPhase::kPlanning);
+    EnterPhase(pinned, RequestPhase::kPlanning);
     JoinPlan plan;
     if (preplanned != nullptr) {
       // Scattered shard pairs execute the plan they arrived with; their
       // "plan" span lives at the scatter site that computed it.
       plan = *preplanned;
     } else {
-      SpanScope plan_span(ctx.trace, "plan");
+      SpanScope plan_span(pinned.trace, "plan");
       Timer plan_timer;
-      plan = Plan(request);
+      // Plan from the *pinned* stats (not a fresh catalog read), so the
+      // plan and the execution below describe the same dataset version.
+      if (options_.calibration.enabled) {
+        const CalibrationSnapshot snapshot =
+            feedback_.Snapshot(options_.calibration.min_samples);
+        plan = planner_.Plan(pinned.snap_a->stats, pinned.snap_b->stats,
+                             request.epsilon, &snapshot);
+      } else {
+        plan = planner_.Plan(pinned.snap_a->stats, pinned.snap_b->stats,
+                             request.epsilon);
+      }
       metrics_->histogram("touch_engine_plan_seconds")
           .Observe(plan_timer.Seconds());
       plan_span.AddAttr("algorithm", plan.algorithm);
@@ -728,7 +1052,7 @@ JoinResult QueryEngine::ExecuteRequest(const JoinRequest& request,
         .Increment();
     // Boundary: planned → index build.
     if (ctx.cancel.stop_requested()) return CancelledResult();
-    JoinResult result = ExecutePlanned(std::move(plan), request, out, ctx);
+    JoinResult result = ExecutePlanned(std::move(plan), request, out, pinned);
     // One flag for every executor: a request whose cancel fired mid-run
     // (the kernels bail cooperatively) or right at the end reports
     // Cancelled — its sink may have seen partial pairs either way.
@@ -749,8 +1073,16 @@ JoinResult QueryEngine::ExecutePlanned(JoinPlan plan,
                                        ResultCollector& out,
                                        const ExecContext& ctx) {
   FirstEmitCollector first_emit(out, ctx.trace);
-  JoinResult result =
-      ExecutePlannedImpl(std::move(plan), request, first_emit, ctx);
+  // The kernels emit dense slot indices. While a dataset keeps slot/id
+  // identity (never mutated, or mutated append-only) that already *is* the
+  // object id; once a delete has swapped slots around, remap on the way out
+  // so callers always see stable ids.
+  RemapCollector remapped(first_emit, *ctx.snap_a, *ctx.snap_b);
+  const bool remap =
+      !ctx.snap_a->identity_ids() || !ctx.snap_b->identity_ids();
+  JoinResult result = ExecutePlannedImpl(
+      std::move(plan), request,
+      remap ? static_cast<ResultCollector&>(remapped) : first_emit, ctx);
   // NBPS measures its own (stream-internal) first-result latency; keep the
   // tighter self-report when present, fill in generically otherwise.
   if (result.stats.first_result_seconds == 0.0 && first_emit.seen()) {
@@ -796,8 +1128,8 @@ JoinResult QueryEngine::ExecutePlannedImpl(JoinPlan plan,
   SpanScope exec_span(ctx.trace, "execute");
   exec_span.AddAttr("algorithm", plan.algorithm);
   Timer exec_timer;
-  const Dataset& a = catalog_.boxes(request.a);
-  const Dataset& b = catalog_.boxes(request.b);
+  const Dataset& a = ctx.snap_a->boxes;
+  const Dataset& b = ctx.snap_b->boxes;
   // Orientation-sensitive algorithms (inl: index over the first input) get
   // swapped inputs when the plan builds on B; "touch" orients itself through
   // join_order instead, and the symmetric algorithms are always planned with
@@ -821,10 +1153,12 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
                                      const ExecContext& ctx) {
   JoinResult result;
   Timer total;
-  const Dataset& a = catalog_.boxes(request.a);
-  const Dataset& b = catalog_.boxes(request.b);
+  const Dataset& a = ctx.snap_a->boxes;
+  const Dataset& b = ctx.snap_b->boxes;
   const DatasetHandle build_handle = plan.build_on_a ? request.a : request.b;
-  const Dataset& build_src = catalog_.boxes(build_handle);
+  const DatasetSnapshot& build_snap =
+      plan.build_on_a ? *ctx.snap_a : *ctx.snap_b;
+  const Dataset& build_src = build_snap.boxes;
   // The distance join enlarges side A; when the tree is built over A the
   // enlargement is baked into the cached index (and into its cache key).
   const float build_epsilon = plan.build_on_a ? request.epsilon : 0.0f;
@@ -837,8 +1171,9 @@ JoinResult QueryEngine::ExecuteTouch(JoinPlan plan, const JoinRequest& request,
   }
   leaf_capacity = std::max<size_t>(1, leaf_capacity);
 
-  const IndexCacheKey key{build_handle, build_epsilon, leaf_capacity,
-                          touch_options.fanout, ArtifactKind::kTouchTree};
+  const IndexCacheKey key{build_handle, build_snap.version, build_epsilon,
+                          leaf_capacity, touch_options.fanout,
+                          ArtifactKind::kTouchTree};
   EnterPhase(ctx, RequestPhase::kBuildingIndex);
   SpanScope build_span(ctx.trace, "build-index");
   build_span.AddAttr("kind", "touch-tree");
@@ -911,10 +1246,12 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
                                    const ExecContext& ctx) {
   JoinResult result;
   Timer total;
-  const Dataset& a = catalog_.boxes(request.a);
-  const Dataset& b = catalog_.boxes(request.b);
+  const Dataset& a = ctx.snap_a->boxes;
+  const Dataset& b = ctx.snap_b->boxes;
   const DatasetHandle build_handle = plan.build_on_a ? request.a : request.b;
-  const Dataset& build_src = catalog_.boxes(build_handle);
+  const DatasetSnapshot& build_snap =
+      plan.build_on_a ? *ctx.snap_a : *ctx.snap_b;
+  const Dataset& build_src = build_snap.boxes;
   // Side A carries the distance-join enlargement (same convention as the
   // TOUCH path and the oracle): a tree over A bakes it into the cached
   // index; a tree over B stays raw — and therefore epsilon-independent,
@@ -924,7 +1261,7 @@ JoinResult QueryEngine::ExecuteInl(JoinPlan plan, const JoinRequest& request,
   const float build_epsilon = plan.build_on_a ? request.epsilon : 0.0f;
   const RTreeJoinOptions tree_options;  // defaults: the paper's best config
 
-  const IndexCacheKey key{build_handle, build_epsilon,
+  const IndexCacheKey key{build_handle, build_snap.version, build_epsilon,
                           tree_options.leaf_capacity, tree_options.fanout,
                           ArtifactKind::kInlRTree};
   EnterPhase(ctx, RequestPhase::kBuildingIndex);
@@ -1000,19 +1337,20 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
                                     const ExecContext& ctx) {
   JoinResult result;
   Timer total;
-  const Dataset& a = catalog_.boxes(request.a);
-  const Dataset& b = catalog_.boxes(request.b);
+  const Dataset& a = ctx.snap_a->boxes;
+  const Dataset& b = ctx.snap_b->boxes;
   if (a.empty() || b.empty()) {
     result.stats.total_seconds = total.Seconds();
     result.plan = std::move(plan);
     return result;
   }
-  // The joint grid domain, derived from catalog stats instead of a rescan.
-  // This is bit-identical to PbsmJoin's internal joint MBR: the stats
-  // extents are exact, and enlarging the extent equals the extent of the
-  // enlarged boxes (subtracting/adding epsilon is monotone under rounding).
-  Box domain = catalog_.stats(request.a).extent.Enlarged(request.epsilon);
-  domain.ExpandToContain(catalog_.stats(request.b).extent);
+  // The joint grid domain, derived from the pinned stats instead of a
+  // rescan. This is bit-identical to PbsmJoin's internal joint MBR: the
+  // stats extents are exact, and enlarging the extent equals the extent of
+  // the enlarged boxes (subtracting/adding epsilon is monotone under
+  // rounding).
+  Box domain = ctx.snap_a->stats.extent.Enlarged(request.epsilon);
+  domain.ExpandToContain(ctx.snap_b->stats.extent);
   const GridMapper grid(domain, resolution);
   const size_t signature = DomainSignature(domain);
 
@@ -1034,10 +1372,12 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
     return PredictedBuildSeconds("pbsm", request);
   };
   const auto directory =
-      [&](DatasetHandle handle, float epsilon, const Dataset& src,
+      [&](DatasetHandle handle, uint64_t version, float epsilon,
+          const Dataset& src,
           bool* missed) -> std::shared_ptr<const CachedPbsmDirectory> {
-    const IndexCacheKey key{handle, epsilon, static_cast<size_t>(resolution),
-                            signature, ArtifactKind::kPbsmDirectory};
+    const IndexCacheKey key{handle, version, epsilon,
+                            static_cast<size_t>(resolution), signature,
+                            ArtifactKind::kPbsmDirectory};
     const auto cached = std::static_pointer_cast<const CachedPbsmDirectory>(
         cache_.GetOrBuild(
             key,
@@ -1060,8 +1400,10 @@ JoinResult QueryEngine::ExecutePbsm(JoinPlan plan, const JoinRequest& request,
   SpanScope build_span(ctx.trace, "build-index");
   build_span.AddAttr("kind", "pbsm-directory");
   Timer build_phase;
-  const auto dir_a = directory(request.a, request.epsilon, a, &missed_a);
-  const auto dir_b = directory(request.b, 0.0f, b, &missed_b);
+  const auto dir_a = directory(request.a, ctx.snap_a->version,
+                               request.epsilon, a, &missed_a);
+  const auto dir_b = directory(request.b, ctx.snap_b->version, 0.0f, b,
+                               &missed_b);
   result.index_cache_hit = !missed_a && !missed_b;
   result.partial_index_cache_hit = missed_a != missed_b;
   build_span.AddAttr("cache", result.index_cache_hit

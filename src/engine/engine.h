@@ -51,6 +51,9 @@ enum class RequestStatus : uint8_t {
 
 const char* RequestStatusName(RequestStatus status);
 
+/// Direction of one continuous-join result delta (ResultSink::EmitDelta).
+enum class DeltaKind : uint8_t { kAdded = 0, kRemoved = 1 };
+
 struct EngineOptions {
   /// Worker threads for submitted requests; <= 0 uses hardware concurrency.
   int threads = 0;
@@ -82,6 +85,12 @@ struct EngineOptions {
   /// into this many pieces and joins scatter-gather across shard pairs.
   /// A plain QueryEngine ignores it. <= 1 means unsharded.
   int shards = 1;
+  /// Sharded mutation drift threshold: a shard whose current MBR margin
+  /// exceeds this multiple of the margin it was partitioned with is
+  /// re-partitioned (the whole dataset, from its live geometry). <= 0
+  /// disables re-partitioning. A plain QueryEngine ignores it. See
+  /// docs/DYNAMIC.md and docs/TUNING.md.
+  double shard_repartition_drift = 2.0;
   /// Measured-run feedback: cold executions (including ExecuteFixed ones)
   /// are recorded into the engine's PlanFeedback store, and planning
   /// overrides the static rules with fitted per-family cost models once
@@ -156,6 +165,20 @@ class ResultSink : public ResultCollector {
   /// JoinResult::stats.results. Override to materialize or stream pairs.
   void Emit(uint32_t, uint32_t) override {}
 
+  /// Continuous-join delta: pair (a_id, b_id) entered (kAdded) or left
+  /// (kRemoved) the result set. Called only for JoinRequest::continuous
+  /// requests — the initial pair set arrives as kAdded deltas at submit
+  /// time, then one delta burst follows each mutation batch of either
+  /// dataset. Ids are stable object ids (DatasetSnapshot::id_of), not slot
+  /// indices. Same single-emitter threading contract as Emit: deltas of
+  /// one request are never emitted concurrently, and the final OnComplete
+  /// (delivered by Cancel) happens-after the last delta.
+  virtual void EmitDelta(DeltaKind kind, uint32_t a_id, uint32_t b_id) {
+    (void)kind;
+    (void)a_id;
+    (void)b_id;
+  }
+
   /// Called exactly once per request, also on failure (inspect
   /// result.error). Must not block indefinitely and must not call back into
   /// the engine's synchronous wrappers (they would wait on the very worker
@@ -185,6 +208,7 @@ using SinkFactory = std::function<std::unique_ptr<ResultSink>(size_t)>;
 
 namespace internal {
 struct RequestState;
+struct ContinuousSub;
 }  // namespace internal
 
 /// Handle of one submitted request: the result future plus the request's
@@ -290,20 +314,24 @@ class BatchHandle {
 /// other requests).
 ///
 /// Threading contract: every public method is safe to call concurrently.
-/// RegisterDataset may race with queries (the catalog is internally
-/// synchronized and entries are immutable once registered), though a query
-/// can of course only name handles whose registration has returned. Plan,
-/// Submit, SubmitBatch and the synchronous wrappers may all run
-/// concurrently with each other. The synchronous wrappers block on worker
-/// capacity, so they must not be called from sink callbacks.
+/// RegisterDataset and ApplyMutations may race with queries (the catalog is
+/// internally synchronized; queries read pinned copy-on-write snapshots, so
+/// a mutation never invalidates geometry a running join is scanning),
+/// though a query can of course only name handles whose registration has
+/// returned. Plan, Submit, SubmitBatch and the synchronous wrappers may all
+/// run concurrently with each other and with mutation batches. The
+/// synchronous wrappers block on worker capacity, so they must not be
+/// called from sink callbacks.
 ///
-/// Lock discipline: the engine itself holds no mutex — the request state
-/// machine is a lock-free atomic phase lifecycle (internal::RequestState)
-/// and all shared mutable state lives behind the internally-synchronized
-/// components (catalog, cache, feedback, pool, metrics), each annotated
-/// with the capability attributes in util/thread_annotations.h. Nothing is
-/// ever called back into user code (sinks, callbacks) while one of those
-/// component locks is held.
+/// Lock discipline: the query path holds no engine mutex — the request
+/// state machine is a lock-free atomic phase lifecycle
+/// (internal::RequestState) and all shared mutable state lives behind the
+/// internally-synchronized components (catalog, cache, feedback, pool,
+/// metrics), each annotated with the capability attributes in
+/// util/thread_annotations.h. The mutation path serializes on
+/// mutation_mutex_ → delta_sink_mutex_ (in that order); continuous-join
+/// deltas are the one user callback emitted under an engine lock, which is
+/// why delta sinks must not call back into the engine.
 class QueryEngine {
  public:
   explicit QueryEngine(const EngineOptions& options = {});
@@ -323,6 +351,23 @@ class QueryEngine {
                                 DatasetStats stats);
 
   const DatasetCatalog& catalog() const { return catalog_; }
+
+  // --- Mutations ----------------------------------------------------------
+
+  /// Applies one mutation batch to a registered dataset: the catalog
+  /// updates geometry + incremental stats and bumps the dataset version,
+  /// stale index-cache artifacts are invalidated (counted as evictions),
+  /// and every continuous join standing on the dataset receives its
+  /// kAdded/kRemoved delta burst — computed by epsilon-window re-probe of
+  /// only the mutated objects against the partner's dynamic R-tree, never
+  /// a re-join. Batches serialize against each other and against
+  /// continuous submits; queries (Submit/Execute) keep running
+  /// concurrently against pinned snapshots. Records a `mutate` span (plus
+  /// one `delta-probe` span per notified subscription) and the
+  /// `touch_mutations_total` / `touch_delta_results_total` counters.
+  /// Returns the dataset's new version.
+  uint64_t ApplyMutations(DatasetHandle dataset,
+                          std::span<const Mutation> mutations);
 
   /// Plans without executing (the CLI's explain path).
   JoinPlan Plan(const JoinRequest& request) const;
@@ -428,6 +473,12 @@ class QueryEngine {
     /// The request's root span as a parent for phase spans (inactive when
     /// the engine has no tracer; every SpanScope built from it no-ops).
     TraceContext trace;
+    /// The datasets as pinned at execution start: every executor reads
+    /// geometry, stats and cache-key versions from these, so a mutation
+    /// batch landing mid-join can neither free boxes under a kernel nor
+    /// tear one request across two versions.
+    DatasetSnapshotPtr snap_a;
+    DatasetSnapshotPtr snap_b;
   };
 
   RequestHandle SubmitInternal(const JoinRequest& request,
@@ -465,6 +516,18 @@ class QueryEngine {
   /// (0 when admission or calibration is off, or the family is unmeasured).
   double PredictedBuildSeconds(const char* family,
                                const JoinRequest& request) const;
+  /// Continuous-submit path: registers the standing query and emits the
+  /// initial pair set as kAdded deltas (under the mutation serialization,
+  /// so no batch can interleave with the baseline).
+  RequestHandle SubmitContinuous(const JoinRequest& request,
+                                 std::unique_ptr<ResultSink> sink,
+                                 CompletionCallback on_complete);
+  /// Emits one subscription's delta burst for a folded mutation batch.
+  /// Returns the number of deltas emitted. delta_sink_mutex_ held.
+  size_t DeltaProbeLocked(internal::ContinuousSub& sub,
+                          DatasetHandle mutated,
+                          std::span<const AppliedMutation> net)
+      REQUIRES(delta_sink_mutex_);
 
   EngineOptions options_;
   // tracer_/metrics_ are declared before pool_ so requests still draining in
@@ -475,6 +538,15 @@ class QueryEngine {
   Planner planner_;
   IndexCache cache_;
   PlanFeedback feedback_;
+  /// Serializes mutation batches (and the continuous-submit baseline join)
+  /// against each other. Queries never take it — they read pinned
+  /// snapshots — so mutations cannot stall the worker pool.
+  Mutex mutation_mutex_;
+  /// Guards the standing-query list; also the lock delta emission runs
+  /// under. Acquired after mutation_mutex_, never before it.
+  Mutex delta_sink_mutex_;
+  std::vector<std::shared_ptr<internal::ContinuousSub>> subs_
+      GUARDED_BY(delta_sink_mutex_);
   WorkerPool pool_;
 };
 

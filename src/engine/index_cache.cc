@@ -216,6 +216,31 @@ void IndexCache::RegisterMetricProviders(MetricsRegistry& registry,
       sample([](const Stats& s) { return s.cost_saved_seconds; }));
 }
 
+void IndexCache::InvalidateDataset(DatasetHandle dataset,
+                                   uint64_t current_version) {
+  MutexLock lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    const IndexCacheKey& key = it->first;
+    if (key.dataset == dataset && key.version < current_version &&
+        it->second.ready) {
+      bytes_ -= it->second.bytes;
+      ++evictions_;
+      lru_.erase(it->second.lru_pos);
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = ghost_index_.begin(); it != ghost_index_.end();) {
+    if (it->first.dataset == dataset && it->first.version < current_version) {
+      ghost_.erase(it->second);
+      it = ghost_index_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void IndexCache::Clear() {
   MutexLock lock(mutex_);
   entries_.clear();

@@ -33,26 +33,31 @@ enum class ArtifactKind : uint8_t {
 /// Short stable name ("touch", "inl", "pbsm") for logs and telemetry.
 const char* ArtifactKindName(ArtifactKind kind);
 
-/// Identity of one cached artifact: the dataset it was built over, the
-/// epsilon its boxes were enlarged by before building (0 when the probe side
-/// carries the enlargement), the artifact kind, and two kind-specific shape
-/// parameters:
+/// Identity of one cached artifact: the dataset it was built over *and that
+/// dataset's version at build time*, the epsilon its boxes were enlarged by
+/// before building (0 when the probe side carries the enlargement), the
+/// artifact kind, and two kind-specific shape parameters:
 ///   kTouchTree / kInlRTree: (leaf capacity, fanout)
 ///   kPbsmDirectory:         (grid resolution, domain signature — a hash of
 ///                            the joint grid domain, so directories built for
 ///                            different partner datasets never alias)
 /// Two queries that agree on every field can share the same built artifact.
+/// The version field is what makes mutation safe: a post-mutation query
+/// carries the bumped version, misses every stale artifact, and the stale
+/// entries are reclaimed by InvalidateDataset (counted as evictions).
 struct IndexCacheKey {
   DatasetHandle dataset = 0;
+  /// DatasetSnapshot::version the artifact was built against.
+  uint64_t version = 0;
   float epsilon = 0.0f;
   size_t shape_a = 0;
   size_t shape_b = 0;
   ArtifactKind kind = ArtifactKind::kTouchTree;
 
   bool operator<(const IndexCacheKey& other) const {
-    return std::tie(dataset, epsilon, shape_a, shape_b, kind) <
-           std::tie(other.dataset, other.epsilon, other.shape_a, other.shape_b,
-                    other.kind);
+    return std::tie(dataset, version, epsilon, shape_a, shape_b, kind) <
+           std::tie(other.dataset, other.version, other.epsilon,
+                    other.shape_a, other.shape_b, other.kind);
   }
   bool operator==(const IndexCacheKey& other) const {
     return !(*this < other) && !(other < *this);
@@ -196,6 +201,16 @@ class IndexCache {
   /// cache is destroyed (the engine does this in its destructor).
   void RegisterMetricProviders(MetricsRegistry& registry,
                                const std::string& prefix) const;
+
+  /// Drops every *completed* artifact of `dataset` whose key version is
+  /// below `current_version` — the post-mutation invalidation hook. Stale
+  /// in-flight builds are left to finish (their waiters still need them)
+  /// and are reclaimed by a later invalidation or capacity eviction. Each
+  /// dropped entry counts as an eviction in stats()/telemetry. Ghost-list
+  /// memory of stale versions is dropped too, so a stale key's "second
+  /// sighting" can never admit a rebuilt artifact.
+  void InvalidateDataset(DatasetHandle dataset, uint64_t current_version)
+      EXCLUDES(mutex_);
 
   /// Drops every entry and the ghost list's memory of rejected keys.
   void Clear() EXCLUDES(mutex_);

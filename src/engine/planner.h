@@ -32,6 +32,12 @@ struct JoinRequest {
   /// Ignored when the engine has no tracer.
   uint64_t trace_id = 0;
   uint64_t trace_parent_span = 0;
+  /// Standing query: instead of one batch result, the request's sink
+  /// receives the current pair set as kAdded deltas at submit time and a
+  /// kAdded/kRemoved delta stream after every later mutation batch of
+  /// either dataset, until RequestHandle::Cancel unsubscribes it. Requires
+  /// a sink and two *distinct* datasets. See docs/DYNAMIC.md.
+  bool continuous = false;
 };
 
 /// An executable, explainable plan for one join request. `algorithm` is a

@@ -6,6 +6,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "datagen/dataset.h"
@@ -13,6 +14,16 @@
 #include "geom/box.h"
 
 namespace touch {
+
+/// Shared immutable id map (global<->local remaps). The sharded mutation
+/// path publishes a fresh vector per change (copy-on-write) instead of
+/// editing in place, so gathers that pinned a map at scatter time keep a
+/// consistent view however many batches land mid-flight.
+using IdMapPtr = std::shared_ptr<const std::vector<uint32_t>>;
+
+/// Sentinel in a shard_of map: this global id is not live (deleted, or
+/// never assigned).
+inline constexpr uint32_t kNoShard = 0xffffffffu;
 
 /// One shard of a spatially partitioned dataset: a cell-aligned slab of the
 /// dataset's registration histogram plus the boxes whose *centers* fall
@@ -76,19 +87,47 @@ class ShardedCatalog {
     /// SerializeDatasetStats of the shard's stats; central planning
     /// deserializes these — exactly as it would bytes from a remote node —
     /// and prunes shard pairs on the deserialized extents (the shard MBRs
-    /// travel inside the stats, not as separate catalog state).
+    /// travel inside the stats, not as separate catalog state). Refreshed
+    /// from the inner catalog after every mutation batch, so pruning stays
+    /// sound as shards drift.
     std::vector<uint8_t> stats_bytes;
-    /// Shard-local box id -> global id.
-    std::vector<uint32_t> to_global;
+    /// Shard-local object id -> global id (copy-on-write; see IdMapPtr).
+    IdMapPtr to_global;
+    /// Slab [cell_lo, cell_hi) on the entry's routing grid — the partition
+    /// decision, and the center-cell rule mutations are routed by.
+    int cell_lo[3] = {0, 0, 0};
+    int cell_hi[3] = {0, 0, 0};
+    /// The shard's MBR when it was (re)partitioned: the drift baseline for
+    /// EngineOptions::shard_repartition_drift.
+    Box base_mbr = Box::Empty();
+    /// Mutation-path state (materialized lazily on the entry's first
+    /// mutation batch; see ShardedQueryEngine::ApplyMutations):
+    /// mirror of the inner dataset's next free object id, and the inverse
+    /// id map a delete/update needs to find its shard-local target.
+    uint32_t next_local = 0;
+    std::unordered_map<uint32_t, uint32_t> local_of;
   };
 
   struct Entry {
     std::string name;
-    /// Stats of the whole (unsharded) dataset, for reporting.
+    /// Stats of the whole (unsharded) dataset as registered, for reporting.
     DatasetStats global_stats;
     std::vector<Shard> shards;
-    /// Global box id -> owning shard (the merge layer's dedup filter).
-    std::vector<uint32_t> shard_of;
+    /// Global id -> owning shard, kNoShard for deleted ids (the merge
+    /// layer's dedup filter; copy-on-write like the per-shard id maps).
+    IdMapPtr shard_of;
+    /// The routing grid of the current partition epoch: the exact
+    /// (domain, resolution) the assignment pass mapped centers with. A
+    /// repartition replaces it along with the slabs.
+    Box route_domain = Box::Empty();
+    int route_resolution = 1;
+    /// Monotonic per-dataset version: +1 per sharded mutation batch.
+    uint64_t version = 0;
+    /// Next free global id for inserts.
+    uint32_t next_global = 0;
+    /// True once the mutation-path state (next_local/local_of) has been
+    /// materialized.
+    bool mutable_ready = false;
   };
 
   /// Adds a fully built entry (the sharded engine assembles it during
@@ -99,6 +138,9 @@ class ShardedCatalog {
   size_t size() const { return entries_.size(); }
   bool Contains(DatasetHandle handle) const { return handle < entries_.size(); }
   const Entry& entry(DatasetHandle handle) const { return *entries_[handle]; }
+  /// Mutable access for the sharded engine's mutation path; callers must
+  /// hold the engine's catalog serialization (never exposed to users).
+  Entry& mutable_entry(DatasetHandle handle) { return *entries_[handle]; }
   const std::string& name(DatasetHandle handle) const {
     return entries_[handle]->name;
   }

@@ -4,12 +4,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "engine/engine.h"
 #include "engine/shard.h"
+#include "util/thread_annotations.h"
 
 namespace touch {
 
@@ -127,6 +129,23 @@ class ShardedQueryEngine {
   /// *this* engine, not the inner one).
   DatasetHandle RegisterDataset(std::string name, Dataset boxes);
 
+  /// Applies one mutation batch to a sharded dataset in *global* id space.
+  /// Each mutation is routed to its owning shard by the partition's
+  /// center-cell rule (an update whose center crosses a slab boundary
+  /// becomes a delete + an explicit-id insert on the new owner, preserving
+  /// the global id), the per-shard sub-batches run through the inner
+  /// engine's ApplyMutations (stats, versioning, cache invalidation and
+  /// continuous joins all behave as documented there), per-shard
+  /// stats_bytes are re-serialized so pair pruning stays sound, and a
+  /// shard whose MBR margin drifted past
+  /// EngineOptions::shard_repartition_drift times its partition-time
+  /// margin triggers a full re-partition from live geometry
+  /// (`touch_shard_repartitions_total`). Batches serialize against each
+  /// other and against Submit; gathers already in flight keep the id maps
+  /// they pinned at scatter time. Returns the dataset's new version.
+  uint64_t ApplyMutations(DatasetHandle dataset,
+                          std::span<const Mutation> mutations);
+
   /// Scatters the request across shard pairs (see class comment). `sink`
   /// (optional) receives merged, deduplicated (a, b) pairs in *global* id
   /// space; Emit calls are serialized across pairs. Its OnComplete runs
@@ -146,9 +165,21 @@ class ShardedQueryEngine {
   int shards() const { return shards_; }
 
  private:
+  /// Rebuilds `entry`'s partition from the live geometry of its shards:
+  /// new slabs over fresh global stats, new inner shard datasets, new id
+  /// maps (global ids preserved). The old inner shard datasets stay
+  /// registered but unreferenced — the inner catalog has no unregister —
+  /// so their cache artifacts age out through normal eviction.
+  void RepartitionLocked(ShardedCatalog::Entry& entry)
+      REQUIRES(catalog_mutex_);
+
   int shards_;
   Planner planner_;
   QueryEngine inner_;
+  /// Serializes mutation batches against each other and against Submit's
+  /// scatter (which pins the id maps and reads shard stats under it).
+  /// Pair execution and gathers never take it.
+  mutable Mutex catalog_mutex_;
   ShardedCatalog catalog_;
 };
 

@@ -430,6 +430,47 @@ bool DynamicRTree::Remove(uint32_t id, const Box& box) {
   return true;
 }
 
+bool DynamicRTree::Update(uint32_t id, const Box& old_box,
+                          const Box& new_box) {
+  // Find the leaf holding the entry, exactly like Remove.
+  int32_t found_leaf = -1;
+  size_t found_index = 0;
+  const auto find = [&](auto&& self, uint32_t node_id) -> bool {
+    const Node& node = nodes_[node_id];
+    if (!Intersects(node.mbr, old_box)) return false;
+    if (node.IsLeaf()) {
+      for (size_t i = 0; i < node.entries.size(); ++i) {
+        if (node.entries[i].id == id && node.entries[i].mbr == old_box) {
+          found_leaf = static_cast<int32_t>(node_id);
+          found_index = i;
+          return true;
+        }
+      }
+      return false;
+    }
+    for (const Entry& e : node.entries) {
+      if (self(self, e.id)) return true;
+    }
+    return false;
+  };
+  if (size_ == 0 || !find(find, root_)) return false;
+
+  Node& leaf = nodes_[found_leaf];
+  if (Contains(leaf.mbr, new_box)) {
+    // In-place rewrite: the leaf's MBR still covers the entry, so only the
+    // upward tighten (the old box may have been the extreme one) is needed.
+    leaf.entries[found_index].mbr = new_box;
+    SyncUpward(static_cast<uint32_t>(found_leaf));
+    return true;
+  }
+  leaf.entries.erase(leaf.entries.begin() +
+                     static_cast<ptrdiff_t>(found_index));
+  --size_;
+  CondenseTree(static_cast<uint32_t>(found_leaf));
+  Insert(id, new_box);
+  return true;
+}
+
 void DynamicRTree::CondenseTree(uint32_t node_id) {
   // Walk up, dissolving underfull non-root nodes; collect orphaned entries
   // per level and reinsert them at their original level.

@@ -56,6 +56,14 @@ class DynamicRTree {
   /// their entries reinserted (Guttman's CondenseTree).
   bool Remove(uint32_t id, const Box& box);
 
+  /// Moves/resizes one entry that has this exact id and old box — the
+  /// RTUpdateDimensions surface of the classic R-tree APIs. When `new_box`
+  /// still fits inside the leaf's MBR the entry is rewritten in place (with
+  /// an upward MBR tighten); otherwise it degrades to Remove + Insert so
+  /// tree quality does not erode under large moves. Returns false (tree
+  /// unchanged) when no such entry exists.
+  bool Update(uint32_t id, const Box& old_box, const Box& new_box);
+
   /// Invokes `emit(id, box)` for every stored entry whose box intersects
   /// `query`. Object-level tests are counted in stats->comparisons,
   /// node-level tests in stats->node_comparisons (stats may be null).

@@ -1,0 +1,107 @@
+#ifndef TOUCH_UTIL_EXACT_SUM_H_
+#define TOUCH_UTIL_EXACT_SUM_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace touch {
+
+/// Order-independent exact accumulator for float-valued terms.
+///
+/// Incremental dataset statistics must equal a from-scratch recomputation
+/// bit-for-bit (the dynamic-catalog differential oracle), but floating-point
+/// addition is not associative: summing extents in mutation order generally
+/// differs in the last ulp from summing them in slot order. ExactSum fixes
+/// the representation instead of the order: every finite float is an integer
+/// multiple of 2^-149, so the running sum is kept as a 384-bit two's
+/// complement fixed-point integer (limb 0 LSB = 2^-192). Integer addition is
+/// associative and commutative, and Subtract is the exact inverse of Add, so
+/// any add/subtract history that nets out to the same multiset of terms
+/// yields the same limbs — and therefore the same ToDouble() image.
+///
+/// Range: |term| < 2^128 and up to ~2^56 terms fit without wraparound.
+/// Terms must be finite; infinities and NaNs are undefined behaviour here.
+class ExactSum {
+ public:
+  static constexpr int kLimbs = 6;
+  /// Bits to the right of the binary point: limb 0's LSB is 2^-192, below
+  /// the smallest float subnormal (2^-149), so every float is representable.
+  static constexpr int kFractionBits = 192;
+
+  void Add(float value) { AddSigned(value, /*negate=*/false); }
+  void Subtract(float value) { AddSigned(value, /*negate=*/true); }
+
+  bool IsZero() const {
+    for (const uint64_t limb : limbs_) {
+      if (limb != 0) return false;
+    }
+    return true;
+  }
+
+  /// Deterministic double image of the accumulated sum: identical limb
+  /// states produce identical bit patterns, which is the property the
+  /// differential oracle relies on (the conversion itself rounds normally).
+  double ToDouble() const {
+    std::array<uint64_t, kLimbs> magnitude = limbs_;
+    const bool negative = (limbs_[kLimbs - 1] >> 63) != 0;
+    if (negative) {
+      unsigned __int128 carry = 1;
+      for (int i = 0; i < kLimbs; ++i) {
+        const unsigned __int128 s =
+            static_cast<unsigned __int128>(~limbs_[i]) + carry;
+        magnitude[i] = static_cast<uint64_t>(s);
+        carry = s >> 64;
+      }
+    }
+    double result = 0;
+    for (int i = kLimbs - 1; i >= 0; --i) {
+      result = result * 18446744073709551616.0 /* 2^64 */ +
+               static_cast<double>(magnitude[i]);
+    }
+    result = std::ldexp(result, -kFractionBits);
+    return negative ? -result : result;
+  }
+
+  friend bool operator==(const ExactSum&, const ExactSum&) = default;
+
+ private:
+  void AddSigned(float value, bool negate) {
+    int exp = 0;
+    const double frac = std::frexp(static_cast<double>(value), &exp);
+    // frac has at most 24 significant bits (it came from a float), so
+    // frac * 2^24 is an exact integer and value = m * 2^(exp - 24).
+    int64_t m = static_cast<int64_t>(frac * 16777216.0);
+    if (m == 0) return;
+    if (negate) m = -m;
+    // Smallest float subnormal: exp = -148 -> bit = 20, always >= 0.
+    const int bit = exp - 24 + kFractionBits;
+    const int limb = bit >> 6;
+    const int offset = bit & 63;
+    const unsigned __int128 wide = static_cast<unsigned __int128>(
+        static_cast<__int128>(m) << offset);
+    const uint64_t ext = m < 0 ? ~0ull : 0ull;
+    unsigned __int128 carry = 0;
+    for (int i = limb; i < kLimbs; ++i) {
+      unsigned __int128 sum =
+          static_cast<unsigned __int128>(limbs_[i]) + carry;
+      if (i == limb) {
+        sum += static_cast<uint64_t>(wide);
+      } else if (i == limb + 1) {
+        sum += static_cast<uint64_t>(wide >> 64);
+      } else {
+        sum += ext;
+      }
+      limbs_[i] = static_cast<uint64_t>(sum);
+      carry = sum >> 64;
+    }
+  }
+
+  /// Little-endian two's complement limbs; arithmetic is mod 2^384, with
+  /// enough headroom that real workloads never wrap.
+  std::array<uint64_t, kLimbs> limbs_{};
+};
+
+}  // namespace touch
+
+#endif  // TOUCH_UTIL_EXACT_SUM_H_

@@ -101,6 +101,97 @@ TEST_P(DynamicRTreeFuzzTest, RandomOperationsMatchReference) {
   EXPECT_TRUE(tree.empty());
 }
 
+TEST_P(DynamicRTreeFuzzTest, RandomUpdatesMatchReference) {
+  // Update coverage (the RTUpdateDimensions surface): small in-place moves
+  // that stay inside the leaf MBR, large moves that degrade to
+  // remove+reinsert, not-found updates, and delete-reinsert churn — all
+  // against the same brute-force oracle.
+  const auto [variant, seed] = GetParam();
+  Rng rng(seed + 1000);
+
+  DynamicRTree::Options options;
+  options.variant = variant;
+  options.max_entries = 2 + static_cast<uint32_t>(rng.UniformInt(7));
+  options.min_entries =
+      1 + static_cast<uint32_t>(rng.UniformInt(options.max_entries / 2));
+  DynamicRTree tree(options);
+
+  std::vector<Entry> live;
+  uint32_t next_id = 0;
+  constexpr int kBatches = 40;
+  constexpr int kOpsPerBatch = 25;
+
+  for (int batch = 0; batch < kBatches; ++batch) {
+    for (int op = 0; op < kOpsPerBatch; ++op) {
+      const uint64_t dice = rng.UniformInt(10);
+      if (live.empty() || dice < 3) {
+        Entry e{next_id++, RandomBox(rng, 200.0f, 8.0f)};
+        tree.Insert(e.id, e.box);
+        live.push_back(e);
+      } else if (dice < 5) {
+        const size_t victim = rng.UniformInt(live.size());
+        ASSERT_TRUE(tree.Remove(live[victim].id, live[victim].box));
+        live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+      } else if (dice < 8) {
+        // Small nudge: usually rewritable in place (leaf MBR still covers
+        // the new box), exercising the fast path plus upward tightening.
+        Entry& e = live[rng.UniformInt(live.size())];
+        const float dx = (rng.NextFloat() - 0.5f) * 2.0f;
+        const float dy = (rng.NextFloat() - 0.5f) * 2.0f;
+        const float dz = (rng.NextFloat() - 0.5f) * 2.0f;
+        const Box moved(e.box.lo + Vec3(dx, dy, dz),
+                        e.box.hi + Vec3(dx, dy, dz));
+        ASSERT_TRUE(tree.Update(e.id, e.box, moved));
+        e.box = moved;
+      } else {
+        // Large move across the space: must degrade to remove + reinsert.
+        Entry& e = live[rng.UniformInt(live.size())];
+        const Box teleported = RandomBox(rng, 200.0f, 8.0f);
+        ASSERT_TRUE(tree.Update(e.id, e.box, teleported));
+        e.box = teleported;
+      }
+    }
+
+    // Not-found updates must return false and leave the tree untouched.
+    const Box ghost = RandomBox(rng, 200.0f, 8.0f);
+    ASSERT_FALSE(tree.Update(next_id + 12345, ghost, ghost));
+    if (!live.empty()) {
+      // Right id, wrong box: also not found (the API matches exact pairs).
+      const Entry& e = live[0];
+      const Box wrong(e.box.lo + Vec3(500.0f, 0, 0),
+                      e.box.hi + Vec3(500.0f, 0, 0));
+      ASSERT_FALSE(tree.Update(e.id, wrong, ghost));
+    }
+
+    ASSERT_EQ(tree.size(), live.size()) << "batch " << batch;
+    ASSERT_TRUE(tree.CheckInvariants()) << "batch " << batch;
+    for (int q = 0; q < 5; ++q) {
+      const Box query = RandomBox(rng, 200.0f, 40.0f);
+      ASSERT_EQ(TreeQuery(tree, query), ReferenceQuery(live, query))
+          << "batch " << batch << " query " << q;
+    }
+  }
+
+  // Delete-reinsert churn: repeatedly remove a block of entries and insert
+  // replacements under fresh ids, shaking the free list and condense paths.
+  for (int round = 0; round < 10; ++round) {
+    const size_t churn = std::min<size_t>(live.size(), 30);
+    for (size_t i = 0; i < churn; ++i) {
+      ASSERT_TRUE(tree.Remove(live.back().id, live.back().box));
+      live.pop_back();
+    }
+    for (size_t i = 0; i < churn; ++i) {
+      Entry e{next_id++, RandomBox(rng, 200.0f, 8.0f)};
+      tree.Insert(e.id, e.box);
+      live.push_back(e);
+    }
+    ASSERT_TRUE(tree.CheckInvariants()) << "churn round " << round;
+    const Box query = RandomBox(rng, 200.0f, 60.0f);
+    ASSERT_EQ(TreeQuery(tree, query), ReferenceQuery(live, query))
+        << "churn round " << round;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, DynamicRTreeFuzzTest,
     ::testing::Combine(::testing::Values(RTreeVariant::kGuttman,

@@ -31,8 +31,9 @@ struct TestArtifact : CachedArtifact {
 
 IndexCacheKey Key(DatasetHandle dataset, float epsilon = 0.0f,
                   size_t shape_a = 1, size_t shape_b = 2,
-                  ArtifactKind kind = ArtifactKind::kTouchTree) {
-  return IndexCacheKey{dataset, epsilon, shape_a, shape_b, kind};
+                  ArtifactKind kind = ArtifactKind::kTouchTree,
+                  uint64_t version = 0) {
+  return IndexCacheKey{dataset, version, epsilon, shape_a, shape_b, kind};
 }
 
 IndexCache::Builder Build(size_t bytes, int payload, int* builds = nullptr,

@@ -1,0 +1,26 @@
+// EXPECT-VIOLATION: cancellation-poll
+// Fixture: opens the "delta-probe" span but the DeltaProbe* implementation
+// never polls stop_requested() — a Cancel() racing a mutation batch would
+// only land after the whole delta sweep.
+#include "obs/trace.h"
+
+namespace touch {
+
+struct Sub {
+  int deltas = 0;
+};
+
+size_t DeltaProbeLocked(Sub& sub) {
+  size_t emitted = 0;
+  for (int i = 0; i < sub.deltas; ++i) {
+    ++emitted;  // emits every delta, cancelled or not
+  }
+  return emitted;
+}
+
+size_t ProbeAll(SpanContext parent, Sub& sub) {
+  SpanScope probe_span(parent, "delta-probe");
+  return DeltaProbeLocked(sub);
+}
+
+}  // namespace touch

@@ -1,0 +1,28 @@
+// EXPECT-CLEAN
+// Fixture: the compliant delta-probe shape — the DeltaProbe* body polls the
+// subscription's stop token, so Cancel() lands mid-burst.
+#include "obs/trace.h"
+#include "util/cancellation.h"
+
+namespace touch {
+
+struct Sub {
+  CancellationToken cancel;
+  int deltas = 0;
+};
+
+size_t DeltaProbeLocked(Sub& sub) {
+  size_t emitted = 0;
+  for (int i = 0; i < sub.deltas; ++i) {
+    if (sub.cancel.stop_requested()) break;
+    ++emitted;
+  }
+  return emitted;
+}
+
+size_t ProbeAll(SpanContext parent, Sub& sub) {
+  SpanScope probe_span(parent, "delta-probe");
+  return DeltaProbeLocked(sub);
+}
+
+}  // namespace touch

@@ -11,7 +11,11 @@ Rules (catalog with rationale in docs/STATIC_ANALYSIS.md):
                       contain at least one amortized-stride poll, and every
                       stride mask used with a poll must be a power of two
                       minus one (a non-mask stride silently polls never or
-                      always).
+                      always). A file that opens a "delta-probe" tracing span
+                      (the continuous-join re-probe after a mutation batch)
+                      must poll stop_requested() in its DeltaProbe*
+                      implementation, so Cancel() lands mid-burst instead of
+                      after a whole delta sweep.
 
   emit-under-lock     In src/engine and src/obs, ResultSink::Emit (any
                       .Emit()/->Emit() call) must not run while a MutexLock
@@ -181,9 +185,11 @@ TOKEN_PARAM_RE = re.compile(
 STRIDE_POLL_RE = re.compile(
     r"&\s*(?:0[xX][0-9a-fA-F]+|\d+)[uU]?[lL]*\s*\)\s*==\s*0")
 MASK_VALUE_RE = re.compile(r"&\s*(0[xX][0-9a-fA-F]+|\d+)[uU]?[lL]*\s*\)\s*==")
+# A DeltaProbe* function *definition* (params then '{', no ';' between).
+DELTA_PROBE_FN_RE = re.compile(r"\bDeltaProbe\w*\s*\([^;{]*\)[^;{]*\{")
 
 
-def check_cancellation(path, rel, stripped, violations):
+def check_cancellation(path, rel, raw, stripped, violations):
     # Functions taking a token must poll it or pass it on.
     for match in TOKEN_PARAM_RE.finditer(stripped):
         name = match.group(1)
@@ -238,6 +244,32 @@ def check_cancellation(path, rel, stripped, violations):
                 "cancellation-poll", path, 1,
                 "kernel file lost its amortized-stride cancellation poll "
                 "(`(i & MASKu) == 0 && ...stop_requested()`)"))
+
+    # A file opening the "delta-probe" span (the standing-query re-probe run
+    # after every mutation batch) must poll stop_requested() inside its
+    # DeltaProbe* implementation: a cancelled subscription has to stop
+    # mid-burst, not after the whole delta sweep has been emitted. The span
+    # name is a string literal, so it is searched in the raw text.
+    literal_pos = raw.find('"delta-probe"')
+    if literal_pos != -1:
+        probe_polls = False
+        probe_bodies = 0
+        for match in DELTA_PROBE_FN_RE.finditer(stripped):
+            brace = stripped.find("{", match.start())
+            start, end = body_span(stripped, brace)
+            probe_bodies += 1
+            if re.search(r"\bstop_requested\s*\(", stripped[start:end]):
+                probe_polls = True
+        if probe_bodies == 0:
+            # No named helper: require the poll near the span itself.
+            window = stripped[literal_pos:literal_pos + 2500]
+            probe_polls = bool(re.search(r"\bstop_requested\s*\(", window))
+        if not probe_polls:
+            violations.append(Violation(
+                "cancellation-poll", path, line_of(raw, literal_pos),
+                'opens a "delta-probe" span but the delta-probe loop never '
+                "polls stop_requested(); Cancel() would only take effect "
+                "after a full post-mutation delta sweep"))
 
 
 # --- Rule: emit-under-lock ---------------------------------------------------
@@ -341,7 +373,7 @@ def lint_file(path, rules=None):
     if want("cancellation-poll") and (
             (rel.endswith(".cc") and in_kernel_layer)
             or rel in STRIDE_POLL_REQUIRED):
-        check_cancellation(path, rel, stripped, violations)
+        check_cancellation(path, rel, raw, stripped, violations)
     if want("emit-under-lock") and rel.endswith(".cc") and rel.startswith(
             ("src/engine/", "src/obs/")):
         check_emit_under_lock(path, raw, stripped, violations)
@@ -431,7 +463,7 @@ def lint_fixture(path):
     if (rel.endswith(".cc") and rel.startswith(
             ("src/core/", "src/join/", "src/engine/"))) or (
             rel in STRIDE_POLL_REQUIRED):
-        check_cancellation(path, rel, stripped, violations)
+        check_cancellation(path, rel, raw, stripped, violations)
     if rel.endswith(".cc") and rel.startswith(("src/engine/", "src/obs/")):
         check_emit_under_lock(path, raw, stripped, violations)
     if rel.startswith("src/"):

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -73,6 +74,16 @@ struct CliOptions {
   int shards = 1;
   /// --algo=auto: print histogram-based estimates vs measured actuals.
   bool explain = false;
+  /// --algo=auto: after the first run, apply this many randomized mutation
+  /// batches to dataset A, re-running the join after each and printing an
+  /// order-independent result checksum (the sharded-vs-unsharded identity
+  /// harness diffs these lines).
+  int mutate_batches = 0;
+  /// Mutations per batch (insert/delete/update mix).
+  int mutate_ops = 64;
+  /// Seed of the mutation stream (default: derived from --seed).
+  uint64_t mutate_seed = 0;
+  bool mutate_seed_set = false;
   /// Kernel dispatch level: "auto" (cpuid-widest) or a forced level name.
   std::string simd = "auto";
   /// --algo=auto: measured-run feedback calibrating the planner.
@@ -147,6 +158,14 @@ void PrintUsage() {
       "  --explain              after each --algo=auto run, print the plan's\n"
       "                         histogram-based estimates next to the\n"
       "                         measured actuals\n"
+      "  --mutate=N             after the first --algo=auto run, apply N\n"
+      "                         randomized insert/delete/update batches to\n"
+      "                         dataset A, re-running the join after each and\n"
+      "                         printing 'mutation batch i: ... checksum=...'\n"
+      "                         (order-independent over result pairs, so\n"
+      "                         --shards=1 and --shards=K lines must match)\n"
+      "  --mutate-ops=K         mutations per batch (default 64)\n"
+      "  --mutate-seed=S        mutation-stream seed (default: --seed + 1000)\n"
       "  --simd=LEVEL           kernel dispatch: auto|scalar|sse2|avx2|neon\n"
       "                         (default auto = widest cpuid-supported level;\n"
       "                         forcing a level this host cannot run is an\n"
@@ -249,6 +268,23 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->trace_out = value;
     } else if (ParseFlag(arg, "metrics-out", &value)) {
       options->metrics_out = value;
+    } else if (ParseFlag(arg, "mutate", &value)) {
+      options->mutate_batches = std::atoi(value.c_str());
+      if (options->mutate_batches < 1) {
+        std::fprintf(stderr, "bad --mutate value: %s (expected >= 1)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "mutate-ops", &value)) {
+      options->mutate_ops = std::atoi(value.c_str());
+      if (options->mutate_ops < 1) {
+        std::fprintf(stderr, "bad --mutate-ops value: %s (expected >= 1)\n",
+                     value.c_str());
+        return false;
+      }
+    } else if (ParseFlag(arg, "mutate-seed", &value)) {
+      options->mutate_seed = std::strtoull(value.c_str(), nullptr, 10);
+      options->mutate_seed_set = true;
     } else if (arg == "--explain") {
       options->explain = true;
     } else if (ParseFlag(arg, "simd", &value)) {
@@ -309,6 +345,100 @@ bool LoadDataset(const std::string& path, Dataset* boxes) {
   if (!status.ok) std::fprintf(stderr, "%s\n", status.message.c_str());
   return status.ok;
 }
+
+/// SplitMix64 finalizer: hashes one (a, b) result pair.
+uint64_t MixPair(uint32_t a, uint32_t b) {
+  uint64_t x = (static_cast<uint64_t>(a) << 32) | b;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Order-independent pair-set checksum: the sum of per-pair hashes is the
+/// same whatever order shards (or plans) emit them in, so two runs over
+/// the same logical dataset print identical checksum lines.
+class ChecksumCollector : public ResultCollector {
+ public:
+  void Emit(uint32_t a, uint32_t b) override {
+    ++count_;
+    sum_ += MixPair(a, b);
+  }
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+};
+
+/// Deterministic mutation-stream generator for the CLI's --mutate loop. It
+/// tracks dataset A's live ids client-side — id assignment is deterministic
+/// (inserts take the next free id in stream order, sharded or not), so the
+/// generator never needs to read ids back from the engine.
+class MutationStream {
+ public:
+  MutationStream(uint64_t seed, const Dataset& initial, const Box& domain)
+      : rng_(seed), domain_(domain) {
+    live_.resize(initial.size());
+    for (uint32_t i = 0; i < initial.size(); ++i) live_[i] = i;
+    next_id_ = static_cast<uint32_t>(initial.size());
+  }
+
+  std::vector<Mutation> NextBatch(int ops) {
+    std::vector<Mutation> batch;
+    batch.reserve(ops);
+    for (int k = 0; k < ops; ++k) {
+      const double roll = Uniform(0.0, 1.0);
+      if (live_.empty() || roll < 0.4) {
+        batch.push_back(Mutation{MutationKind::kInsert, kInvalidObjectId,
+                                 RandomBox()});
+        live_.push_back(next_id_++);
+      } else if (roll < 0.7) {
+        const size_t pick = PickLive();
+        batch.push_back(Mutation{MutationKind::kDelete, live_[pick], Box{}});
+        live_[pick] = live_.back();
+        live_.pop_back();
+      } else {
+        batch.push_back(
+            Mutation{MutationKind::kUpdate, live_[PickLive()], RandomBox()});
+      }
+    }
+    return batch;
+  }
+
+  size_t live_count() const { return live_.size(); }
+
+ private:
+  double Uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng_);
+  }
+  size_t PickLive() {
+    return std::uniform_int_distribution<size_t>(0, live_.size() - 1)(rng_);
+  }
+  /// A small box whose center lands in the registration domain enlarged by
+  /// 10% — some centers fall outside, exercising the sharded router's
+  /// grid-clamped boundary path.
+  Box RandomBox() {
+    const Vec3 extent = domain_.Extent();
+    Vec3 center;
+    center.x = domain_.lo.x + static_cast<float>(Uniform(-0.1, 1.1)) * extent.x;
+    center.y = domain_.lo.y + static_cast<float>(Uniform(-0.1, 1.1)) * extent.y;
+    center.z = domain_.lo.z + static_cast<float>(Uniform(-0.1, 1.1)) * extent.z;
+    Vec3 half;
+    half.x = static_cast<float>(Uniform(0.05, 2.5));
+    half.y = static_cast<float>(Uniform(0.05, 2.5));
+    half.z = static_cast<float>(Uniform(0.05, 2.5));
+    return Box{center - half, center + half};
+  }
+
+  std::mt19937_64 rng_;
+  Box domain_;
+  std::vector<uint32_t> live_;
+  uint32_t next_id_ = 0;
+};
 
 int RunJoin(const CliOptions& options) {
   Dataset a;
@@ -623,6 +753,49 @@ int RunJoin(const CliOptions& options) {
                   static_cast<unsigned long long>(stats.filtered),
                   static_cast<double>(stats.memory_bytes) / (1024.0 * 1024.0),
                   stats.total_seconds);
+    }
+  }
+  // The --mutate loop: dataset A changes under the engine's feet, and the
+  // re-run after each batch goes through the versioned cache and the
+  // incremental stats path. The checksum lines are the identity harness's
+  // contract: a sharded and an unsharded run over the same seeds must print
+  // byte-identical 'mutation batch' lines.
+  if (options.mutate_batches > 0) {
+    if (engine == nullptr && sharded == nullptr) {
+      std::fprintf(stderr, "--mutate requires --algo=auto\n");
+      return 1;
+    }
+    Box domain = Box::Empty();
+    for (const Box& box : a) domain.ExpandToContain(box);
+    const uint64_t mutate_seed = options.mutate_seed_set
+                                     ? options.mutate_seed
+                                     : options.seed + 1000;
+    MutationStream stream(mutate_seed, a, domain);
+    std::FILE* report = options.csv ? stderr : stdout;
+    for (int batch = 0; batch < options.mutate_batches; ++batch) {
+      const std::vector<Mutation> muts = stream.NextBatch(options.mutate_ops);
+      const uint64_t version =
+          sharded != nullptr ? sharded->ApplyMutations(handle_a, muts)
+                             : engine->ApplyMutations(handle_a, muts);
+      ChecksumCollector sink;
+      const JoinRequest request = make_auto_request();
+      std::string error;
+      if (sharded != nullptr) {
+        error = sharded->Execute(request, sink).merged.error;
+      } else {
+        error = engine->Execute(request, sink).error;
+      }
+      if (!error.empty()) {
+        std::fprintf(stderr, "mutation batch %d: %s\n", batch, error.c_str());
+        return 1;
+      }
+      std::fprintf(report,
+                   "mutation batch %d: version=%llu live=%zu results=%llu "
+                   "checksum=%016llx\n",
+                   batch, static_cast<unsigned long long>(version),
+                   stream.live_count(),
+                   static_cast<unsigned long long>(sink.count()),
+                   static_cast<unsigned long long>(sink.sum()));
     }
   }
   // Cache telemetry belongs to the auto plan report: hit rate and evictions
